@@ -1,0 +1,65 @@
+// Design-choice ablation (DESIGN.md §4): measure sensitivities on the
+// training graph vs on the deployed (BatchNorm-folded) graph.
+//
+// Folding rescales every conv's weights per channel, which changes both
+// the quantization grid and the loss curvature — so an assignment computed
+// on the unfolded graph is, in general, not optimal for the folded one.
+// This bench quantifies the gap on the basic-block ResNet analogue.
+#include "bench_common.h"
+#include "clado/quant/bn_fold.h"
+
+int main(int argc, char** argv) {
+  using namespace clado::bench;
+  using clado::core::AsciiTable;
+
+  const auto names = models_from_args(argc, argv, {"resnet_a"});
+  std::printf("=== Ablation: MPQ on the training graph vs the BN-folded graph ===\n\n");
+
+  std::vector<std::vector<std::string>> csv_rows;
+  for (const auto& name : names) {
+    // Two independent copies of the model: one folded, one not.
+    TrainedModel plain = load_calibrated(name);
+    TrainedModel folded = load_calibrated(name, /*announce=*/false);
+    const int folded_count = clado::quant::fold_batchnorm(*folded.model.net);
+    // Re-calibrate activations after folding (ranges shift slightly).
+    for (auto* aq : folded.model.act_quants) aq->reset_observer();
+    folded.model.calibrate_activations(folded.train_set.make_range_batch(0, 128));
+    std::printf("%s: folded %d BatchNorms; fp32 acc %.2f (plain) vs %.2f (folded)\n",
+                name.c_str(), folded_count, 100.0 * plain.val_accuracy,
+                100.0 * folded.model.accuracy_on(folded.val_set, 1024));
+
+    const auto batch = sensitivity_batch(plain, default_set_size(name));
+    MpqPipeline pipe_plain(plain.model, batch, {});
+    MpqPipeline pipe_folded(folded.model, batch, {});
+
+    const double int8 = plain.model.uniform_size_bytes(8);
+    AsciiTable table({"size (KB)", "assignment from", "deployed on", "top-1 (%)"});
+    for (double f : {0.3125, 0.375, 0.5}) {
+      const auto a_plain = pipe_plain.assign(Algorithm::kClado, int8 * f);
+      const auto a_folded = pipe_folded.assign(Algorithm::kClado, int8 * f);
+
+      // Deploy both assignments on the FOLDED graph (what ships).
+      auto deploy = [&](const clado::core::Assignment& a) {
+        clado::quant::WeightSnapshot snap(folded.model.quant_layers);
+        clado::quant::bake_weights(folded.model.quant_layers, a.bits, folded.model.scheme);
+        return folded.model.accuracy_on(folded.val_set, 1024);
+      };
+      const double acc_mismatched = deploy(a_plain);
+      const double acc_matched = deploy(a_folded);
+      table.add_row({AsciiTable::num(int8 * f / 1024.0, 2), "training graph", "folded graph",
+                     AsciiTable::pct(acc_mismatched)});
+      table.add_row({AsciiTable::num(int8 * f / 1024.0, 2), "folded graph", "folded graph",
+                     AsciiTable::pct(acc_matched)});
+      csv_rows.push_back({name, AsciiTable::num(f, 4), "plain", AsciiTable::pct(acc_mismatched)});
+      csv_rows.push_back({name, AsciiTable::num(f, 4), "folded", AsciiTable::pct(acc_matched)});
+      std::fflush(stdout);
+    }
+    table.print();
+    std::printf("\n");
+  }
+
+  clado::core::write_csv("bench_results/ablation_bnfold.csv",
+                         {"model", "size_fraction", "sensitivity_graph", "top1_pct"}, csv_rows);
+  std::printf("rows written to bench_results/ablation_bnfold.csv\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Shared setup for the benchmark harness binaries (one per paper
+// table/figure). Models are pulled from the zoo artifact cache — the first
+// bench run on a fresh checkout trains them (minutes); later runs load.
+//
+// Env knobs:
+//   CLADO_ARTIFACTS_DIR   weight-cache directory (default: ./artifacts)
+//   CLADO_BENCH_SCALE     multiplies sensitivity-set counts/sizes for the
+//                         statistical benches (default 1; paper-scale ~3)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "clado/core/algorithms.h"
+#include "clado/core/report.h"
+#include "clado/data/synthcv.h"
+#include "clado/models/zoo.h"
+
+namespace clado::bench {
+
+using clado::core::Algorithm;
+using clado::core::MpqPipeline;
+using clado::models::TrainedModel;
+
+inline int bench_scale() {
+  if (const char* env = std::getenv("CLADO_BENCH_SCALE"); env != nullptr) {
+    const int s = std::atoi(env);
+    if (s >= 1) return s;
+  }
+  return 1;
+}
+
+/// Loads (or trains on first use) a zoo model and calibrates its 8-bit
+/// activation quantizers, mirroring the paper's common PTQ setup.
+inline TrainedModel load_calibrated(const std::string& name, bool announce = true) {
+  clado::models::ZooConfig cfg;
+  if (announce) {
+    std::printf("# loading %s (trains on first run; cached in %s)\n", name.c_str(),
+                clado::models::resolve_artifacts_dir(cfg).c_str());
+    std::fflush(stdout);
+  }
+  TrainedModel tm = clado::models::get_or_train(name, cfg);
+  tm.model.calibrate_activations(tm.train_set.make_range_batch(0, 128));
+  return tm;
+}
+
+/// Sensitivity set of `size` samples: set index k is identical across
+/// algorithms and benches (the paper's multiple-sensitivity-set protocol).
+inline clado::data::Batch sensitivity_batch(const TrainedModel& tm, std::int64_t size,
+                                            int set_index = 0) {
+  const auto sets = clado::data::make_sensitivity_sets(4096, size, set_index + 1, 0xBEEF);
+  return tm.train_set.make_batch(sets.back());
+}
+
+/// Default sensitivity-set size per model. The transformer's loss
+/// differences are noisier (wide-dynamic-range residual stream), so the
+/// ViT analogue follows the paper's larger-set recommendation (Figure 4).
+inline std::int64_t default_set_size(const std::string& model_name) {
+  return model_name == "vit_mini" ? 128 : 64;
+}
+
+/// The paper's Table 1 style size grid: three budgets between the 2-bit
+/// and 8-bit uniform sizes (between 4- and 8-bit for MobileNet's B set).
+inline std::vector<double> table1_fractions(const std::string& model_name) {
+  if (model_name == "mobilenet_v3_mini") return {0.55, 0.65, 0.80};
+  return {0.3125, 0.375, 0.50};
+}
+
+/// PTQ top-1 at an assignment (weights baked, then restored).
+inline double ptq_accuracy(TrainedModel& tm, MpqPipeline& pipe,
+                           const clado::core::Assignment& assignment,
+                           std::int64_t val_count = 1024) {
+  auto snapshot = pipe.apply_ptq(assignment);
+  const double acc = tm.model.accuracy_on(tm.val_set, val_count);
+  snapshot->restore();
+  return acc;
+}
+
+inline const std::vector<Algorithm>& table1_algorithms() {
+  static const std::vector<Algorithm> algs = {Algorithm::kHawq, Algorithm::kMpqco,
+                                              Algorithm::kCladoStar, Algorithm::kClado};
+  return algs;
+}
+
+/// Models named on the command line, or a default list.
+inline std::vector<std::string> models_from_args(int argc, char** argv,
+                                                 std::vector<std::string> defaults) {
+  if (argc <= 1) return defaults;
+  std::vector<std::string> names;
+  for (int i = 1; i < argc; ++i) names.emplace_back(argv[i]);
+  return names;
+}
+
+}  // namespace clado::bench

@@ -1,0 +1,69 @@
+// Figure 2 reproduction: accuracy-vs-model-size tradeoff curves for all
+// four algorithms on each zoo model (the Pareto fronts of the paper).
+//
+// Expected shape: all methods converge near the 8-bit point; CLADO's curve
+// dominates (or ties) the others, most visibly at small sizes.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace clado::bench;
+  using clado::core::AsciiTable;
+
+  const auto names = models_from_args(
+      argc, argv,
+      {"resnet_a", "resnet_b", "mobilenet_v3_mini", "regnet_mini", "vit_mini"});
+
+  std::printf("=== Figure 2: accuracy vs model size (synthcv substrate) ===\n\n");
+  std::vector<std::vector<std::string>> csv_rows;
+
+  for (const auto& name : names) {
+    TrainedModel tm = load_calibrated(name);
+    const double int8_bytes = tm.model.uniform_size_bytes(8);
+    MpqPipeline pipe(tm.model, sensitivity_batch(tm, default_set_size(name)), {});
+
+    // Denser grid than Table 1 (the figure's extra data points).
+    std::vector<double> fractions;
+    if (name == "mobilenet_v3_mini") {
+      fractions = {0.52, 0.58, 0.65, 0.72, 0.80, 0.90, 1.0};
+    } else {
+      fractions = {0.27, 0.3125, 0.36, 0.42, 0.50, 0.65, 0.85, 1.0};
+    }
+
+    std::vector<std::string> headers = {"size (KB)"};
+    for (auto alg : table1_algorithms()) headers.emplace_back(clado::core::algorithm_name(alg));
+    AsciiTable table(headers);
+    const char symbols[] = {'H', 'M', 's', 'C'};
+    std::vector<clado::core::ChartSeries> series;
+    for (std::size_t a = 0; a < table1_algorithms().size(); ++a) {
+      series.push_back({clado::core::algorithm_name(table1_algorithms()[a]), {}, {},
+                        symbols[a]});
+    }
+
+    std::printf("%s (fp32 acc %.2f)\n", name.c_str(), 100.0 * tm.val_accuracy);
+    for (double f : fractions) {
+      std::vector<std::string> row = {AsciiTable::num(int8_bytes * f / 1024.0, 2)};
+      for (std::size_t a = 0; a < table1_algorithms().size(); ++a) {
+        const auto alg = table1_algorithms()[a];
+        const auto assignment = pipe.assign(alg, int8_bytes * f);
+        const double acc = ptq_accuracy(tm, pipe, assignment);
+        row.push_back(AsciiTable::pct(acc));
+        series[a].x.push_back(int8_bytes * f / 1024.0);
+        series[a].y.push_back(100.0 * acc);
+        csv_rows.push_back({name, clado::core::algorithm_name(alg), AsciiTable::num(f, 4),
+                            AsciiTable::pct(acc)});
+      }
+      table.add_row(std::move(row));
+    }
+    table.print();
+    std::printf("\n%s\n",
+                clado::core::render_ascii_chart(series, 72, 16, name + " tradeoff curves",
+                                                "model size, KB", "top-1 %")
+                    .c_str());
+    std::fflush(stdout);
+  }
+
+  clado::core::write_csv("bench_results/fig2_tradeoff.csv",
+                         {"model", "algorithm", "size_fraction", "top1_pct"}, csv_rows);
+  std::printf("series written to bench_results/fig2_tradeoff.csv\n");
+  return 0;
+}

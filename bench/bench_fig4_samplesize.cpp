@@ -1,0 +1,78 @@
+// Figure 4 reproduction: MPQ performance vs sensitivity-set sample size,
+// median and quartiles over independently drawn sensitivity sets.
+//
+// Expected shape: variance shrinks as the set grows; CLADO's median stays
+// on top, and at larger sets its lower quartile approaches or exceeds the
+// baselines' upper quartiles. Scaled from the paper's protocol (24 sets of
+// 256-4096 ImageNet samples) to synthcv: CLADO_BENCH_SCALE=1 uses 6 sets
+// of {16, 32, 64} samples; =3 approaches the paper's statistics.
+#include <map>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace clado::bench;
+  using clado::core::AsciiTable;
+
+  const auto names = models_from_args(argc, argv, {"resnet_b"});
+  const int scale = bench_scale();
+  const int num_sets = 4 * scale;
+  std::vector<std::int64_t> sizes = {16, 32, 64};
+  if (scale > 1) sizes.push_back(128);
+
+  std::printf("=== Figure 4: performance vs sensitivity-set size (%d sets each) ===\n\n",
+              num_sets);
+  std::vector<std::vector<std::string>> csv_rows;
+
+  for (const auto& name : names) {
+    TrainedModel tm = load_calibrated(name);
+    const double int8_bytes = tm.model.uniform_size_bytes(8);
+    // 3-bit-equivalent budget: the steep part of the tradeoff curve, where
+    // assignment quality differences are visible (Table 1).
+    const double target = int8_bytes * 0.375;
+
+    AsciiTable table({"samples", "algorithm", "q25", "median", "q75"});
+    std::map<Algorithm, clado::core::ChartSeries> chart;
+    chart[Algorithm::kHawq] = {"HAWQ median", {}, {}, 'H'};
+    chart[Algorithm::kMpqco] = {"MPQCO median", {}, {}, 'M'};
+    chart[Algorithm::kClado] = {"CLADO median", {}, {}, 'C'};
+    std::printf("%s at %.2f KB budget\n", name.c_str(), target / 1024.0);
+    for (std::int64_t set_size : sizes) {
+      const auto sets = clado::data::make_sensitivity_sets(4096, set_size, num_sets, 0xBEEF);
+      std::map<Algorithm, std::vector<double>> accs;
+      for (const auto& indices : sets) {
+        MpqPipeline pipe(tm.model, tm.train_set.make_batch(indices), {});
+        for (auto alg : {Algorithm::kHawq, Algorithm::kMpqco, Algorithm::kClado}) {
+          const auto assignment = pipe.assign(alg, target);
+          accs[alg].push_back(ptq_accuracy(tm, pipe, assignment, 512));
+        }
+      }
+      for (auto alg : {Algorithm::kHawq, Algorithm::kMpqco, Algorithm::kClado}) {
+        const auto q = clado::core::quartiles(accs[alg]);
+        table.add_row({std::to_string(set_size), clado::core::algorithm_name(alg),
+                       AsciiTable::pct(q.q25), AsciiTable::pct(q.median),
+                       AsciiTable::pct(q.q75)});
+        chart[alg].x.push_back(static_cast<double>(set_size));
+        chart[alg].y.push_back(100.0 * q.median);
+        csv_rows.push_back({name, clado::core::algorithm_name(alg), std::to_string(set_size),
+                            AsciiTable::pct(q.q25), AsciiTable::pct(q.median),
+                            AsciiTable::pct(q.q75)});
+      }
+      std::fflush(stdout);
+    }
+    table.print();
+    std::vector<clado::core::ChartSeries> series;
+    for (auto& [alg, s] : chart) series.push_back(s);
+    std::printf("\n%s\n",
+                clado::core::render_ascii_chart(series, 72, 14,
+                                                name + ": median top-1 vs sensitivity-set size",
+                                                "samples", "top-1 %")
+                    .c_str());
+  }
+
+  clado::core::write_csv("bench_results/fig4_samplesize.csv",
+                         {"model", "algorithm", "samples", "q25_pct", "median_pct", "q75_pct"},
+                         csv_rows);
+  std::printf("series written to bench_results/fig4_samplesize.csv\n");
+  return 0;
+}

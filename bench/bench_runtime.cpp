@@ -1,0 +1,81 @@
+// §5.2 runtime comparison: measurement counts and wall-clock per pipeline
+// phase for each algorithm.
+//
+// Expected shape (paper): CLADO and HAWQ cost about the same (dominated by
+// the ½|B|I(|B|I+1) network measurements / the Hutchinson backprops);
+// MPQCO's proxy is one-to-two orders cheaper; the IQP itself solves in
+// (milli)seconds once sensitivities exist, and re-solving for a new budget
+// is effectively free — the reusability argument for sensitivity methods.
+#include <chrono>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace clado::bench;
+  using clado::core::AsciiTable;
+  using Clock = std::chrono::steady_clock;
+  auto secs = [](Clock::time_point t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  };
+
+  const auto names = models_from_args(argc, argv, {"resnet_a", "vit_mini"});
+  std::printf("=== Runtime: sensitivity measurement and solve cost per phase ===\n\n");
+
+  AsciiTable table({"model", "I", "|B|I", "phase", "measurements", "seconds"});
+  std::vector<std::vector<std::string>> csv_rows;
+  for (const auto& name : names) {
+    TrainedModel tm = load_calibrated(name);
+    const std::int64_t I = tm.model.num_quant_layers();
+    const auto B = static_cast<std::int64_t>(tm.model.candidate_bits.size());
+    const std::int64_t bi = B * I;
+    const double int8_bytes = tm.model.uniform_size_bytes(8);
+    MpqPipeline pipe(tm.model, sensitivity_batch(tm, 64), {});
+
+    auto add = [&](const char* phase, std::int64_t measurements, double seconds) {
+      table.add_row({name, std::to_string(I), std::to_string(bi), phase,
+                     measurements >= 0 ? std::to_string(measurements) : "-",
+                     AsciiTable::num(seconds, 3)});
+      csv_rows.push_back({name, phase,
+                          measurements >= 0 ? std::to_string(measurements) : "",
+                          AsciiTable::num(seconds, 4)});
+    };
+
+    // CLADO sensitivity sweep (paper formula: ½|B|I(|B|I+1) measurements).
+    auto t0 = Clock::now();
+    pipe.clado_matrix_raw();
+    const auto& stats = pipe.engine().stats();
+    add("CLADO sweep", stats.forward_measurements, secs(t0));
+    std::printf("  %s: paper-formula measurements = %lld, prefix-cache stage speedup = %.2fx\n",
+                name.c_str(), static_cast<long long>(bi * (bi + 1) / 2),
+                static_cast<double>(stats.stage_executions_naive) /
+                    static_cast<double>(stats.stage_executions));
+
+    t0 = Clock::now();
+    pipe.clado_matrix();  // PSD projection on top of the cached raw matrix
+    add("PSD projection", -1, secs(t0));
+
+    t0 = Clock::now();
+    pipe.hawq_values();
+    add("HAWQ traces", 2 * 3 * I, secs(t0));  // 2 grad evals x probes x layers
+
+    t0 = Clock::now();
+    pipe.mpqco_values();
+    add("MPQCO proxy", B * I, secs(t0));
+
+    t0 = Clock::now();
+    const auto a1 = pipe.assign(Algorithm::kClado, int8_bytes * 0.375);
+    add("IQP solve (cold)", a1.solver_nodes, secs(t0));
+
+    t0 = Clock::now();
+    pipe.assign(Algorithm::kClado, int8_bytes * 0.5);
+    add("IQP re-solve (new budget)", -1, secs(t0));
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  table.print();
+
+  clado::core::write_csv("bench_results/runtime.csv",
+                         {"model", "phase", "measurements", "seconds"}, csv_rows);
+  std::printf("\nrows written to bench_results/runtime.csv\n");
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Solver and linear-algebra micro-benchmarks (google-benchmark): the
+// components whose cost the paper's "solved within seconds" claim rests on.
+#include <benchmark/benchmark.h>
+
+#include "clado/linalg/eigen.h"
+#include "clado/solver/anneal.h"
+#include "clado/solver/iqp.h"
+#include "clado/solver/mckp.h"
+#include "clado/tensor/ops.h"
+#include "clado/tensor/rng.h"
+
+namespace {
+
+using clado::tensor::Rng;
+using clado::tensor::Tensor;
+
+Tensor random_psd(std::int64_t n, Rng& rng) {
+  const Tensor a = Tensor::randn({n, n}, rng);
+  Tensor out({n, n});
+  clado::tensor::gemm(false, true, n, n, n, 1.0F, a.data(), a.data(), 0.0F, out.data());
+  return out;
+}
+
+std::vector<clado::solver::ChoiceGroup> random_groups(std::size_t groups, std::size_t choices,
+                                                      Rng& rng) {
+  std::vector<clado::solver::ChoiceGroup> out(groups);
+  for (auto& g : out) {
+    for (std::size_t m = 0; m < choices; ++m) {
+      g.value.push_back(rng.uniform(-1.0, 1.0));
+      g.cost.push_back(rng.uniform(0.2, 2.0));
+    }
+  }
+  return out;
+}
+
+double budget_of(const std::vector<clado::solver::ChoiceGroup>& groups, double slack) {
+  double c = 0.0;
+  for (const auto& g : groups) c += *std::min_element(g.cost.begin(), g.cost.end());
+  return c * slack;
+}
+
+clado::solver::QuadraticProblem random_problem(std::size_t groups, std::size_t choices,
+                                               Rng& rng) {
+  clado::solver::QuadraticProblem p;
+  p.G = random_psd(static_cast<std::int64_t>(groups * choices), rng);
+  p.cost.resize(groups);
+  double min_cost = 0.0;
+  for (auto& g : p.cost) {
+    double cheapest = 1e18;
+    for (std::size_t m = 0; m < choices; ++m) {
+      g.push_back(rng.uniform(0.2, 2.0));
+      cheapest = std::min(cheapest, g.back());
+    }
+    min_cost += cheapest;
+  }
+  p.budget = min_cost * 1.4;
+  return p;
+}
+
+void BM_MckpDp(benchmark::State& state) {
+  Rng rng(1);
+  const auto groups = random_groups(static_cast<std::size_t>(state.range(0)), 3, rng);
+  const double budget = budget_of(groups, 1.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clado::solver::solve_mckp_dp(groups, budget));
+  }
+}
+BENCHMARK(BM_MckpDp)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_MckpLpOracle(benchmark::State& state) {
+  Rng rng(2);
+  const auto groups = random_groups(static_cast<std::size_t>(state.range(0)), 3, rng);
+  const double budget = budget_of(groups, 1.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clado::solver::solve_mckp_lp(groups, budget));
+  }
+}
+BENCHMARK(BM_MckpLpOracle)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_FrankWolfe(benchmark::State& state) {
+  Rng rng(3);
+  const auto p = random_problem(static_cast<std::size_t>(state.range(0)), 3, rng);
+  clado::solver::FwOptions opts;
+  opts.max_iters = 100;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clado::solver::frank_wolfe(p, opts));
+  }
+}
+BENCHMARK(BM_FrankWolfe)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_IqpBranchAndBound(benchmark::State& state) {
+  Rng rng(4);
+  const auto p = random_problem(static_cast<std::size_t>(state.range(0)), 3, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clado::solver::solve_iqp(p));
+  }
+}
+BENCHMARK(BM_IqpBranchAndBound)->Arg(8)->Arg(16)->Arg(24)->Unit(benchmark::kMillisecond);
+
+void BM_Anneal(benchmark::State& state) {
+  Rng rng(5);
+  const auto p = random_problem(16, 3, rng);
+  clado::solver::AnnealOptions opts;
+  opts.iterations = static_cast<std::int64_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clado::solver::solve_anneal(p, opts));
+  }
+}
+BENCHMARK(BM_Anneal)->Arg(2000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_JacobiEigen(benchmark::State& state) {
+  Rng rng(6);
+  const Tensor a = random_psd(state.range(0), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clado::linalg::sym_eigen(a));
+  }
+}
+BENCHMARK(BM_JacobiEigen)->Arg(24)->Arg(48)->Arg(96)->Unit(benchmark::kMillisecond);
+
+void BM_PsdProjection(benchmark::State& state) {
+  Rng rng(7);
+  const Tensor a = Tensor::randn({state.range(0), state.range(0)}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clado::linalg::psd_projection(a));
+  }
+}
+BENCHMARK(BM_PsdProjection)->Arg(48)->Arg(96)->Unit(benchmark::kMillisecond);
+
+void BM_Gemm(benchmark::State& state) {
+  Rng rng(8);
+  const std::int64_t n = state.range(0);
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    clado::tensor::gemm(false, false, n, n, n, 1.0F, a.data(), b.data(), 0.0F, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Table 2 reproduction: accuracy of CLADO's forward-only second-order
+// estimate (Eq. 12) against the "exact" vᵀHv computed from analytic
+// gradients via central finite differences (7x slower in the paper).
+//
+// Expected shape: same order of magnitude per layer, and — the property
+// the IQP consumes — high rank agreement across layers. On this substrate
+// absolute agreement at 2-bit is weaker than the paper's (the synthetic
+// models train to much lower loss than ImageNet models, so the loss is
+// less quadratic over a finite 2-bit perturbation); the bench prints the
+// Spearman rank correlation to quantify what survives.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <numeric>
+
+#include "bench_common.h"
+#include "clado/core/sensitivity.h"
+#include "clado/nn/hvp.h"
+
+namespace {
+
+double spearman(const std::vector<double>& a, const std::vector<double>& b) {
+  auto ranks = [](const std::vector<double>& v) {
+    std::vector<double> r(v.size());
+    std::vector<std::size_t> order(v.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t x, std::size_t y) { return v[x] < v[y]; });
+    for (std::size_t i = 0; i < order.size(); ++i) r[order[i]] = static_cast<double>(i);
+    return r;
+  };
+  const auto ra = ranks(a);
+  const auto rb = ranks(b);
+  const double n = static_cast<double>(a.size());
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) d2 += (ra[i] - rb[i]) * (ra[i] - rb[i]);
+  return 1.0 - 6.0 * d2 / (n * (n * n - 1.0));
+}
+
+}  // namespace
+
+int main() {
+  using namespace clado::bench;
+  using clado::core::AsciiTable;
+  using Clock = std::chrono::steady_clock;
+
+  TrainedModel tm = load_calibrated("resnet_a");
+  const auto batch = sensitivity_batch(tm, 64);
+  clado::core::SensitivityEngine engine(tm.model, batch);
+
+  std::printf("=== Table 2: fast (Eq. 12) vs exact vHv, resnet_a on synthcv ===\n\n");
+
+  AsciiTable table({"layer", "bits", "vHv (exact)", "vHv (ours)", "ratio"});
+  std::vector<std::vector<std::string>> csv_rows;
+  double exact_seconds = 0.0;
+
+  // Every layer at the aggressive bit-width (plus a few high-bit probes):
+  // enough probes for a meaningful rank statistic.
+  std::vector<double> exact_2bit, fast_2bit;
+  const std::int64_t layers = tm.model.num_quant_layers();
+  for (std::int64_t i = 0; i < layers; ++i) {
+    const auto& ref = tm.model.quant_layers[static_cast<std::size_t>(i)];
+    for (std::int64_t bidx : {0L, 2L}) {
+      const int bits = tm.model.candidate_bits[static_cast<std::size_t>(bidx)];
+      const double fast =
+          engine.diagonal_sensitivities()[static_cast<std::size_t>(i)]
+                                         [static_cast<std::size_t>(bidx)];
+      clado::nn::LayerDirection dir;
+      dir.weight = &ref.layer->weight_param();
+      dir.delta = engine.delta(i, bidx);
+      const auto t0 = Clock::now();
+      const double exact =
+          clado::nn::exact_vhv(*tm.model.net, batch.images, batch.labels, {dir}, 1e-2);
+      exact_seconds += std::chrono::duration<double>(Clock::now() - t0).count();
+
+      if (bidx == 0) {
+        exact_2bit.push_back(exact);
+        fast_2bit.push_back(fast);
+        table.add_row({ref.name, std::to_string(bits), AsciiTable::num(exact, 5),
+                       AsciiTable::num(fast, 5),
+                       std::abs(exact) > 1e-6 ? AsciiTable::num(fast / exact, 2) : "-"});
+      }
+      csv_rows.push_back({ref.name, std::to_string(bits), AsciiTable::num(exact, 6),
+                          AsciiTable::num(fast, 6)});
+    }
+  }
+  table.print();
+
+  std::printf(
+      "\nSpearman rank correlation across %zu layers (2-bit): %.3f\n"
+      "(layer ordering is what the bit allocation consumes; see EXPERIMENTS.md\n"
+      " for why absolute 2-bit agreement is weaker on this substrate)\n",
+      exact_2bit.size(), spearman(exact_2bit, fast_2bit));
+  std::printf("wall-clock: full fast sweep (all (layer,bit) singles) %.2fs vs %zu exact HVP "
+              "probes %.2fs\n",
+              engine.stats().seconds, csv_rows.size(), exact_seconds);
+
+  clado::core::write_csv("bench_results/table2_vhv.csv",
+                         {"layer", "bits", "vhv_exact", "vhv_fast"}, csv_rows);
+  return 0;
+}

@@ -1,0 +1,250 @@
+#include "clado/core/algorithms.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "clado/linalg/eigen.h"
+#include "clado/linalg/matrix.h"
+#include "clado/nn/hvp.h"
+#include "clado/solver/mckp.h"
+
+namespace clado::core {
+
+const char* algorithm_name(Algorithm a) {
+  switch (a) {
+    case Algorithm::kHawq: return "HAWQ";
+    case Algorithm::kMpqco: return "MPQCO";
+    case Algorithm::kCladoStar: return "CLADO*";
+    case Algorithm::kClado: return "CLADO";
+    case Algorithm::kBrecqBlock: return "BRECQ-block";
+  }
+  return "?";
+}
+
+MpqPipeline::MpqPipeline(Model& model, Batch sensitivity_batch, PipelineOptions options)
+    : model_(model), options_(options), engine_(model, std::move(sensitivity_batch)) {}
+
+const Tensor& MpqPipeline::clado_matrix_raw() {
+  if (!g_raw_) {
+    std::function<void(std::int64_t, std::int64_t)> progress;
+    if (options_.verbose) {
+      progress = [](std::int64_t done, std::int64_t total) {
+        std::fprintf(stderr, "\r[sensitivity] %lld / %lld pair measurements",
+                     static_cast<long long>(done), static_cast<long long>(total));
+        if (done == total) std::fprintf(stderr, "\n");
+      };
+    }
+    g_raw_ = engine_.full_matrix(progress);
+  }
+  return *g_raw_;
+}
+
+const Tensor& MpqPipeline::clado_matrix() {
+  if (!g_psd_) {
+    const Tensor& raw = clado_matrix_raw();
+    g_psd_ = options_.psd_projection ? clado::linalg::psd_projection(raw)
+                                     : clado::linalg::symmetrize(raw);
+  }
+  return *g_psd_;
+}
+
+void MpqPipeline::save_sensitivities(const std::string& path) {
+  clado::tensor::StateDict dict;
+  dict.emplace("g_raw", clado_matrix_raw());
+  dict.emplace("meta", Tensor({3}, std::vector<float>{
+                                       static_cast<float>(engine_.num_layers()),
+                                       static_cast<float>(engine_.num_bits()),
+                                       static_cast<float>(engine_.base_loss())}));
+  clado::tensor::save_state_dict(dict, path);
+}
+
+void MpqPipeline::load_sensitivities(const std::string& path) {
+  const auto dict = clado::tensor::load_state_dict(path);
+  const auto meta_it = dict.find("meta");
+  const auto g_it = dict.find("g_raw");
+  if (meta_it == dict.end() || g_it == dict.end()) {
+    throw std::runtime_error("load_sensitivities: not a sensitivity file: " + path);
+  }
+  const Tensor& meta = meta_it->second;
+  if (meta.numel() != 3 ||
+      static_cast<std::int64_t>(meta[0]) != engine_.num_layers() ||
+      static_cast<std::int64_t>(meta[1]) != engine_.num_bits()) {
+    throw std::runtime_error("load_sensitivities: layer/bit structure mismatch in " + path);
+  }
+  const std::int64_t n = engine_.num_layers() * engine_.num_bits();
+  if (g_it->second.shape() != clado::tensor::Shape{n, n}) {
+    throw std::runtime_error("load_sensitivities: matrix shape mismatch in " + path);
+  }
+  g_raw_ = g_it->second;
+  g_psd_.reset();
+}
+
+const std::vector<std::vector<double>>& MpqPipeline::hawq_values() {
+  if (!hawq_values_) {
+    // HAWQ-V2/V3 sensitivity: mean Hessian trace of the layer block times
+    // the squared quantization error. Tr(H_i) is estimated by Hutchinson:
+    // E_v[vᵀ H v] with Rademacher v supported on layer i.
+    const std::int64_t layers = engine_.num_layers();
+    const std::int64_t bits = engine_.num_bits();
+    clado::tensor::Rng rng(options_.hawq_seed);
+    std::vector<std::vector<double>> values(
+        static_cast<std::size_t>(layers), std::vector<double>(static_cast<std::size_t>(bits)));
+
+    for (std::int64_t i = 0; i < layers; ++i) {
+      auto& ref = model_.quant_layers[static_cast<std::size_t>(i)];
+      auto& weight = ref.layer->weight_param();
+      const std::int64_t numel = weight.value.numel();
+
+      double trace_est = 0.0;
+      for (int probe = 0; probe < options_.hawq_probes; ++probe) {
+        clado::nn::LayerDirection dir;
+        dir.weight = &weight;
+        dir.delta = Tensor(weight.value.shape());
+        for (auto& v : dir.delta.flat()) v = rng.uniform() < 0.5 ? -1.0F : 1.0F;
+        trace_est += clado::nn::exact_vhv(*model_.net, engine_.batch().images,
+                                          engine_.batch().labels, {dir}, options_.hvp_step);
+      }
+      trace_est /= static_cast<double>(options_.hawq_probes);
+      const double mean_trace = trace_est / static_cast<double>(numel);
+
+      for (std::int64_t m = 0; m < bits; ++m) {
+        const double err_sq = engine_.delta(i, m).sq_norm();
+        values[static_cast<std::size_t>(i)][static_cast<std::size_t>(m)] = mean_trace * err_sq;
+      }
+    }
+    hawq_values_ = std::move(values);
+  }
+  return *hawq_values_;
+}
+
+const std::vector<std::vector<double>>& MpqPipeline::mpqco_values() {
+  if (!mpqco_values_) mpqco_values_ = engine_.mpqco_proxy();
+  return *mpqco_values_;
+}
+
+std::vector<std::vector<double>> MpqPipeline::size_costs() const {
+  std::vector<std::vector<double>> costs;
+  costs.reserve(model_.quant_layers.size());
+  for (const auto& ref : model_.quant_layers) {
+    const std::int64_t numel = ref.layer->weight_param().value.numel();
+    std::vector<double> row;
+    row.reserve(model_.candidate_bits.size());
+    for (int b : model_.candidate_bits) {
+      row.push_back(clado::quant::weight_bytes(numel, b));
+    }
+    costs.push_back(std::move(row));
+  }
+  return costs;
+}
+
+std::vector<int> MpqPipeline::block_ids() const {
+  std::vector<int> ids;
+  ids.reserve(model_.quant_layers.size());
+  for (const auto& ref : model_.quant_layers) ids.push_back(ref.stage);
+  return ids;
+}
+
+Assignment MpqPipeline::finish(Algorithm algorithm, std::vector<int> choice,
+                               double target_bytes, double predicted) {
+  Assignment a;
+  a.algorithm = algorithm;
+  a.choice = std::move(choice);
+  a.target_bytes = target_bytes;
+  a.predicted = predicted;
+  a.bits.reserve(a.choice.size());
+  const auto costs = size_costs();
+  for (std::size_t i = 0; i < a.choice.size(); ++i) {
+    a.bits.push_back(model_.candidate_bits[static_cast<std::size_t>(a.choice[i])]);
+    a.bytes += costs[i][static_cast<std::size_t>(a.choice[i])];
+  }
+  if (a.bytes > target_bytes + 1e-6) {
+    throw std::logic_error("MpqPipeline: solver returned an infeasible assignment");
+  }
+  return a;
+}
+
+Assignment MpqPipeline::from_separable(Algorithm algorithm,
+                                       const std::vector<std::vector<double>>& value,
+                                       double target_bytes) {
+  const auto costs = size_costs();
+  std::vector<clado::solver::ChoiceGroup> groups(value.size());
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    groups[i].value = value[i];
+    groups[i].cost = costs[i];
+  }
+  const auto sol = clado::solver::solve_mckp_dp(groups, target_bytes);
+  if (!sol.feasible) {
+    throw std::runtime_error(std::string(algorithm_name(algorithm)) +
+                             ": target size infeasible (below minimum bit-width size)");
+  }
+  return finish(algorithm, sol.choice, target_bytes, sol.value);
+}
+
+Assignment MpqPipeline::from_quadratic(Algorithm algorithm, const Tensor& g_matrix,
+                                       double target_bytes) {
+  clado::solver::QuadraticProblem problem;
+  problem.G = g_matrix;
+  problem.cost = size_costs();
+  problem.budget = target_bytes;
+
+  clado::solver::IqpOptions iqp = options_.iqp;
+  iqp.objective_convex = options_.psd_projection;
+  const auto result = clado::solver::solve_iqp(problem, iqp);
+
+  Assignment a;
+  if (result.feasible && (!result.hit_limit || options_.psd_projection)) {
+    a = finish(algorithm, result.choice, target_bytes, result.objective);
+    a.used_fallback = false;
+  } else if (result.feasible || !options_.psd_projection) {
+    // Indefinite objective and the B&B degenerated: annealing fallback
+    // (this is the regime the PSD ablation demonstrates).
+    clado::solver::AnnealOptions anneal;
+    anneal.seed = options_.hawq_seed;
+    const auto heur = clado::solver::solve_anneal(problem, anneal);
+    if (!heur.feasible) {
+      throw std::runtime_error(std::string(algorithm_name(algorithm)) +
+                               ": target size infeasible");
+    }
+    a = finish(algorithm, heur.choice, target_bytes, heur.objective);
+    a.used_fallback = true;
+  } else {
+    throw std::runtime_error(std::string(algorithm_name(algorithm)) +
+                             ": target size infeasible");
+  }
+  a.solver_nodes = result.nodes;
+  a.solver_seconds = result.seconds;
+  a.proven_optimal = result.proven_optimal;
+  return a;
+}
+
+Assignment MpqPipeline::assign(Algorithm algorithm, double target_bytes) {
+  switch (algorithm) {
+    case Algorithm::kHawq:
+      return from_separable(algorithm, hawq_values(), target_bytes);
+    case Algorithm::kMpqco:
+      return from_separable(algorithm, mpqco_values(), target_bytes);
+    case Algorithm::kCladoStar: {
+      return from_separable(algorithm, engine_.diagonal_sensitivities(), target_bytes);
+    }
+    case Algorithm::kClado:
+      return from_quadratic(algorithm, clado_matrix(), target_bytes);
+    case Algorithm::kBrecqBlock: {
+      const Tensor masked =
+          mask_inter_block(clado_matrix_raw(), block_ids(), engine_.num_bits());
+      const Tensor prepared = options_.psd_projection ? clado::linalg::psd_projection(masked)
+                                                      : clado::linalg::symmetrize(masked);
+      return from_quadratic(algorithm, prepared, target_bytes);
+    }
+  }
+  throw std::logic_error("MpqPipeline::assign: unknown algorithm");
+}
+
+std::unique_ptr<clado::quant::WeightSnapshot> MpqPipeline::apply_ptq(
+    const Assignment& assignment) {
+  auto snapshot = std::make_unique<clado::quant::WeightSnapshot>(model_.quant_layers);
+  clado::quant::bake_weights(model_.quant_layers, assignment.bits, model_.scheme);
+  return snapshot;
+}
+
+}  // namespace clado::core

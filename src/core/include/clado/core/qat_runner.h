@@ -1,0 +1,39 @@
+// Quantization-aware fine-tuning on top of an MPQ assignment (Figure 3).
+//
+// Weights train in fp32 behind per-layer fake quantization at the assigned
+// bit-widths (straight-through estimator); activations stay 8-bit
+// fake-quantized with frozen calibration. The runner snapshots and restores
+// the model so successive assignments fine-tune from the same pretrained
+// checkpoint, exactly as the paper compares algorithms.
+#pragma once
+
+#include <cstdint>
+
+#include "clado/core/algorithms.h"
+#include "clado/data/synthcv.h"
+#include "clado/models/model.h"
+
+namespace clado::core {
+
+struct QatConfig {
+  int epochs = 4;
+  float lr = 5e-3F;
+  std::int64_t batch_size = 64;
+  std::int64_t train_size = 2048;
+  std::int64_t val_size = 1024;
+  double grad_clip = 5.0;
+  std::uint64_t shuffle_seed = 99;
+};
+
+struct QatResult {
+  double pre_qat_accuracy = 0.0;   ///< PTQ accuracy of the assignment
+  double post_qat_accuracy = 0.0;  ///< accuracy after fine-tuning
+};
+
+/// Fine-tunes `model` under `assignment` and reports pre/post accuracy on
+/// the val split. The model's fp32 weights are restored before returning.
+QatResult run_qat(Model& model, const Assignment& assignment,
+                  const clado::data::SynthCvDataset& train_set,
+                  const clado::data::SynthCvDataset& val_set, const QatConfig& config = {});
+
+}  // namespace clado::core

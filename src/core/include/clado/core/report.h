@@ -1,0 +1,59 @@
+// Small reporting helpers shared by the benchmark binaries: aligned ASCII
+// tables (the rows the paper's tables print) and CSV emission for the
+// figure series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace clado::core {
+
+/// Accumulates rows and prints them column-aligned.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> row);
+  /// Renders with a header rule, to stdout.
+  void print() const;
+  std::string to_string() const;
+
+  /// Formats a double with `digits` decimals.
+  static std::string num(double v, int digits = 2);
+  /// Formats a percentage (0.734 -> "73.40").
+  static std::string pct(double v, int digits = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Writes rows as CSV to `path` (creating parent directories).
+void write_csv(const std::string& path, const std::vector<std::string>& headers,
+               const std::vector<std::vector<std::string>>& rows);
+
+/// Median / lower quartile / upper quartile of a sample (Figure 4/6 style).
+struct Quartiles {
+  double q25 = 0.0;
+  double median = 0.0;
+  double q75 = 0.0;
+};
+Quartiles quartiles(std::vector<double> values);
+
+/// One line of an ASCII chart: points (x, y) drawn with `symbol`.
+struct ChartSeries {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+  char symbol = '*';
+};
+
+/// Renders series as a terminal line chart (points + linear interpolation)
+/// with y-axis labels and a legend — the "figure" half of reproducing the
+/// paper's plots. Series may have different x grids.
+std::string render_ascii_chart(const std::vector<ChartSeries>& series, int width = 72,
+                               int height = 18, const std::string& title = "",
+                               const std::string& x_label = "",
+                               const std::string& y_label = "");
+
+}  // namespace clado::core

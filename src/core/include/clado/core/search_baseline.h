@@ -1,0 +1,44 @@
+// Search-based MPQ baselines (the *other* class of methods in the paper's
+// §2): instead of optimizing a sensitivity proxy, candidates are evaluated
+// directly — bake the bit assignment, measure the real loss on the
+// sensitivity set, iterate. HAQ does this with RL, MPQDNAS/SPOS with
+// differentiable search; here a random-search and an evolutionary-search
+// variant stand in for the class. Their defining property (and cost) is
+// preserved: quality scales with the number of *full network evaluations*,
+// and nothing is reusable when the budget constraint changes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "clado/data/synthcv.h"
+#include "clado/models/model.h"
+
+namespace clado::core {
+
+struct SearchOptions {
+  std::int64_t max_evaluations = 200;  ///< candidate loss measurements
+  std::uint64_t seed = 1;
+  int population = 16;                 ///< evolutionary variant
+  double mutation_rate = 0.2;          ///< per-layer re-pick probability
+};
+
+struct SearchResult {
+  std::vector<int> choice;  ///< per-layer index into candidate_bits
+  std::vector<int> bits;
+  double loss = 0.0;        ///< sensitivity-set loss of the best candidate
+  double bytes = 0.0;
+  std::int64_t evaluations = 0;
+  double seconds = 0.0;
+  bool feasible = false;
+};
+
+/// Uniform random feasible candidates; keeps the best.
+SearchResult random_search(clado::models::Model& model, const clado::data::Batch& batch,
+                           double target_bytes, const SearchOptions& options = {});
+
+/// (mu + lambda)-style evolutionary search with repair-to-feasibility.
+SearchResult evolutionary_search(clado::models::Model& model, const clado::data::Batch& batch,
+                                 double target_bytes, const SearchOptions& options = {});
+
+}  // namespace clado::core

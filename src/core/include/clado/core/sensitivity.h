@@ -1,0 +1,108 @@
+// SensitivityEngine — Algorithm 1 of the paper.
+//
+// Measures, on a small sensitivity set, the layer-specific and cross-layer
+// sensitivities of Eq. (12)/(13) using only forward passes:
+//   Ω_ii(Δw_m)          = 2 (L(w + Δw_m^(i)) − L(w))
+//   Ω_ij(Δw_m, Δw_n)    = L(w + Δw_m^(i) + Δw_n^(j)) + L(w)
+//                          − L(w + Δw_m^(i)) − L(w + Δw_n^(j))
+// assembled into the sensitivity matrix Ĝ ∈ R^{|B|I × |B|I} (Eq. 10),
+// optionally followed by the PSD projection.
+//
+// Cost reduction vs a naive implementation (same measured numbers):
+//   * prefix-activation caching — a pair (i, j) with i's stage s_i re-runs
+//     only stages >= s_j using the activation tail recorded while layer i
+//     alone was perturbed;
+//   * quantized weights Q(w, b_m) are computed once per (layer, bit).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "clado/data/synthcv.h"
+#include "clado/models/model.h"
+#include "clado/tensor/tensor.h"
+
+namespace clado::core {
+
+using clado::data::Batch;
+using clado::models::Model;
+using clado::tensor::Tensor;
+
+struct SensitivityStats {
+  std::int64_t forward_measurements = 0;  ///< loss evaluations performed
+  std::int64_t stage_executions = 0;      ///< top-level stages actually run
+  std::int64_t stage_executions_naive = 0;///< stages a cache-less sweep would run
+  double seconds = 0.0;
+};
+
+class SensitivityEngine {
+ public:
+  /// The model must already be activation-calibrated if activation
+  /// quantization is desired (the paper quantizes activations to 8 bits
+  /// for every algorithm). The batch is the sensitivity set.
+  SensitivityEngine(Model& model, Batch batch);
+
+  /// L(w): clean loss on the sensitivity set.
+  double base_loss() const { return base_loss_; }
+
+  /// Q(w^(i), b_m) − w^(i), precomputed at construction.
+  const Tensor& delta(std::int64_t layer, std::int64_t bit_index) const;
+
+  /// Single-layer losses L(w + Δw_m^(i)) for all (i, m): [I][|B|].
+  const std::vector<std::vector<double>>& single_losses();
+
+  /// Layer-specific sensitivities Ω_ii (the diagonal of Ĝ): [I][|B|].
+  std::vector<std::vector<double>> diagonal_sensitivities();
+
+  /// Full sensitivity matrix Ĝ (Eq. 10), raw (no PSD projection).
+  /// `progress` (optional) is called with (done_pairs, total_pairs).
+  Tensor full_matrix(const std::function<void(std::int64_t, std::int64_t)>& progress = {});
+
+  /// MPQCO-style Gauss–Newton proxy: per-(layer, bit) mean squared layer
+  /// output perturbation ‖X_i Δw‖²/N. Forward-only and much cheaper than
+  /// the full sweep (the "5–10 minutes" baseline of §5.2).
+  std::vector<std::vector<double>> mpqco_proxy();
+
+  const SensitivityStats& stats() const { return stats_; }
+
+  /// The sensitivity set this engine measures on.
+  const Batch& batch() const { return batch_; }
+
+  std::int64_t num_layers() const { return model_.num_quant_layers(); }
+  std::int64_t num_bits() const {
+    return static_cast<std::int64_t>(model_.candidate_bits.size());
+  }
+
+ private:
+  /// Loss of the network with layer i already perturbed, re-running from
+  /// stage `stage` with the given input.
+  double loss_from(std::size_t stage, const Tensor& input, std::vector<Tensor>* record);
+
+  void ensure_single_losses();
+
+  Model& model_;
+  Batch batch_;
+  double base_loss_ = 0.0;
+  std::vector<std::vector<Tensor>> quantized_;  // [I][|B|] quantized weights Q(w, b)
+  std::vector<std::vector<Tensor>> deltas_;     // [I][|B|] Q(w, b) − w
+  std::vector<std::vector<double>> single_losses_;
+  bool singles_done_ = false;
+  SensitivityStats stats_;
+};
+
+/// Assembles the flat Ĝ index of (layer i, bit index m): |B|·i + m.
+inline std::int64_t flat_index(std::int64_t i, std::int64_t m, std::int64_t num_bits) {
+  return i * num_bits + m;
+}
+
+/// Zeroes cross-layer entries between layers in different blocks (the
+/// BRECQ-style ablation of Figure 6). `block_of[i]` maps a layer to its
+/// block id.
+Tensor mask_inter_block(const Tensor& g_matrix, const std::vector<int>& block_of,
+                        std::int64_t num_bits);
+
+/// Keeps only the diagonal (the CLADO* ablation of Table 1).
+Tensor keep_diagonal(const Tensor& g_matrix);
+
+}  // namespace clado::core

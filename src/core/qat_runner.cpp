@@ -1,0 +1,72 @@
+#include "clado/core/qat_runner.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "clado/nn/hvp.h"
+#include "clado/nn/optimizer.h"
+#include "clado/quant/qat.h"
+
+namespace clado::core {
+
+QatResult run_qat(Model& model, const Assignment& assignment,
+                  const clado::data::SynthCvDataset& train_set,
+                  const clado::data::SynthCvDataset& val_set, const QatConfig& config) {
+  QatResult result;
+  // Snapshot the FULL state (not just quantizable weights): fine-tuning
+  // also moves biases, norm parameters, and BatchNorm running statistics,
+  // and successive assignments must restart from the same checkpoint.
+  const clado::tensor::StateDict checkpoint = clado::nn::extract_state(*model.net);
+
+  // PTQ accuracy first: bake quantized weights and evaluate.
+  {
+    clado::quant::WeightSnapshot snapshot(model.quant_layers);
+    clado::quant::bake_weights(model.quant_layers, assignment.bits, model.scheme);
+    result.pre_qat_accuracy = model.accuracy_on(val_set, config.val_size);
+  }
+
+  // QAT: fake-quant forward, STE backward, fp32 master weights.
+  clado::quant::install_fake_quant(model.quant_layers, assignment.bits, model.scheme);
+
+  clado::nn::SgdConfig sgd_cfg;
+  sgd_cfg.lr = config.lr;
+  sgd_cfg.weight_decay = 0.0F;  // fine-tuning: no decay, short schedule
+  clado::nn::Sgd opt(*model.net, sgd_cfg);
+
+  clado::tensor::Rng shuffle_rng(config.shuffle_seed);
+  std::vector<std::int64_t> order(static_cast<std::size_t>(config.train_size));
+  std::iota(order.begin(), order.end(), 0);
+
+  const std::int64_t steps_per_epoch =
+      (config.train_size + config.batch_size - 1) / config.batch_size;
+  const std::int64_t total_steps = steps_per_epoch * config.epochs;
+  std::int64_t step = 0;
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[shuffle_rng.uniform_int(i)]);
+    }
+    model.net->set_training(true);
+    for (std::int64_t first = 0; first < config.train_size; first += config.batch_size) {
+      const std::int64_t n = std::min(config.batch_size, config.train_size - first);
+      std::vector<std::int64_t> idx(order.begin() + first, order.begin() + first + n);
+      const auto batch = train_set.make_batch(idx);
+      opt.zero_grad();
+      opt.cosine_lr(config.lr, step, total_steps);
+      clado::nn::loss_and_backward(*model.net, batch.images, batch.labels);
+      opt.clip_grad_norm(config.grad_clip);
+      opt.step();
+      ++step;
+    }
+  }
+  model.net->set_training(false);
+
+  // Quantized-inference accuracy after fine-tuning (transforms active).
+  result.post_qat_accuracy = model.accuracy_on(val_set, config.val_size);
+
+  clado::quant::clear_fake_quant(model.quant_layers);
+  clado::nn::load_state(*model.net, checkpoint);
+  return result;
+}
+
+}  // namespace clado::core

@@ -1,0 +1,183 @@
+#include "clado/core/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace clado::core {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void AsciiTable::add_row(std::vector<std::string> row) {
+  if (row.size() != headers_.size()) {
+    throw std::invalid_argument("AsciiTable: row width mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string AsciiTable::to_string() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << row[c];
+      os << std::string(width[c] - row[c].size(), ' ');
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c == 0 ? 0 : 2);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void AsciiTable::print() const { std::fputs(to_string().c_str(), stdout); }
+
+std::string AsciiTable::num(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string AsciiTable::pct(double v, int digits) { return num(100.0 * v, digits); }
+
+void write_csv(const std::string& path, const std::vector<std::string>& headers,
+               const std::vector<std::vector<std::string>>& rows) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) throw std::runtime_error("write_csv: cannot open " + path);
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit(headers);
+  for (const auto& row : rows) emit(row);
+}
+
+std::string render_ascii_chart(const std::vector<ChartSeries>& series, int width, int height,
+                               const std::string& title, const std::string& x_label,
+                               const std::string& y_label) {
+  if (width < 16 || height < 4) throw std::invalid_argument("render_ascii_chart: too small");
+  // Global ranges.
+  double x_min = 0.0, x_max = 1.0, y_min = 0.0, y_max = 1.0;
+  bool any = false;
+  for (const auto& s : series) {
+    if (s.x.size() != s.y.size()) {
+      throw std::invalid_argument("render_ascii_chart: x/y size mismatch in " + s.name);
+    }
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      if (!any) {
+        x_min = x_max = s.x[i];
+        y_min = y_max = s.y[i];
+        any = true;
+      } else {
+        x_min = std::min(x_min, s.x[i]);
+        x_max = std::max(x_max, s.x[i]);
+        y_min = std::min(y_min, s.y[i]);
+        y_max = std::max(y_max, s.y[i]);
+      }
+    }
+  }
+  if (!any) return "(empty chart)\n";
+  if (x_max - x_min < 1e-12) x_max = x_min + 1.0;
+  if (y_max - y_min < 1e-12) y_max = y_min + 1.0;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  auto col_of = [&](double x) {
+    return static_cast<int>(std::lround((x - x_min) / (x_max - x_min) * (width - 1)));
+  };
+  auto row_of = [&](double y) {
+    // Row 0 is the top.
+    return height - 1 -
+           static_cast<int>(std::lround((y - y_min) / (y_max - y_min) * (height - 1)));
+  };
+  auto plot = [&](int col, int row, char symbol) {
+    if (col < 0 || col >= width || row < 0 || row >= height) return;
+    char& cell = grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)];
+    cell = (cell == ' ' || cell == '.') ? symbol : '#';  // '#': overlapping series
+  };
+
+  for (const auto& s : series) {
+    // Sort points by x for the interpolation walk.
+    std::vector<std::size_t> order(s.x.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return s.x[a] < s.x[b]; });
+    // Linear interpolation dots between consecutive points.
+    for (std::size_t k = 0; k + 1 < order.size(); ++k) {
+      const double x0 = s.x[order[k]], y0 = s.y[order[k]];
+      const double x1 = s.x[order[k + 1]], y1 = s.y[order[k + 1]];
+      const int c0 = col_of(x0), c1 = col_of(x1);
+      for (int c = c0 + 1; c < c1; ++c) {
+        const double t = (static_cast<double>(c) / (width - 1) * (x_max - x_min) + x_min - x0) /
+                         std::max(1e-12, x1 - x0);
+        const double y = y0 + t * (y1 - y0);
+        const int row = row_of(y);
+        char& cell = grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(c)];
+        if (cell == ' ') cell = '.';
+      }
+    }
+    for (std::size_t i = 0; i < s.x.size(); ++i) plot(col_of(s.x[i]), row_of(s.y[i]), s.symbol);
+  }
+
+  std::ostringstream os;
+  if (!title.empty()) os << title << '\n';
+  char label[32];
+  for (int r = 0; r < height; ++r) {
+    if (r == 0) {
+      std::snprintf(label, sizeof(label), "%9.3g |", y_max);
+    } else if (r == height - 1) {
+      std::snprintf(label, sizeof(label), "%9.3g |", y_min);
+    } else {
+      std::snprintf(label, sizeof(label), "%9s |", "");
+    }
+    os << label << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  os << std::string(10, ' ') << '+' << std::string(static_cast<std::size_t>(width), '-') << '\n';
+  std::snprintf(label, sizeof(label), "%.3g", x_min);
+  std::string x_axis = std::string(11, ' ') + label;
+  std::snprintf(label, sizeof(label), "%.3g", x_max);
+  const std::string right = label;
+  if (x_axis.size() + right.size() + 2 < 11 + static_cast<std::size_t>(width)) {
+    x_axis += std::string(11 + static_cast<std::size_t>(width) - right.size() - x_axis.size(),
+                          ' ') + right;
+  }
+  if (!x_label.empty()) x_axis += "   (" + x_label + ")";
+  os << x_axis << '\n';
+  os << "  legend:";
+  for (const auto& s : series) os << "  " << s.symbol << " = " << s.name;
+  if (!y_label.empty()) os << "   [y: " << y_label << "]";
+  os << '\n';
+  return os.str();
+}
+
+Quartiles quartiles(std::vector<double> values) {
+  if (values.empty()) return {};
+  std::sort(values.begin(), values.end());
+  auto at = [&](double q) {
+    const double pos = q * static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+  };
+  return {at(0.25), at(0.5), at(0.75)};
+}
+
+}  // namespace clado::core

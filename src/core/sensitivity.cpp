@@ -1,0 +1,236 @@
+#include "clado/core/sensitivity.h"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "clado/nn/loss.h"
+#include "clado/quant/quantizer.h"
+
+namespace clado::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+SensitivityEngine::SensitivityEngine(Model& model, Batch batch)
+    : model_(model), batch_(std::move(batch)) {
+  const auto t0 = Clock::now();
+  model_.net->set_training(false);
+
+  // Precompute quantized weights and deltas for every (layer, bit).
+  const std::int64_t layers = model_.num_quant_layers();
+  const std::int64_t bits = num_bits();
+  quantized_.resize(static_cast<std::size_t>(layers));
+  deltas_.resize(static_cast<std::size_t>(layers));
+  for (std::int64_t i = 0; i < layers; ++i) {
+    const Tensor& w = model_.quant_layers[static_cast<std::size_t>(i)].layer->weight_param().value;
+    for (std::int64_t m = 0; m < bits; ++m) {
+      Tensor qw = clado::quant::quantize_weight(w, model_.candidate_bits[static_cast<std::size_t>(m)],
+                                                model_.scheme);
+      Tensor delta = qw;
+      delta -= w;
+      quantized_[static_cast<std::size_t>(i)].push_back(std::move(qw));
+      deltas_[static_cast<std::size_t>(i)].push_back(std::move(delta));
+    }
+  }
+
+  // Clean pass: caches every stage input and the final output.
+  clado::nn::CrossEntropyLoss criterion;
+  const Tensor logits = model_.net->forward_cached(batch_.images);
+  base_loss_ = criterion.forward(logits, batch_.labels);
+  ++stats_.forward_measurements;
+  stats_.stage_executions += static_cast<std::int64_t>(model_.net->size());
+  stats_.stage_executions_naive += static_cast<std::int64_t>(model_.net->size());
+  stats_.seconds += seconds_since(t0);
+}
+
+const Tensor& SensitivityEngine::delta(std::int64_t layer, std::int64_t bit_index) const {
+  return deltas_.at(static_cast<std::size_t>(layer)).at(static_cast<std::size_t>(bit_index));
+}
+
+double SensitivityEngine::loss_from(std::size_t stage, const Tensor& input,
+                                    std::vector<Tensor>* record) {
+  clado::nn::CrossEntropyLoss criterion;
+  const Tensor logits = model_.net->forward_span(stage, input, record);
+  ++stats_.forward_measurements;
+  stats_.stage_executions += static_cast<std::int64_t>(model_.net->size() - stage);
+  stats_.stage_executions_naive += static_cast<std::int64_t>(model_.net->size());
+  return criterion.forward(logits, batch_.labels);
+}
+
+void SensitivityEngine::ensure_single_losses() {
+  if (singles_done_) return;
+  const auto t0 = Clock::now();
+  const std::int64_t layers = model_.num_quant_layers();
+  const std::int64_t bits = num_bits();
+  single_losses_.assign(static_cast<std::size_t>(layers),
+                        std::vector<double>(static_cast<std::size_t>(bits), 0.0));
+  for (std::int64_t i = 0; i < layers; ++i) {
+    auto& ref = model_.quant_layers[static_cast<std::size_t>(i)];
+    auto& w = ref.layer->weight_param().value;
+    const Tensor original = w;
+    const auto stage = static_cast<std::size_t>(ref.stage);
+    for (std::int64_t m = 0; m < bits; ++m) {
+      w = quantized_[static_cast<std::size_t>(i)][static_cast<std::size_t>(m)];
+      single_losses_[static_cast<std::size_t>(i)][static_cast<std::size_t>(m)] =
+          loss_from(stage, model_.net->cached_input(stage), nullptr);
+    }
+    w = original;
+  }
+  singles_done_ = true;
+  stats_.seconds += seconds_since(t0);
+}
+
+const std::vector<std::vector<double>>& SensitivityEngine::single_losses() {
+  ensure_single_losses();
+  return single_losses_;
+}
+
+std::vector<std::vector<double>> SensitivityEngine::diagonal_sensitivities() {
+  ensure_single_losses();
+  std::vector<std::vector<double>> diag = single_losses_;
+  for (auto& row : diag) {
+    for (auto& v : row) v = 2.0 * (v - base_loss_);
+  }
+  return diag;
+}
+
+Tensor SensitivityEngine::full_matrix(
+    const std::function<void(std::int64_t, std::int64_t)>& progress) {
+  ensure_single_losses();
+  const auto t0 = Clock::now();
+  const std::int64_t layers = model_.num_quant_layers();
+  const std::int64_t bits = num_bits();
+  const std::int64_t n = layers * bits;
+  Tensor g_matrix({n, n});
+
+  // Diagonal: Ω_ii = 2 (L(w + Δ) − L(w)).
+  for (std::int64_t i = 0; i < layers; ++i) {
+    for (std::int64_t m = 0; m < bits; ++m) {
+      const std::int64_t idx = flat_index(i, m, bits);
+      g_matrix.data()[idx * n + idx] = static_cast<float>(
+          2.0 * (single_losses_[static_cast<std::size_t>(i)][static_cast<std::size_t>(m)] -
+                 base_loss_));
+    }
+  }
+
+  const std::int64_t total_pairs = layers * (layers - 1) / 2 * bits * bits;
+  std::int64_t done_pairs = 0;
+
+  // Off-diagonal: for each (i, m), perturb layer i, record the activation
+  // tail once, then sweep all (j > i, n) re-running only stages >= s_j.
+  std::vector<Tensor> tail;
+  for (std::int64_t i = 0; i < layers; ++i) {
+    auto& ref_i = model_.quant_layers[static_cast<std::size_t>(i)];
+    auto& w_i = ref_i.layer->weight_param().value;
+    const Tensor original_i = w_i;
+    const auto stage_i = static_cast<std::size_t>(ref_i.stage);
+
+    for (std::int64_t m = 0; m < bits; ++m) {
+      w_i = quantized_[static_cast<std::size_t>(i)][static_cast<std::size_t>(m)];
+      // Tail pass (also re-measures L_i; the measurement is the cache build).
+      loss_from(stage_i, model_.net->cached_input(stage_i), &tail);
+      const double loss_i =
+          single_losses_[static_cast<std::size_t>(i)][static_cast<std::size_t>(m)];
+
+      for (std::int64_t j = i + 1; j < layers; ++j) {
+        auto& ref_j = model_.quant_layers[static_cast<std::size_t>(j)];
+        auto& w_j = ref_j.layer->weight_param().value;
+        const Tensor original_j = w_j;
+        const auto stage_j = static_cast<std::size_t>(ref_j.stage);
+        // Input to stage s_j of the i-perturbed network: the recorded tail
+        // when s_j > s_i; the clean prefix when both layers share a stage.
+        const Tensor& input =
+            stage_j > stage_i ? tail[stage_j] : model_.net->cached_input(stage_j);
+
+        for (std::int64_t nn = 0; nn < bits; ++nn) {
+          w_j = quantized_[static_cast<std::size_t>(j)][static_cast<std::size_t>(nn)];
+          const double pair_loss = loss_from(stage_j, input, nullptr);
+          const double loss_j =
+              single_losses_[static_cast<std::size_t>(j)][static_cast<std::size_t>(nn)];
+          // Eq. (13): Ω_ij = L_pair + L(w) − L_i − L_j.
+          const double omega = pair_loss + base_loss_ - loss_i - loss_j;
+          const std::int64_t a = flat_index(i, m, bits);
+          const std::int64_t b = flat_index(j, nn, bits);
+          g_matrix.data()[a * n + b] = static_cast<float>(omega);
+          g_matrix.data()[b * n + a] = static_cast<float>(omega);
+          ++done_pairs;
+        }
+        w_j = original_j;
+        if (progress && (done_pairs % 256 == 0 || done_pairs == total_pairs)) {
+          progress(done_pairs, total_pairs);
+        }
+      }
+    }
+    w_i = original_i;
+  }
+  stats_.seconds += seconds_since(t0);
+  return g_matrix;
+}
+
+std::vector<std::vector<double>> SensitivityEngine::mpqco_proxy() {
+  const auto t0 = Clock::now();
+  const std::int64_t layers = model_.num_quant_layers();
+  const std::int64_t bits = num_bits();
+  // One clean forward so each layer stashes its input (already done for the
+  // cached pass in the constructor, but be defensive: run again).
+  model_.net->forward(batch_.images);
+  ++stats_.forward_measurements;
+  stats_.stage_executions += static_cast<std::int64_t>(model_.net->size());
+  stats_.stage_executions_naive += static_cast<std::int64_t>(model_.net->size());
+
+  const auto batch_n = static_cast<double>(batch_.images.size(0));
+  std::vector<std::vector<double>> proxy(static_cast<std::size_t>(layers),
+                                         std::vector<double>(static_cast<std::size_t>(bits)));
+  for (std::int64_t i = 0; i < layers; ++i) {
+    auto* layer = model_.quant_layers[static_cast<std::size_t>(i)].layer;
+    for (std::int64_t m = 0; m < bits; ++m) {
+      const Tensor out_diff = layer->linear_map_on_last_input(
+          deltas_[static_cast<std::size_t>(i)][static_cast<std::size_t>(m)]);
+      proxy[static_cast<std::size_t>(i)][static_cast<std::size_t>(m)] =
+          static_cast<double>(out_diff.sq_norm()) / batch_n;
+    }
+  }
+  stats_.seconds += seconds_since(t0);
+  return proxy;
+}
+
+Tensor mask_inter_block(const Tensor& g_matrix, const std::vector<int>& block_of,
+                        std::int64_t num_bits) {
+  const std::int64_t n = g_matrix.size(0);
+  const auto layers = static_cast<std::int64_t>(block_of.size());
+  if (layers * num_bits != n) {
+    throw std::invalid_argument("mask_inter_block: block map size mismatch");
+  }
+  Tensor out = g_matrix;
+  for (std::int64_t i = 0; i < layers; ++i) {
+    for (std::int64_t j = 0; j < layers; ++j) {
+      if (block_of[static_cast<std::size_t>(i)] == block_of[static_cast<std::size_t>(j)]) {
+        continue;
+      }
+      for (std::int64_t m = 0; m < num_bits; ++m) {
+        for (std::int64_t nn = 0; nn < num_bits; ++nn) {
+          out.data()[flat_index(i, m, num_bits) * n + flat_index(j, nn, num_bits)] = 0.0F;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor keep_diagonal(const Tensor& g_matrix) {
+  const std::int64_t n = g_matrix.size(0);
+  Tensor out({n, n});
+  for (std::int64_t i = 0; i < n; ++i) {
+    out.data()[i * n + i] = g_matrix.data()[i * n + i];
+  }
+  return out;
+}
+
+}  // namespace clado::core

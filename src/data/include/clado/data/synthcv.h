@@ -1,0 +1,70 @@
+// synthcv — the procedural image-classification substrate standing in for
+// ImageNet (see DESIGN.md §1 for the substitution rationale).
+//
+// Each class is a distinct combination of an oriented sinusoidal grating,
+// two colored Gaussian blobs, and a class-specific channel tint; each sample
+// adds per-sample jitter (phase, blob offsets) and pixel noise. Samples are
+// random-access and deterministic: sample i of a dataset with seed s is the
+// same tensor forever, so sensitivity sets are reproducible by index list.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "clado/tensor/rng.h"
+#include "clado/tensor/tensor.h"
+
+namespace clado::data {
+
+using clado::tensor::Rng;
+using clado::tensor::Tensor;
+
+/// One minibatch, NCHW images + integer labels.
+struct Batch {
+  Tensor images;
+  std::vector<std::int64_t> labels;
+
+  std::int64_t size() const { return images.empty() ? 0 : images.size(0); }
+};
+
+class SynthCvDataset {
+ public:
+  struct Config {
+    std::int64_t num_classes = 10;
+    std::int64_t image_size = 16;
+    std::int64_t channels = 3;
+    float noise = 0.55F;       ///< pixel noise stddev
+    std::uint64_t seed = 1234; ///< dataset identity; train/val use different seeds
+  };
+
+  explicit SynthCvDataset(Config config);
+
+  /// Deterministic sample `index`: label and image.
+  std::int64_t label_of(std::int64_t index) const;
+  Tensor image_of(std::int64_t index) const;  // [C, H, W]
+
+  /// Assembles a batch from explicit indices.
+  Batch make_batch(std::span<const std::int64_t> indices) const;
+
+  /// Convenience: batch of [first, first + count).
+  Batch make_range_batch(std::int64_t first, std::int64_t count) const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+};
+
+/// Draws `count` distinct indices uniformly from [0, universe).
+std::vector<std::int64_t> sample_indices(std::int64_t universe, std::int64_t count, Rng& rng);
+
+/// The paper's "multiple sensitivity sets" protocol: `num_sets` independent
+/// index lists of size `set_size` drawn from [0, universe), seeded so that
+/// set k is identical across algorithms.
+std::vector<std::vector<std::int64_t>> make_sensitivity_sets(std::int64_t universe,
+                                                             std::int64_t set_size,
+                                                             int num_sets,
+                                                             std::uint64_t seed);
+
+}  // namespace clado::data

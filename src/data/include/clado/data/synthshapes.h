@@ -1,0 +1,42 @@
+// synthshapes — a second procedural substrate with a different visual
+// statistic than synthcv: instead of gratings + blobs, classes are
+// (shape, quadrant) combinations of filled geometric figures (triangle /
+// rectangle / ellipse / cross) with per-sample jitter, rotation, and pixel
+// noise. Used to check that the MPQ conclusions are not an artifact of
+// one dataset's statistics (see EXPERIMENTS.md).
+//
+// Same interface contract as SynthCvDataset: random-access, deterministic
+// per (seed, index).
+#pragma once
+
+#include <cstdint>
+
+#include "clado/data/synthcv.h"
+
+namespace clado::data {
+
+class SynthShapesDataset {
+ public:
+  struct Config {
+    std::int64_t num_classes = 16;  ///< capped at 16 (4 shapes x 4 quadrants)
+    std::int64_t image_size = 16;
+    std::int64_t channels = 3;
+    float noise = 0.45F;
+    std::uint64_t seed = 77;
+  };
+
+  explicit SynthShapesDataset(Config config);
+
+  std::int64_t label_of(std::int64_t index) const;
+  Tensor image_of(std::int64_t index) const;  // [C, H, W]
+
+  Batch make_batch(std::span<const std::int64_t> indices) const;
+  Batch make_range_batch(std::int64_t first, std::int64_t count) const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace clado::data

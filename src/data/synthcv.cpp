@@ -1,0 +1,141 @@
+#include "clado/data/synthcv.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace clado::data {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  // splitmix-style combiner to derive per-sample seeds.
+  std::uint64_t x = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+SynthCvDataset::SynthCvDataset(Config config) : config_(config) {
+  if (config_.num_classes < 2) throw std::invalid_argument("synthcv: need >= 2 classes");
+  if (config_.image_size < 4) throw std::invalid_argument("synthcv: image_size too small");
+  if (config_.channels < 1) throw std::invalid_argument("synthcv: channels must be >= 1");
+}
+
+std::int64_t SynthCvDataset::label_of(std::int64_t index) const {
+  // Uniform class marginals, decorrelated from the index ordering.
+  return static_cast<std::int64_t>(mix(config_.seed, static_cast<std::uint64_t>(index)) %
+                                   static_cast<std::uint64_t>(config_.num_classes));
+}
+
+Tensor SynthCvDataset::image_of(std::int64_t index) const {
+  const std::int64_t k = label_of(index);
+  Rng rng(mix(config_.seed ^ 0xABCDEF12345ULL, static_cast<std::uint64_t>(index)));
+
+  const std::int64_t size = config_.image_size;
+  const std::int64_t ch = config_.channels;
+  const auto kf = static_cast<float>(k);
+  const auto num_classes = static_cast<float>(config_.num_classes);
+
+  // Class-conditional structure with per-sample jitter.
+  const float theta = static_cast<float>(M_PI) * kf / num_classes +
+                      static_cast<float>(rng.normal()) * 0.18F;
+  const float freq =
+      (2.0F + static_cast<float>(k % 3)) * 2.0F * static_cast<float>(M_PI) /
+      static_cast<float>(size);
+  const float phase = static_cast<float>(rng.uniform(0.0, 2.0 * M_PI));
+
+  // Two blobs whose base positions rotate with the class index.
+  const float cx1 = 0.5F + 0.3F * std::cos(2.0F * static_cast<float>(M_PI) * kf / num_classes) +
+                    static_cast<float>(rng.normal()) * 0.10F;
+  const float cy1 = 0.5F + 0.3F * std::sin(2.0F * static_cast<float>(M_PI) * kf / num_classes) +
+                    static_cast<float>(rng.normal()) * 0.10F;
+  const float cx2 = 0.5F + 0.3F * std::cos(2.0F * static_cast<float>(M_PI) * (kf + 0.5F) /
+                                           num_classes) +
+                    static_cast<float>(rng.normal()) * 0.10F;
+  const float cy2 = 0.5F + 0.3F * std::sin(2.0F * static_cast<float>(M_PI) * (kf + 0.5F) /
+                                           num_classes) +
+                    static_cast<float>(rng.normal()) * 0.10F;
+  const float blob_sigma = 0.12F;
+
+  Tensor img({ch, size, size});
+  const float cos_t = std::cos(theta);
+  const float sin_t = std::sin(theta);
+
+  for (std::int64_t c = 0; c < ch; ++c) {
+    // Class-dependent channel tint: each channel weighs grating vs blobs
+    // differently so color carries class information.
+    const float tint =
+        0.5F + 0.5F * std::cos(2.0F * static_cast<float>(M_PI) *
+                               (kf / num_classes + static_cast<float>(c) / static_cast<float>(ch)));
+    float* plane = img.data() + c * size * size;
+    for (std::int64_t y = 0; y < size; ++y) {
+      for (std::int64_t x = 0; x < size; ++x) {
+        const float fx = static_cast<float>(x) / static_cast<float>(size);
+        const float fy = static_cast<float>(y) / static_cast<float>(size);
+        const float u = cos_t * static_cast<float>(x) + sin_t * static_cast<float>(y);
+        const float grating = std::sin(freq * u + phase);
+        const float d1 = (fx - cx1) * (fx - cx1) + (fy - cy1) * (fy - cy1);
+        const float d2 = (fx - cx2) * (fx - cx2) + (fy - cy2) * (fy - cy2);
+        const float blobs = std::exp(-d1 / (2.0F * blob_sigma * blob_sigma)) -
+                            std::exp(-d2 / (2.0F * blob_sigma * blob_sigma));
+        const float value = tint * grating + (1.0F - tint) * 2.0F * blobs;
+        plane[y * size + x] = value + static_cast<float>(rng.normal()) * config_.noise;
+      }
+    }
+  }
+  return img;
+}
+
+Batch SynthCvDataset::make_batch(std::span<const std::int64_t> indices) const {
+  const std::int64_t n = static_cast<std::int64_t>(indices.size());
+  Batch batch;
+  batch.images = Tensor({n, config_.channels, config_.image_size, config_.image_size});
+  batch.labels.resize(static_cast<std::size_t>(n));
+  const std::int64_t per = config_.channels * config_.image_size * config_.image_size;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const Tensor img = image_of(indices[static_cast<std::size_t>(i)]);
+    std::copy(img.data(), img.data() + per, batch.images.data() + i * per);
+    batch.labels[static_cast<std::size_t>(i)] = label_of(indices[static_cast<std::size_t>(i)]);
+  }
+  return batch;
+}
+
+Batch SynthCvDataset::make_range_batch(std::int64_t first, std::int64_t count) const {
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) idx[static_cast<std::size_t>(i)] = first + i;
+  return make_batch(idx);
+}
+
+std::vector<std::int64_t> sample_indices(std::int64_t universe, std::int64_t count, Rng& rng) {
+  if (count > universe) throw std::invalid_argument("sample_indices: count > universe");
+  std::unordered_set<std::int64_t> chosen;
+  std::vector<std::int64_t> out;
+  out.reserve(static_cast<std::size_t>(count));
+  while (static_cast<std::int64_t>(out.size()) < count) {
+    const auto idx = static_cast<std::int64_t>(rng.uniform_int(static_cast<std::uint64_t>(universe)));
+    if (chosen.insert(idx).second) out.push_back(idx);
+  }
+  return out;
+}
+
+std::vector<std::vector<std::int64_t>> make_sensitivity_sets(std::int64_t universe,
+                                                             std::int64_t set_size,
+                                                             int num_sets,
+                                                             std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<std::int64_t>> sets;
+  sets.reserve(static_cast<std::size_t>(num_sets));
+  for (int s = 0; s < num_sets; ++s) {
+    Rng child = rng.fork();
+    sets.push_back(sample_indices(universe, set_size, child));
+  }
+  return sets;
+}
+
+}  // namespace clado::data

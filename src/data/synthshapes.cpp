@@ -1,0 +1,124 @@
+#include "clado/data/synthshapes.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace clado::data {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t x = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Signed "insideness" of point (u, v) for shape `kind` in its local frame
+/// (unit square centred at the origin). Positive inside, soft edges.
+float shape_field(int kind, float u, float v) {
+  switch (kind) {
+    case 0: {  // triangle (pointing up)
+      const float d1 = v + 0.5F;                        // above the base
+      const float d2 = 0.5F - v - 2.0F * std::abs(u);   // below the two sides
+      return std::min(d1, d2);
+    }
+    case 1:  // rectangle
+      return std::min(0.45F - std::abs(u), 0.3F - std::abs(v));
+    case 2:  // ellipse
+      return 0.45F - std::sqrt(u * u * 1.2F + v * v * 2.2F);
+    default: {  // cross
+      const float arm1 = std::min(0.5F - std::abs(u), 0.15F - std::abs(v));
+      const float arm2 = std::min(0.15F - std::abs(u), 0.5F - std::abs(v));
+      return std::max(arm1, arm2);
+    }
+  }
+}
+
+}  // namespace
+
+SynthShapesDataset::SynthShapesDataset(Config config) : config_(config) {
+  if (config_.num_classes < 2 || config_.num_classes > 16) {
+    throw std::invalid_argument("synthshapes: num_classes must be in [2, 16]");
+  }
+  if (config_.image_size < 8) throw std::invalid_argument("synthshapes: image_size too small");
+}
+
+std::int64_t SynthShapesDataset::label_of(std::int64_t index) const {
+  return static_cast<std::int64_t>(mix(config_.seed, static_cast<std::uint64_t>(index)) %
+                                   static_cast<std::uint64_t>(config_.num_classes));
+}
+
+Tensor SynthShapesDataset::image_of(std::int64_t index) const {
+  const std::int64_t k = label_of(index);
+  Rng rng(mix(config_.seed ^ 0x5AE55ULL, static_cast<std::uint64_t>(index)));
+
+  const int shape = static_cast<int>(k % 4);
+  const int quadrant = static_cast<int>((k / 4) % 4);
+  const std::int64_t size = config_.image_size;
+  const std::int64_t ch = config_.channels;
+
+  // Quadrant centre plus jitter; size and rotation jitter per sample.
+  const float base_cx = (quadrant % 2 == 0) ? 0.32F : 0.68F;
+  const float base_cy = (quadrant / 2 == 0) ? 0.32F : 0.68F;
+  const float cx = base_cx + static_cast<float>(rng.normal()) * 0.04F;
+  const float cy = base_cy + static_cast<float>(rng.normal()) * 0.04F;
+  const float scale = 0.42F * (1.0F + static_cast<float>(rng.normal()) * 0.12F);
+  const float theta = static_cast<float>(rng.normal()) * 0.25F;
+  const float cos_t = std::cos(theta);
+  const float sin_t = std::sin(theta);
+
+  // Class-dependent colour; background tint varies per sample.
+  const float hue = static_cast<float>(k) / static_cast<float>(config_.num_classes);
+  const float bg = static_cast<float>(rng.uniform(-0.2, 0.2));
+
+  Tensor img({ch, size, size});
+  for (std::int64_t c = 0; c < ch; ++c) {
+    const float channel_gain =
+        0.4F + 0.6F * std::cos(2.0F * static_cast<float>(M_PI) *
+                               (hue + static_cast<float>(c) / static_cast<float>(ch)));
+    float* plane = img.data() + c * size * size;
+    for (std::int64_t y = 0; y < size; ++y) {
+      for (std::int64_t x = 0; x < size; ++x) {
+        const float fx = (static_cast<float>(x) + 0.5F) / static_cast<float>(size);
+        const float fy = (static_cast<float>(y) + 0.5F) / static_cast<float>(size);
+        // Into the shape's local rotated frame.
+        const float du = (fx - cx) / scale;
+        const float dv = (fy - cy) / scale;
+        const float u = cos_t * du + sin_t * dv;
+        const float v = -sin_t * du + cos_t * dv;
+        const float field = shape_field(shape, u, v);
+        // Soft edge: ~1 inside, ~0 outside over a 2-pixel band.
+        const float edge = 1.0F / (1.0F + std::exp(-field * static_cast<float>(size)));
+        const float value = bg + channel_gain * (2.0F * edge - 0.5F);
+        plane[y * size + x] = value + static_cast<float>(rng.normal()) * config_.noise;
+      }
+    }
+  }
+  return img;
+}
+
+Batch SynthShapesDataset::make_batch(std::span<const std::int64_t> indices) const {
+  const auto n = static_cast<std::int64_t>(indices.size());
+  Batch batch;
+  batch.images = Tensor({n, config_.channels, config_.image_size, config_.image_size});
+  batch.labels.resize(static_cast<std::size_t>(n));
+  const std::int64_t per = config_.channels * config_.image_size * config_.image_size;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const Tensor img = image_of(indices[static_cast<std::size_t>(i)]);
+    std::copy(img.data(), img.data() + per, batch.images.data() + i * per);
+    batch.labels[static_cast<std::size_t>(i)] = label_of(indices[static_cast<std::size_t>(i)]);
+  }
+  return batch;
+}
+
+Batch SynthShapesDataset::make_range_batch(std::int64_t first, std::int64_t count) const {
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) idx[static_cast<std::size_t>(i)] = first + i;
+  return make_batch(idx);
+}
+
+}  // namespace clado::data

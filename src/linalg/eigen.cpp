@@ -1,0 +1,128 @@
+#include "clado/linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "clado/linalg/matrix.h"
+
+namespace clado::linalg {
+
+EigenResult sym_eigen(const Tensor& a, double tol, int max_sweeps) {
+  if (a.dim() != 2 || a.size(0) != a.size(1)) {
+    throw std::invalid_argument("sym_eigen: expects a square matrix, got " + a.shape_str());
+  }
+  const std::int64_t n = a.size(0);
+
+  // Work in double: sensitivity entries span many orders of magnitude and
+  // the IQP solver is sensitive to the sign of small eigenvalues.
+  std::vector<double> m(static_cast<std::size_t>(n * n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      m[static_cast<std::size_t>(i * n + j)] =
+          0.5 * (static_cast<double>(a.data()[i * n + j]) + a.data()[j * n + i]);
+    }
+  }
+  std::vector<double> v(static_cast<std::size_t>(n * n), 0.0);
+  for (std::int64_t i = 0; i < n; ++i) v[static_cast<std::size_t>(i * n + i)] = 1.0;
+
+  auto off_norm = [&]() {
+    double s = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = i + 1; j < n; ++j) {
+        const double x = m[static_cast<std::size_t>(i * n + j)];
+        s += x * x;
+      }
+    }
+    return std::sqrt(2.0 * s);
+  };
+
+  const double scale = std::max(1.0, std::sqrt(std::inner_product(m.begin(), m.end(),
+                                                                  m.begin(), 0.0)));
+  for (int sweep = 0; sweep < max_sweeps && off_norm() > tol * scale; ++sweep) {
+    for (std::int64_t p = 0; p < n - 1; ++p) {
+      for (std::int64_t q = p + 1; q < n; ++q) {
+        const double apq = m[static_cast<std::size_t>(p * n + q)];
+        if (std::abs(apq) <= 1e-300) continue;
+        const double app = m[static_cast<std::size_t>(p * n + p)];
+        const double aqq = m[static_cast<std::size_t>(q * n + q)];
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Apply the rotation G(p, q, theta) on both sides of M.
+        for (std::int64_t k = 0; k < n; ++k) {
+          const double mkp = m[static_cast<std::size_t>(k * n + p)];
+          const double mkq = m[static_cast<std::size_t>(k * n + q)];
+          m[static_cast<std::size_t>(k * n + p)] = c * mkp - s * mkq;
+          m[static_cast<std::size_t>(k * n + q)] = s * mkp + c * mkq;
+        }
+        for (std::int64_t k = 0; k < n; ++k) {
+          const double mpk = m[static_cast<std::size_t>(p * n + k)];
+          const double mqk = m[static_cast<std::size_t>(q * n + k)];
+          m[static_cast<std::size_t>(p * n + k)] = c * mpk - s * mqk;
+          m[static_cast<std::size_t>(q * n + k)] = s * mpk + c * mqk;
+        }
+        // Accumulate eigenvectors: V <- V * G.
+        for (std::int64_t k = 0; k < n; ++k) {
+          const double vkp = v[static_cast<std::size_t>(k * n + p)];
+          const double vkq = v[static_cast<std::size_t>(k * n + q)];
+          v[static_cast<std::size_t>(k * n + p)] = c * vkp - s * vkq;
+          v[static_cast<std::size_t>(k * n + q)] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort ascending by eigenvalue and permute eigenvector columns.
+  std::vector<std::int64_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::int64_t x, std::int64_t y) {
+    return m[static_cast<std::size_t>(x * n + x)] < m[static_cast<std::size_t>(y * n + y)];
+  });
+
+  EigenResult res{Tensor({n}), Tensor({n, n})};
+  for (std::int64_t k = 0; k < n; ++k) {
+    const std::int64_t src = order[static_cast<std::size_t>(k)];
+    res.eigenvalues[k] = static_cast<float>(m[static_cast<std::size_t>(src * n + src)]);
+    for (std::int64_t r = 0; r < n; ++r) {
+      res.eigenvectors.data()[r * n + k] =
+          static_cast<float>(v[static_cast<std::size_t>(r * n + src)]);
+    }
+  }
+  return res;
+}
+
+Tensor psd_projection(const Tensor& a, double floor) {
+  const EigenResult eig = sym_eigen(a);
+  const std::int64_t n = a.size(0);
+  // A_psd = V * diag(max(e, floor)) * Vᵀ, assembled in double.
+  std::vector<double> out(static_cast<std::size_t>(n * n), 0.0);
+  for (std::int64_t k = 0; k < n; ++k) {
+    const double e = std::max(static_cast<double>(eig.eigenvalues[k]), floor);
+    if (e == 0.0) continue;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const double vik = eig.eigenvectors.data()[i * n + k];
+      if (vik == 0.0) continue;
+      const double scaled = e * vik;
+      for (std::int64_t j = 0; j < n; ++j) {
+        out[static_cast<std::size_t>(i * n + j)] += scaled * eig.eigenvectors.data()[j * n + k];
+      }
+    }
+  }
+  Tensor result({n, n});
+  for (std::int64_t i = 0; i < n * n; ++i) {
+    result.data()[i] = static_cast<float>(out[static_cast<std::size_t>(i)]);
+  }
+  return symmetrize(result);
+}
+
+double min_eigenvalue(const Tensor& a) {
+  const EigenResult eig = sym_eigen(a);
+  return eig.eigenvalues[0];
+}
+
+}  // namespace clado::linalg

@@ -1,0 +1,21 @@
+// Cholesky factorization — used in tests to certify PSD-ness of projected
+// sensitivity matrices and by the QP machinery for well-conditioned solves.
+#pragma once
+
+#include <optional>
+
+#include "clado/tensor/tensor.h"
+
+namespace clado::linalg {
+
+using clado::tensor::Tensor;
+
+/// Attempts A = L Lᵀ for symmetric positive definite A. Returns std::nullopt
+/// if a non-positive pivot (beyond `jitter`) is encountered, i.e. A is not
+/// PD to within tolerance.
+std::optional<Tensor> cholesky(const Tensor& a, double jitter = 0.0);
+
+/// Solves A x = b using a Cholesky factor L (lower triangular).
+Tensor cholesky_solve(const Tensor& l, const Tensor& b);
+
+}  // namespace clado::linalg

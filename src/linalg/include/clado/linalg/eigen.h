@@ -1,0 +1,33 @@
+// Symmetric eigendecomposition and the PSD projection used by CLADO's
+// Algorithm 1 (the "PSD approximation" step on the sensitivity matrix Ĝ).
+#pragma once
+
+#include <cstdint>
+
+#include "clado/tensor/tensor.h"
+
+namespace clado::linalg {
+
+using clado::tensor::Tensor;
+
+/// Result of a symmetric eigendecomposition A = V diag(e) Vᵀ.
+struct EigenResult {
+  Tensor eigenvalues;   ///< [n], ascending order.
+  Tensor eigenvectors;  ///< [n, n], column k is the eigenvector of eigenvalues[k].
+};
+
+/// Cyclic Jacobi rotation eigensolver for a symmetric matrix. The input is
+/// symmetrized internally (tiny asymmetry from measurement noise is
+/// expected). Converges quadratically; adequate for the ≤ ~300×300
+/// matrices this project produces.
+EigenResult sym_eigen(const Tensor& a, double tol = 1e-12, int max_sweeps = 64);
+
+/// Projects a symmetric matrix onto the PSD cone: eigenvalues below
+/// `floor` are clamped to `floor` (paper uses 0) and the matrix is
+/// reassembled. This is the nearest PSD matrix in Frobenius norm.
+Tensor psd_projection(const Tensor& a, double floor = 0.0);
+
+/// Smallest eigenvalue of a symmetric matrix.
+double min_eigenvalue(const Tensor& a);
+
+}  // namespace clado::linalg

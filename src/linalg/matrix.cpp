@@ -1,0 +1,79 @@
+#include "clado/linalg/matrix.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace clado::linalg {
+
+namespace {
+
+std::int64_t square_size(const Tensor& a, const char* what) {
+  if (a.dim() != 2 || a.size(0) != a.size(1)) {
+    throw std::invalid_argument(std::string(what) + ": expects a square matrix, got " +
+                                a.shape_str());
+  }
+  return a.size(0);
+}
+
+}  // namespace
+
+Tensor symmetrize(const Tensor& a) {
+  const std::int64_t n = square_size(a, "symmetrize");
+  Tensor out({n, n});
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      out.data()[i * n + j] = 0.5F * (a.data()[i * n + j] + a.data()[j * n + i]);
+    }
+  }
+  return out;
+}
+
+double symmetry_defect(const Tensor& a) {
+  const std::int64_t n = square_size(a, "symmetry_defect");
+  double defect = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = i + 1; j < n; ++j) {
+      defect = std::max(defect,
+                        std::abs(static_cast<double>(a.data()[i * n + j]) - a.data()[j * n + i]));
+    }
+  }
+  return defect;
+}
+
+double quad_form(const Tensor& a, std::span<const float> x) {
+  const std::int64_t n = square_size(a, "quad_form");
+  if (static_cast<std::int64_t>(x.size()) != n) {
+    throw std::invalid_argument("quad_form: vector size mismatch");
+  }
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    double row = 0.0;
+    const float* arow = a.data() + i * n;
+    for (std::int64_t j = 0; j < n; ++j) row += static_cast<double>(arow[j]) * x[j];
+    acc += row * x[i];
+  }
+  return acc;
+}
+
+void matvec(const Tensor& a, std::span<const float> x, std::span<float> y) {
+  const std::int64_t n = square_size(a, "matvec");
+  if (static_cast<std::int64_t>(x.size()) != n || static_cast<std::int64_t>(y.size()) != n) {
+    throw std::invalid_argument("matvec: vector size mismatch");
+  }
+  for (std::int64_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    const float* arow = a.data() + i * n;
+    for (std::int64_t j = 0; j < n; ++j) acc += static_cast<double>(arow[j]) * x[j];
+    y[i] = static_cast<float>(acc);
+  }
+}
+
+Tensor identity(std::int64_t n) {
+  Tensor out({n, n});
+  for (std::int64_t i = 0; i < n; ++i) out.data()[i * n + i] = 1.0F;
+  return out;
+}
+
+double frobenius_norm(const Tensor& a) { return std::sqrt(static_cast<double>(a.sq_norm())); }
+
+}  // namespace clado::linalg

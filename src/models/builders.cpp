@@ -1,0 +1,315 @@
+#include "clado/models/builders.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "clado/nn/blocks.h"
+#include "clado/nn/layers.h"
+
+namespace clado::models {
+
+using clado::nn::Act;
+using clado::nn::Activation;
+using clado::nn::BatchNorm2d;
+using clado::nn::Conv2d;
+using clado::nn::Flatten;
+using clado::nn::GlobalAvgPool;
+using clado::nn::LayerNorm;
+using clado::nn::Linear;
+using clado::nn::PatchEmbed;
+using clado::nn::ResidualBlock;
+using clado::nn::SEBlock;
+using clado::nn::Sequential;
+using clado::nn::TakeToken;
+using clado::nn::TransformerBlock;
+using clado::quant::ActFakeQuant;
+using clado::quant::WeightScheme;
+
+namespace {
+
+/// conv(+bn)(+act) sub-sequence appended to `seq` with torchvision-style
+/// names ("convN" / "bnN").
+Conv2d* add_conv_bn_act(Sequential& seq, const std::string& tag, Rng& rng, std::int64_t in_c,
+                        std::int64_t out_c, std::int64_t k, std::int64_t stride,
+                        std::int64_t pad, std::int64_t groups, bool with_act,
+                        Act act = Act::kRelu) {
+  auto* conv = seq.emplace_named<Conv2d>("conv" + tag, in_c, out_c, k, stride, pad, groups,
+                                         /*bias=*/false);
+  conv->init(rng);
+  seq.emplace_named<BatchNorm2d>("bn" + tag, out_c);
+  if (with_act) seq.emplace_named<Activation>("act" + tag, act);
+  return conv;
+}
+
+std::unique_ptr<Sequential> make_downsample(Rng& rng, std::int64_t in_c, std::int64_t out_c,
+                                            std::int64_t stride) {
+  auto sc = std::make_unique<Sequential>();
+  add_conv_bn_act(*sc, "0", rng, in_c, out_c, 1, stride, 0, 1, /*with_act=*/false);
+  return sc;
+}
+
+/// Appends an activation fake-quant stage and registers its handle.
+void add_act_quant(Model& model, const std::string& name) {
+  auto* aq = model.net->emplace_named<ActFakeQuant>(name, 8);
+  model.act_quants.push_back(aq);
+}
+
+/// Classifier tail: global average pool + fc.
+void add_head(Model& model, Rng& rng, std::int64_t features, std::int64_t num_classes) {
+  model.net->emplace_named<GlobalAvgPool>("avgpool");
+  auto* fc = model.net->emplace_named<Linear>("fc", features, num_classes);
+  fc->init(rng);
+}
+
+/// Basic residual block: conv3x3-bn-relu-conv3x3-bn (+ downsample), relu.
+std::unique_ptr<ResidualBlock> basic_block(Rng& rng, std::int64_t in_c, std::int64_t out_c,
+                                           std::int64_t stride) {
+  auto main = std::make_unique<Sequential>();
+  add_conv_bn_act(*main, "1", rng, in_c, out_c, 3, stride, 1, 1, true);
+  add_conv_bn_act(*main, "2", rng, out_c, out_c, 3, 1, 1, 1, false);
+  std::unique_ptr<Sequential> shortcut;
+  if (stride != 1 || in_c != out_c) shortcut = make_downsample(rng, in_c, out_c, stride);
+  return std::make_unique<ResidualBlock>(std::move(main), std::move(shortcut), true);
+}
+
+/// Bottleneck block: 1x1 reduce, 3x3, 1x1 expand (expansion 2).
+std::unique_ptr<ResidualBlock> bottleneck_block(Rng& rng, std::int64_t in_c, std::int64_t width,
+                                                std::int64_t out_c, std::int64_t stride) {
+  auto main = std::make_unique<Sequential>();
+  add_conv_bn_act(*main, "1", rng, in_c, width, 1, 1, 0, 1, true);
+  add_conv_bn_act(*main, "2", rng, width, width, 3, stride, 1, 1, true);
+  add_conv_bn_act(*main, "3", rng, width, out_c, 1, 1, 0, 1, false);
+  std::unique_ptr<Sequential> shortcut;
+  if (stride != 1 || in_c != out_c) shortcut = make_downsample(rng, in_c, out_c, stride);
+  return std::make_unique<ResidualBlock>(std::move(main), std::move(shortcut), true);
+}
+
+/// RegNet X-block: 1x1, grouped 3x3, 1x1 (+ downsample), relu.
+std::unique_ptr<ResidualBlock> x_block(Rng& rng, std::int64_t in_c, std::int64_t out_c,
+                                       std::int64_t stride, std::int64_t group_width) {
+  auto main = std::make_unique<Sequential>();
+  const std::int64_t groups = out_c / group_width;
+  add_conv_bn_act(*main, "1", rng, in_c, out_c, 1, 1, 0, 1, true);
+  add_conv_bn_act(*main, "2", rng, out_c, out_c, 3, stride, 1, groups, true);
+  add_conv_bn_act(*main, "3", rng, out_c, out_c, 1, 1, 0, 1, false);
+  std::unique_ptr<Sequential> shortcut;
+  if (stride != 1 || in_c != out_c) shortcut = make_downsample(rng, in_c, out_c, stride);
+  return std::make_unique<ResidualBlock>(std::move(main), std::move(shortcut), true);
+}
+
+/// MobileNetV3 inverted residual: expand 1x1, depthwise 3x3, optional SE,
+/// project 1x1. Residual only when stride == 1 and in_c == out_c.
+std::unique_ptr<clado::nn::Module> inverted_residual(Rng& rng, std::int64_t in_c,
+                                                     std::int64_t exp_c, std::int64_t out_c,
+                                                     std::int64_t stride, bool use_se,
+                                                     Act act) {
+  auto main = std::make_unique<Sequential>();
+  // block.0 expand, block.1 depthwise, block.2 SE, block.3 project —
+  // mirroring the "features.N.block.M" naming of the paper's appendix.
+  {
+    auto sub = std::make_unique<Sequential>();
+    add_conv_bn_act(*sub, "0", rng, in_c, exp_c, 1, 1, 0, 1, true, act);
+    main->push_back(std::move(sub), "block.0");
+  }
+  {
+    auto sub = std::make_unique<Sequential>();
+    add_conv_bn_act(*sub, "0", rng, exp_c, exp_c, 3, stride, 1, exp_c, true, act);
+    main->push_back(std::move(sub), "block.1");
+  }
+  if (use_se) {
+    auto se = std::make_unique<SEBlock>(exp_c, std::max<std::int64_t>(exp_c / 4, 4));
+    se->init(rng);
+    main->push_back(std::move(se), "block.2");
+  }
+  {
+    auto sub = std::make_unique<Sequential>();
+    add_conv_bn_act(*sub, "0", rng, exp_c, out_c, 1, 1, 0, 1, false);
+    main->push_back(std::move(sub), "block.3");
+  }
+  if (stride == 1 && in_c == out_c) {
+    return std::make_unique<ResidualBlock>(std::move(main), nullptr, /*final_relu=*/false);
+  }
+  return main;
+}
+
+Model new_model(std::string name, std::vector<int> bits, WeightScheme scheme,
+                std::int64_t num_classes) {
+  Model m;
+  m.name = std::move(name);
+  m.net = std::make_unique<Sequential>();
+  m.candidate_bits = std::move(bits);
+  m.scheme = scheme;
+  m.num_classes = num_classes;
+  return m;
+}
+
+}  // namespace
+
+Model build_resnet_a(Rng& rng, std::int64_t num_classes) {
+  Model m = new_model("resnet_a", {2, 4, 8}, WeightScheme::kPerTensorSymmetric, num_classes);
+  auto& net = *m.net;
+  {
+    auto stem = std::make_unique<Sequential>();
+    add_conv_bn_act(*stem, "1", rng, 3, 8, 3, 1, 1, 1, true);
+    net.push_back(std::move(stem), "");
+  }
+  add_act_quant(m, "aq_stem");
+
+  const std::int64_t widths[3] = {8, 16, 32};
+  std::int64_t in_c = 8;
+  for (int stage = 0; stage < 3; ++stage) {
+    for (int blk = 0; blk < 2; ++blk) {
+      const std::int64_t stride = (stage > 0 && blk == 0) ? 2 : 1;
+      net.push_back(basic_block(rng, in_c, widths[stage], stride),
+                    "layer" + std::to_string(stage + 1) + "." + std::to_string(blk));
+      in_c = widths[stage];
+      add_act_quant(m, "aq_l" + std::to_string(stage + 1) + "_" + std::to_string(blk));
+    }
+  }
+  add_head(m, rng, in_c, num_classes);
+  m.finalize();
+  return m;
+}
+
+Model build_resnet_b(Rng& rng, std::int64_t num_classes) {
+  Model m = new_model("resnet_b", {2, 4, 8}, WeightScheme::kPerTensorSymmetric, num_classes);
+  auto& net = *m.net;
+  {
+    auto stem = std::make_unique<Sequential>();
+    add_conv_bn_act(*stem, "1", rng, 3, 8, 3, 1, 1, 1, true);
+    net.push_back(std::move(stem), "");
+  }
+  add_act_quant(m, "aq_stem");
+
+  const std::int64_t widths[3] = {4, 8, 16};  // bottleneck widths
+  const std::int64_t outs[3] = {8, 16, 32};   // expansion 2
+  std::int64_t in_c = 8;
+  for (int stage = 0; stage < 3; ++stage) {
+    for (int blk = 0; blk < 2; ++blk) {
+      const std::int64_t stride = (stage > 0 && blk == 0) ? 2 : 1;
+      net.push_back(bottleneck_block(rng, in_c, widths[stage], outs[stage], stride),
+                    "layer" + std::to_string(stage + 1) + "." + std::to_string(blk));
+      in_c = outs[stage];
+      add_act_quant(m, "aq_l" + std::to_string(stage + 1) + "_" + std::to_string(blk));
+    }
+  }
+  add_head(m, rng, in_c, num_classes);
+  m.finalize();
+  return m;
+}
+
+Model build_mobilenet_v3_mini(Rng& rng, std::int64_t num_classes) {
+  Model m = new_model("mobilenet_v3_mini", {4, 6, 8}, WeightScheme::kPerChannelAffine,
+                      num_classes);
+  auto& net = *m.net;
+  {
+    auto stem = std::make_unique<Sequential>();
+    add_conv_bn_act(*stem, "0", rng, 3, 8, 3, 1, 1, 1, true, Act::kHardSwish);
+    net.push_back(std::move(stem), "features.0");
+  }
+  add_act_quant(m, "aq_stem");
+
+  struct Spec {
+    std::int64_t in, exp, out, stride;
+    bool se;
+    Act act;
+  };
+  const Spec specs[] = {
+      {8, 16, 8, 1, false, Act::kRelu},
+      {8, 24, 12, 2, false, Act::kRelu},
+      {12, 36, 12, 1, true, Act::kHardSwish},
+      {12, 48, 16, 2, true, Act::kHardSwish},
+      {16, 48, 16, 1, true, Act::kHardSwish},
+  };
+  int idx = 1;
+  for (const auto& s : specs) {
+    net.push_back(inverted_residual(rng, s.in, s.exp, s.out, s.stride, s.se, s.act),
+                  "features." + std::to_string(idx));
+    add_act_quant(m, "aq_f" + std::to_string(idx));
+    ++idx;
+  }
+  {
+    auto tail = std::make_unique<Sequential>();
+    add_conv_bn_act(*tail, "0", rng, 16, 48, 1, 1, 0, 1, true, Act::kHardSwish);
+    net.push_back(std::move(tail), "features." + std::to_string(idx));
+  }
+  add_act_quant(m, "aq_tail");
+  add_head(m, rng, 48, num_classes);
+  m.finalize();
+  return m;
+}
+
+Model build_regnet_mini(Rng& rng, std::int64_t num_classes) {
+  Model m = new_model("regnet_mini", {2, 4, 8}, WeightScheme::kPerTensorSymmetric, num_classes);
+  auto& net = *m.net;
+  {
+    auto stem = std::make_unique<Sequential>();
+    add_conv_bn_act(*stem, "1", rng, 3, 8, 3, 1, 1, 1, true);
+    net.push_back(std::move(stem), "stem");
+  }
+  add_act_quant(m, "aq_stem");
+
+  struct Stage {
+    std::int64_t width, blocks, stride, group_width;
+  };
+  const Stage stages[] = {{8, 1, 1, 4}, {16, 2, 2, 4}, {32, 2, 2, 8}};
+  std::int64_t in_c = 8;
+  int si = 1;
+  for (const auto& st : stages) {
+    for (std::int64_t blk = 0; blk < st.blocks; ++blk) {
+      const std::int64_t stride = blk == 0 ? st.stride : 1;
+      net.push_back(x_block(rng, in_c, st.width, stride, st.group_width),
+                    "block" + std::to_string(si) + "." + std::to_string(blk));
+      in_c = st.width;
+      add_act_quant(m, "aq_b" + std::to_string(si) + "_" + std::to_string(blk));
+    }
+    ++si;
+  }
+  add_head(m, rng, in_c, num_classes);
+  m.finalize();
+  return m;
+}
+
+Model build_vit_mini(Rng& rng, std::int64_t num_classes) {
+  Model m = new_model("vit_mini", {2, 4, 8}, WeightScheme::kPerChannelAffine, num_classes);
+  auto& net = *m.net;
+  constexpr std::int64_t kDim = 32;
+  constexpr std::int64_t kHeads = 4;
+  constexpr std::int64_t kMlp = 64;
+  constexpr std::int64_t kBlocks = 4;
+
+  auto embed = std::make_unique<PatchEmbed>(3, kDim, 16, 4);
+  embed->init(rng);
+  net.push_back(std::move(embed), "embeddings");
+  add_act_quant(m, "aq_embed");
+
+  for (std::int64_t b = 0; b < kBlocks; ++b) {
+    auto block = std::make_unique<TransformerBlock>(kDim, kHeads, kMlp);
+    block->init(rng);
+    net.push_back(std::move(block), "layer." + std::to_string(b));
+    add_act_quant(m, "aq_blk" + std::to_string(b));
+  }
+  net.emplace_named<LayerNorm>("layernorm", kDim);
+  net.emplace_named<TakeToken>("pooler", 0);
+  auto* head = net.emplace_named<Linear>("classifier", kDim, num_classes);
+  head->init(rng);
+  m.finalize();
+  return m;
+}
+
+const std::vector<std::string>& model_names() {
+  static const std::vector<std::string> names = {
+      "resnet_a", "resnet_b", "mobilenet_v3_mini", "regnet_mini", "vit_mini"};
+  return names;
+}
+
+Model build_by_name(const std::string& name, Rng& rng, std::int64_t num_classes) {
+  if (name == "resnet_a") return build_resnet_a(rng, num_classes);
+  if (name == "resnet_b") return build_resnet_b(rng, num_classes);
+  if (name == "mobilenet_v3_mini") return build_mobilenet_v3_mini(rng, num_classes);
+  if (name == "regnet_mini") return build_regnet_mini(rng, num_classes);
+  if (name == "vit_mini") return build_vit_mini(rng, num_classes);
+  throw std::invalid_argument("build_by_name: unknown model '" + name + "'");
+}
+
+}  // namespace clado::models

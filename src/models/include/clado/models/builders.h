@@ -1,0 +1,38 @@
+// The model zoo: scaled-down, architecture-faithful analogues of the five
+// networks in the paper's evaluation (Table 1). Each builder returns a
+// finalized Model with the paper's candidate bit-width set B and weight
+// scheme for that architecture:
+//
+//   resnet_a           basic-block residual CNN      (ResNet-34 analogue)
+//   resnet_b           bottleneck residual CNN       (ResNet-50 analogue)
+//   mobilenet_v3_mini  inverted residuals + SE + hswish (MobileNetV3-Large)
+//   regnet_mini        grouped-conv X-blocks         (RegNet-3.2GF analogue)
+//   vit_mini           patch-embed + MHSA encoder    (ViT-base analogue)
+//
+// B = {2,4,8} with per-tensor symmetric weights, except mobilenet
+// (B = {4,6,8}) and mobilenet/vit (per-channel affine) — matching §5.1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "clado/models/model.h"
+#include "clado/tensor/rng.h"
+
+namespace clado::models {
+
+using clado::tensor::Rng;
+
+Model build_resnet_a(Rng& rng, std::int64_t num_classes = 10);
+Model build_resnet_b(Rng& rng, std::int64_t num_classes = 10);
+Model build_mobilenet_v3_mini(Rng& rng, std::int64_t num_classes = 10);
+Model build_regnet_mini(Rng& rng, std::int64_t num_classes = 10);
+Model build_vit_mini(Rng& rng, std::int64_t num_classes = 10);
+
+/// Names accepted by build_by_name, in canonical order.
+const std::vector<std::string>& model_names();
+
+/// Builds a model by zoo name; throws std::invalid_argument on unknown name.
+Model build_by_name(const std::string& name, Rng& rng, std::int64_t num_classes = 10);
+
+}  // namespace clado::models

@@ -1,0 +1,47 @@
+// Zoo: pretrains models on synthcv (the "download pretrained weights" step
+// of the paper's pipeline) and caches the trained weights under an
+// artifacts directory so benches and examples do not retrain on every run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "clado/data/synthcv.h"
+#include "clado/models/model.h"
+
+namespace clado::models {
+
+struct ZooConfig {
+  /// Weight cache location; overridden by $CLADO_ARTIFACTS_DIR.
+  std::string artifacts_dir = "artifacts";
+  std::int64_t num_classes = 16;
+  std::int64_t train_size = 4096;
+  std::int64_t val_size = 1024;
+  std::int64_t batch_size = 64;
+  std::uint64_t train_seed = 42;
+  std::uint64_t val_seed = 43;
+  bool verbose = false;  ///< print per-epoch training progress
+};
+
+/// A pretrained model together with its data splits.
+struct TrainedModel {
+  Model model;
+  clado::data::SynthCvDataset train_set;
+  clado::data::SynthCvDataset val_set;
+  double val_accuracy = 0.0;  ///< fp32 top-1 on the val split
+};
+
+/// Loads `name` from the artifact cache, or trains it from scratch and
+/// saves it. Deterministic for a fixed config.
+TrainedModel get_or_train(const std::string& name, const ZooConfig& config = {});
+
+/// Trains a model in place (used by get_or_train and the trainer tests).
+/// Returns final validation accuracy.
+double train_model(Model& model, const clado::data::SynthCvDataset& train_set,
+                   const clado::data::SynthCvDataset& val_set, const ZooConfig& config,
+                   int epochs, float base_lr);
+
+/// Resolved artifacts directory (config value or environment override).
+std::string resolve_artifacts_dir(const ZooConfig& config);
+
+}  // namespace clado::models

@@ -1,0 +1,65 @@
+#include "clado/models/model.h"
+
+#include <algorithm>
+
+#include "clado/nn/loss.h"
+#include "clado/quant/qat.h"
+
+namespace clado::models {
+
+void Model::finalize() {
+  quant_layers.clear();
+  for (std::size_t stage = 0; stage < net->size(); ++stage) {
+    std::vector<QuantLayerRef> tmp;
+    net->child(stage).collect_quant_layers(net->child_name(stage), tmp);
+    for (auto& q : tmp) {
+      q.stage = static_cast<int>(stage);
+      quant_layers.push_back(q);
+    }
+  }
+}
+
+double Model::loss(const Batch& batch) {
+  net->set_training(false);
+  clado::nn::CrossEntropyLoss criterion;
+  return criterion.forward(net->forward(batch.images), batch.labels);
+}
+
+double Model::accuracy(const Batch& batch) {
+  net->set_training(false);
+  return clado::nn::CrossEntropyLoss::accuracy(net->forward(batch.images), batch.labels);
+}
+
+double Model::accuracy_on(const clado::data::SynthCvDataset& dataset, std::int64_t count,
+                          std::int64_t batch_size) {
+  net->set_training(false);
+  std::int64_t correct_weighted = 0;
+  std::int64_t seen = 0;
+  for (std::int64_t first = 0; first < count; first += batch_size) {
+    const std::int64_t n = std::min(batch_size, count - first);
+    const Batch batch = dataset.make_range_batch(first, n);
+    const double acc = accuracy(batch);
+    correct_weighted += static_cast<std::int64_t>(acc * static_cast<double>(n) + 0.5);
+    seen += n;
+  }
+  return static_cast<double>(correct_weighted) / static_cast<double>(seen);
+}
+
+void Model::calibrate_activations(const Batch& batch) {
+  if (act_quants.empty()) return;
+  set_act_quant_mode(clado::quant::ActQuantMode::kObserve);
+  net->set_training(false);
+  net->forward(batch.images);
+  for (auto* aq : act_quants) aq->freeze_from_observed();
+  set_act_quant_mode(clado::quant::ActQuantMode::kQuantize);
+}
+
+void Model::set_act_quant_mode(clado::quant::ActQuantMode mode) {
+  for (auto* aq : act_quants) aq->set_mode(mode);
+}
+
+double Model::uniform_size_bytes(int bits) const {
+  return clado::quant::uniform_bytes(quant_layers, bits);
+}
+
+}  // namespace clado::models

@@ -1,0 +1,124 @@
+#include "clado/models/zoo.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <numeric>
+
+#include "clado/models/builders.h"
+#include "clado/nn/hvp.h"
+#include "clado/nn/optimizer.h"
+#include "clado/tensor/serialize.h"
+
+namespace clado::models {
+
+namespace {
+
+/// Per-model training recipe (epochs / base learning rate / grad clip).
+struct Recipe {
+  int epochs;
+  float lr;
+  double clip;
+};
+
+Recipe recipe_for(const std::string& name) {
+  if (name == "vit_mini") return {35, 0.02F, 1.0};
+  if (name == "mobilenet_v3_mini") return {20, 0.05F, 5.0};
+  return {12, 0.05F, 5.0};
+}
+
+clado::data::SynthCvDataset::Config dataset_config(std::uint64_t seed,
+                                                   std::int64_t num_classes) {
+  clado::data::SynthCvDataset::Config c;
+  c.num_classes = num_classes;
+  c.seed = seed;
+  return c;
+}
+
+}  // namespace
+
+std::string resolve_artifacts_dir(const ZooConfig& config) {
+  if (const char* env = std::getenv("CLADO_ARTIFACTS_DIR"); env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  return config.artifacts_dir;
+}
+
+double train_model(Model& model, const clado::data::SynthCvDataset& train_set,
+                   const clado::data::SynthCvDataset& val_set, const ZooConfig& config,
+                   int epochs, float base_lr) {
+  clado::nn::SgdConfig sgd_cfg;
+  sgd_cfg.lr = base_lr;
+  clado::nn::Sgd opt(*model.net, sgd_cfg);
+  const Recipe recipe = recipe_for(model.name);
+
+  clado::tensor::Rng shuffle_rng(config.train_seed ^ 0x5151);
+  std::vector<std::int64_t> order(static_cast<std::size_t>(config.train_size));
+  std::iota(order.begin(), order.end(), 0);
+
+  const std::int64_t steps_per_epoch =
+      (config.train_size + config.batch_size - 1) / config.batch_size;
+  const std::int64_t total_steps = steps_per_epoch * epochs;
+  std::int64_t step = 0;
+
+  model.set_act_quant_mode(clado::quant::ActQuantMode::kBypass);
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    // Fisher-Yates shuffle with the deterministic RNG.
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[shuffle_rng.uniform_int(i)]);
+    }
+    model.net->set_training(true);
+    double epoch_loss = 0.0;
+    std::int64_t batches = 0;
+    for (std::int64_t first = 0; first < config.train_size; first += config.batch_size) {
+      const std::int64_t n = std::min(config.batch_size, config.train_size - first);
+      std::vector<std::int64_t> idx(order.begin() + first, order.begin() + first + n);
+      const auto batch = train_set.make_batch(idx);
+      opt.zero_grad();
+      opt.cosine_lr(base_lr, step, total_steps);
+      epoch_loss += clado::nn::loss_and_backward(*model.net, batch.images, batch.labels);
+      opt.clip_grad_norm(recipe.clip);
+      opt.step();
+      ++step;
+      ++batches;
+    }
+    if (config.verbose) {
+      const double val_acc = model.accuracy_on(val_set, std::min<std::int64_t>(256, config.val_size));
+      std::printf("[zoo] %s epoch %2d/%d  loss %.4f  val@256 %.3f\n", model.name.c_str(),
+                  epoch + 1, epochs, epoch_loss / static_cast<double>(batches), val_acc);
+      std::fflush(stdout);
+    }
+  }
+  model.net->set_training(false);
+  return model.accuracy_on(val_set, config.val_size);
+}
+
+TrainedModel get_or_train(const std::string& name, const ZooConfig& config) {
+  clado::tensor::Rng rng(0xC1AD0 ^ std::hash<std::string>{}(name));
+  TrainedModel out{build_by_name(name, rng, config.num_classes),
+                   clado::data::SynthCvDataset(dataset_config(config.train_seed,
+                                                              config.num_classes)),
+                   clado::data::SynthCvDataset(dataset_config(config.val_seed,
+                                                              config.num_classes)),
+                   0.0};
+
+  const std::string dir = resolve_artifacts_dir(config);
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/" + name + ".bin";
+
+  if (clado::tensor::state_dict_exists(path)) {
+    clado::nn::load_state(*out.model.net, clado::tensor::load_state_dict(path));
+    out.model.net->set_training(false);
+    out.val_accuracy = out.model.accuracy_on(out.val_set, config.val_size);
+    return out;
+  }
+
+  const Recipe recipe = recipe_for(name);
+  out.val_accuracy = train_model(out.model, out.train_set, out.val_set, config, recipe.epochs,
+                                 recipe.lr);
+  clado::tensor::save_state_dict(clado::nn::extract_state(*out.model.net), path);
+  return out;
+}
+
+}  // namespace clado::models

@@ -1,0 +1,41 @@
+// Multi-head self-attention for the ViT analogue.
+//
+// Query/key/value/output projections are separate Linear layers so they are
+// individually quantizable — matching the per-layer granularity of the
+// paper's ViT experiments (appendix A lists query/key/value/output.dense as
+// distinct MPQ layers).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "clado/nn/layers.h"
+#include "clado/nn/module.h"
+
+namespace clado::nn {
+
+class MultiHeadSelfAttention : public Module {
+ public:
+  /// embed_dim must be divisible by num_heads.
+  MultiHeadSelfAttention(std::int64_t embed_dim, std::int64_t num_heads);
+
+  /// Input/output shape: [N, T, D].
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_params(const std::string& prefix, std::vector<ParamRef>& out) override;
+  void collect_quant_layers(const std::string& prefix, std::vector<QuantLayerRef>& out) override;
+  std::string type_name() const override { return "MultiHeadSelfAttention"; }
+
+  void init(clado::tensor::Rng& rng);
+
+ private:
+  std::int64_t embed_dim_, num_heads_, head_dim_;
+  std::unique_ptr<Linear> query_, key_, value_, out_proj_;
+
+  // forward stash
+  Tensor q_, k_, v_;   // [N, T, D] (post projection)
+  Tensor probs_;       // [N, heads, T, T] softmax attention weights
+  Shape input_shape_;
+};
+
+}  // namespace clado::nn

@@ -1,0 +1,131 @@
+// Composite blocks: residual blocks (ResNet/RegNet), squeeze-excitation
+// (MobileNetV3), transformer encoder blocks and patch embedding (ViT).
+//
+// Blocks are the "stages" of a model's top-level Sequential; the
+// sensitivity engine's prefix-activation cache works at stage granularity.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "clado/nn/attention.h"
+#include "clado/nn/layers.h"
+#include "clado/nn/module.h"
+#include "clado/nn/sequential.h"
+
+namespace clado::nn {
+
+/// y = act(main(x) + shortcut(x)); shortcut may be empty (identity).
+class ResidualBlock : public Module {
+ public:
+  ResidualBlock(std::unique_ptr<Sequential> main, std::unique_ptr<Sequential> shortcut,
+                bool final_relu = true);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_params(const std::string& prefix, std::vector<ParamRef>& out) override;
+  void collect_quant_layers(const std::string& prefix, std::vector<QuantLayerRef>& out) override;
+  void set_training(bool training) override;
+  std::string type_name() const override { return "ResidualBlock"; }
+
+  /// Sub-graph access for graph transforms (BatchNorm folding).
+  Sequential& main_path() { return *main_; }
+  Sequential* shortcut_path() { return shortcut_.get(); }
+
+ private:
+  std::unique_ptr<Sequential> main_;
+  std::unique_ptr<Sequential> shortcut_;  // nullptr => identity
+  bool final_relu_;
+  Tensor pre_act_;  // main + shortcut, before the final ReLU
+};
+
+/// Squeeze-and-excitation: channel gating by a two-layer bottleneck MLP on
+/// globally pooled features (MobileNetV3 style, hard-sigmoid gate).
+class SEBlock : public Module {
+ public:
+  SEBlock(std::int64_t channels, std::int64_t reduced);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_params(const std::string& prefix, std::vector<ParamRef>& out) override;
+  void collect_quant_layers(const std::string& prefix, std::vector<QuantLayerRef>& out) override;
+  std::string type_name() const override { return "SEBlock"; }
+
+  void init(clado::tensor::Rng& rng);
+
+ private:
+  std::int64_t channels_;
+  GlobalAvgPool pool_;
+  std::unique_ptr<Linear> fc1_, fc2_;
+  Activation relu_{Act::kRelu};
+  Activation hsig_{Act::kHardSigmoid};
+
+  Tensor input_;  // [N, C, H, W]
+  Tensor gate_;   // [N, C]
+};
+
+/// Pre-norm transformer encoder block:
+///   h = x + attn(ln1(x)); y = h + fc2(gelu(fc1(ln2(h)))).
+class TransformerBlock : public Module {
+ public:
+  TransformerBlock(std::int64_t embed_dim, std::int64_t num_heads, std::int64_t mlp_dim);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_params(const std::string& prefix, std::vector<ParamRef>& out) override;
+  void collect_quant_layers(const std::string& prefix, std::vector<QuantLayerRef>& out) override;
+  void set_training(bool training) override;
+  std::string type_name() const override { return "TransformerBlock"; }
+
+  void init(clado::tensor::Rng& rng);
+
+ private:
+  LayerNorm ln1_, ln2_;
+  MultiHeadSelfAttention attn_;
+  std::unique_ptr<Linear> fc1_, fc2_;  // "intermediate.dense" / "output.dense"
+  Activation gelu_{Act::kGelu};
+};
+
+/// Patchify: conv(patch, stride=patch) -> tokens [N, T, D], prepend a
+/// learnable class token, add learnable positional embeddings.
+/// The patch conv is intentionally NOT exposed as a quantizable layer,
+/// matching the paper's ViT layer table (only encoder projections are MPQ
+/// decision variables).
+class PatchEmbed : public Module {
+ public:
+  PatchEmbed(std::int64_t in_channels, std::int64_t embed_dim, std::int64_t image_size,
+             std::int64_t patch_size);
+
+  Tensor forward(const Tensor& input) override;  // [N,C,H,W] -> [N, T+1, D]
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_params(const std::string& prefix, std::vector<ParamRef>& out) override;
+  void set_training(bool training) override;
+  std::string type_name() const override { return "PatchEmbed"; }
+
+  void init(clado::tensor::Rng& rng);
+
+  std::int64_t num_tokens() const { return tokens_ + 1; }
+
+ private:
+  std::int64_t embed_dim_, grid_, tokens_;
+  Conv2d proj_;
+  Parameter cls_token_;  // [D]
+  Parameter pos_embed_;  // [T+1, D]
+  Shape conv_out_shape_;
+};
+
+/// Selects token `index` from [N, T, D] -> [N, D] (class-token readout).
+class TakeToken : public Module {
+ public:
+  explicit TakeToken(std::int64_t index) : index_(index) {}
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string type_name() const override { return "TakeToken"; }
+
+ private:
+  std::int64_t index_;
+  Shape input_shape_;
+};
+
+}  // namespace clado::nn

@@ -1,0 +1,44 @@
+// Gradient and Hessian-vector-product utilities.
+//
+// Used by (a) the numerical gradient checks in the test suite and (b) the
+// Table 2 experiment, which compares CLADO's forward-only sensitivity
+// estimate against the "exact" second-order term vᵀHv computed from
+// analytic gradients via a central finite difference along v:
+//     vᵀHv = vᵀ (∇L(w + t v) − ∇L(w − t v)) / (2t) + O(t²).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "clado/nn/loss.h"
+#include "clado/nn/module.h"
+#include "clado/nn/sequential.h"
+
+namespace clado::nn {
+
+/// Zeroes gradients of every parameter in the tree.
+void zero_all_grads(Module& root);
+
+/// Forward + backward on one batch; gradients accumulate into parameters.
+/// Returns the mean loss.
+double loss_and_backward(Sequential& net, const Tensor& inputs,
+                         const std::vector<std::int64_t>& labels);
+
+/// Forward only; returns the mean loss.
+double loss_only(Sequential& net, const Tensor& inputs,
+                 const std::vector<std::int64_t>& labels);
+
+/// A perturbation direction restricted to one quantizable layer's weight.
+struct LayerDirection {
+  Parameter* weight = nullptr;
+  Tensor delta;  // same shape as weight->value
+};
+
+/// Computes vᵀHv where v is the concatenation of the given per-layer
+/// directions (zero elsewhere), via central differences of analytic
+/// gradients with relative step `t` applied to the direction.
+double exact_vhv(Sequential& net, const Tensor& inputs,
+                 const std::vector<std::int64_t>& labels,
+                 const std::vector<LayerDirection>& directions, double t = 1e-2);
+
+}  // namespace clado::nn

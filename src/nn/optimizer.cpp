@@ -1,0 +1,51 @@
+#include "clado/nn/optimizer.h"
+
+#include <cmath>
+
+namespace clado::nn {
+
+Sgd::Sgd(Module& root, SgdConfig config) : config_(config) {
+  std::vector<ParamRef> refs;
+  root.collect_params("", refs);
+  for (const auto& r : refs) {
+    if (!r.param->trainable) continue;
+    params_.push_back(r.param);
+    velocity_.emplace_back(r.param->value.shape());
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    Tensor& v = velocity_[i];
+    const std::int64_t n = p.value.numel();
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float g = p.grad[j] + config_.weight_decay * p.value[j];
+      v[j] = config_.momentum * v[j] + g;
+      p.value[j] -= config_.lr * v[j];
+    }
+  }
+}
+
+void Sgd::zero_grad() {
+  for (Parameter* p : params_) p->zero_grad();
+}
+
+void Sgd::cosine_lr(float base_lr, std::int64_t step, std::int64_t total_steps) {
+  const double progress =
+      total_steps > 0 ? static_cast<double>(step) / static_cast<double>(total_steps) : 1.0;
+  config_.lr = static_cast<float>(0.5 * base_lr * (1.0 + std::cos(M_PI * progress)));
+}
+
+double Sgd::clip_grad_norm(double max_norm) {
+  double sq = 0.0;
+  for (Parameter* p : params_) sq += static_cast<double>(p->grad.sq_norm());
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm && norm > 0.0) {
+    const float scale = static_cast<float>(max_norm / norm);
+    for (Parameter* p : params_) p->grad *= scale;
+  }
+  return norm;
+}
+
+}  // namespace clado::nn

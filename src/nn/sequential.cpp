@@ -1,0 +1,101 @@
+#include "clado/nn/sequential.h"
+
+#include <stdexcept>
+
+namespace clado::nn {
+
+void Sequential::push_back(std::unique_ptr<Module> child, std::string name) {
+  children_.push_back(std::move(child));
+  names_.push_back(std::move(name));
+}
+
+void Sequential::replace_child(std::size_t index, std::unique_ptr<Module> child) {
+  if (index >= children_.size()) {
+    throw std::out_of_range("Sequential::replace_child: index out of range");
+  }
+  children_[index] = std::move(child);
+  cache_.clear();
+}
+
+Tensor Sequential::forward(const Tensor& input) {
+  Tensor x = input;
+  for (auto& child : children_) x = child->forward(x);
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = children_.rbegin(); it != children_.rend(); ++it) g = (*it)->backward(g);
+  return g;
+}
+
+Tensor Sequential::forward_cached(const Tensor& input) {
+  cache_.assign(children_.size() + 1, Tensor{});
+  Tensor x = input;
+  for (std::size_t k = 0; k < children_.size(); ++k) {
+    cache_[k] = x;
+    x = children_[k]->forward(x);
+  }
+  cache_[children_.size()] = x;
+  return x;
+}
+
+Tensor Sequential::forward_from(std::size_t stage) {
+  if (cache_.size() != children_.size() + 1) {
+    throw std::logic_error("Sequential::forward_from: no cached forward pass");
+  }
+  if (stage > children_.size()) {
+    throw std::out_of_range("Sequential::forward_from: stage out of range");
+  }
+  if (stage == children_.size()) return cache_.back();
+  Tensor x = cache_[stage];
+  for (std::size_t k = stage; k < children_.size(); ++k) x = children_[k]->forward(x);
+  return x;
+}
+
+Tensor Sequential::forward_span(std::size_t start, const Tensor& input,
+                                std::vector<Tensor>* record) {
+  if (start > children_.size()) {
+    throw std::out_of_range("Sequential::forward_span: start out of range");
+  }
+  if (record != nullptr) record->assign(children_.size() + 1, Tensor{});
+  Tensor x = input;
+  for (std::size_t k = start; k < children_.size(); ++k) {
+    if (record != nullptr) (*record)[k] = x;
+    x = children_[k]->forward(x);
+  }
+  if (record != nullptr) (*record)[children_.size()] = x;
+  return x;
+}
+
+const Tensor& Sequential::cached_input(std::size_t k) const {
+  if (cache_.size() != children_.size() + 1) {
+    throw std::logic_error("Sequential::cached_input: no cached forward pass");
+  }
+  if (k >= cache_.size()) {
+    throw std::out_of_range("Sequential::cached_input: stage out of range");
+  }
+  return cache_[k];
+}
+
+void Sequential::clear_cache() { cache_.clear(); }
+
+void Sequential::collect_params(const std::string& prefix, std::vector<ParamRef>& out) {
+  for (std::size_t k = 0; k < children_.size(); ++k) {
+    children_[k]->collect_params(join_name(prefix, names_[k]), out);
+  }
+}
+
+void Sequential::collect_quant_layers(const std::string& prefix,
+                                      std::vector<QuantLayerRef>& out) {
+  for (std::size_t k = 0; k < children_.size(); ++k) {
+    children_[k]->collect_quant_layers(join_name(prefix, names_[k]), out);
+  }
+}
+
+void Sequential::set_training(bool training) {
+  Module::set_training(training);
+  for (auto& child : children_) child->set_training(training);
+}
+
+}  // namespace clado::nn

@@ -1,0 +1,149 @@
+#include "clado/quant/adaround.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "clado/quant/quantizer.h"
+
+namespace clado::quant {
+
+namespace {
+
+constexpr float kZeta = 1.1F;
+constexpr float kGamma = -0.1F;
+
+float rectified_sigmoid(float v) {
+  const float s = 1.0F / (1.0F + std::exp(-v));
+  return std::clamp(s * (kZeta - kGamma) + kGamma, 0.0F, 1.0F);
+}
+
+/// d h / d v, zero in the clipped regions.
+float rectified_sigmoid_grad(float v) {
+  const float s = 1.0F / (1.0F + std::exp(-v));
+  const float pre = s * (kZeta - kGamma) + kGamma;
+  if (pre <= 0.0F || pre >= 1.0F) return 0.0F;
+  return s * (1.0F - s) * (kZeta - kGamma);
+}
+
+double output_mse(clado::nn::Module& module, const Tensor& x, const Tensor& target) {
+  const Tensor out = module.forward(x);
+  double mse = 0.0;
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    const double d = static_cast<double>(out[i]) - target[i];
+    mse += d * d;
+  }
+  return mse / static_cast<double>(out.numel());
+}
+
+}  // namespace
+
+AdaRoundResult adaround_weight(clado::nn::Module& module, clado::nn::QuantizableLayer& layer,
+                               const Tensor& calib_input, int bits,
+                               const AdaRoundConfig& config) {
+  auto& weight = layer.weight_param();
+  const Tensor w_orig = weight.value;
+  const std::int64_t n = w_orig.numel();
+  const float scale = mse_optimal_scale_symmetric(w_orig, bits);
+  const float qmin = -std::ldexp(1.0F, bits - 1);
+  const float qmax = std::ldexp(1.0F, bits - 1) - 1.0F;
+
+  // Floor grid and initial V such that h(V) equals the fractional part
+  // (so the starting point reproduces round-to-"real value").
+  Tensor w_floor({n});
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float scaled = w_orig[i] / scale;
+    w_floor[i] = std::floor(scaled);
+    const float frac = std::clamp(scaled - w_floor[i], 1e-4F, 1.0F - 1e-4F);
+    const float p = std::clamp((frac - kGamma) / (kZeta - kGamma), 1e-4F, 1.0F - 1e-4F);
+    v[static_cast<std::size_t>(i)] = -std::log(1.0F / p - 1.0F);
+  }
+
+  auto assemble = [&](bool hard) {
+    Tensor w(w_orig.shape());
+    for (std::int64_t i = 0; i < n; ++i) {
+      float h = rectified_sigmoid(v[static_cast<std::size_t>(i)]);
+      if (hard) h = h >= 0.5F ? 1.0F : 0.0F;
+      w[i] = scale * std::clamp(w_floor[i] + h, qmin, qmax);
+    }
+    return w;
+  };
+
+  // Targets and baselines.
+  const Tensor target = module.forward(calib_input);  // fp32 layer output
+  AdaRoundResult result;
+  {
+    weight.value = quantize_symmetric(w_orig, bits, scale);
+    result.mse_nearest = output_mse(module, calib_input, target);
+  }
+
+  // Adam state.
+  std::vector<float> m(static_cast<std::size_t>(n), 0.0F);
+  std::vector<float> s2(static_cast<std::size_t>(n), 0.0F);
+  constexpr float kB1 = 0.9F, kB2 = 0.999F, kEps = 1e-8F;
+
+  const auto out_numel = static_cast<double>(target.numel());
+  for (int it = 0; it < config.iterations; ++it) {
+    weight.value = assemble(/*hard=*/false);
+    weight.zero_grad();
+    const Tensor out = module.forward(calib_input);
+    Tensor grad_out(out.shape());
+    for (std::int64_t i = 0; i < out.numel(); ++i) {
+      grad_out[i] = static_cast<float>(2.0 * (out[i] - target[i]) / out_numel);
+    }
+    module.backward(grad_out);  // accumulates dL/dW̃ into weight.grad
+
+    // Annealed rounding regularizer (off during warmup).
+    const double progress = static_cast<double>(it) / config.iterations;
+    const bool reg_on = progress >= config.warmup;
+    const double beta =
+        config.beta_start +
+        (config.beta_end - config.beta_start) *
+            std::max(0.0, (progress - config.warmup) / (1.0 - config.warmup));
+
+    for (std::int64_t i = 0; i < n; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      const float hgrad = rectified_sigmoid_grad(v[idx]);
+      // Chain rule through W̃ = s·clip(floor + h): clip zeroes the grad.
+      const float pre_clip = w_floor[i] + rectified_sigmoid(v[idx]);
+      float g = 0.0F;
+      if (pre_clip > qmin && pre_clip < qmax) {
+        g = weight.grad[i] * scale * hgrad;
+      }
+      if (reg_on) {
+        const float h = rectified_sigmoid(v[idx]);
+        const float t = 2.0F * h - 1.0F;
+        // d/dh [1 − |t|^β] = −β |t|^{β−1} sign(t) · 2
+        const float dreg =
+            -static_cast<float>(beta) *
+            std::pow(std::max(std::abs(t), 1e-6F), static_cast<float>(beta - 1.0)) *
+            (t >= 0.0F ? 1.0F : -1.0F) * 2.0F;
+        g += config.lambda * dreg * hgrad;
+      }
+      // Adam step.
+      m[idx] = kB1 * m[idx] + (1.0F - kB1) * g;
+      s2[idx] = kB2 * s2[idx] + (1.0F - kB2) * g * g;
+      const float mhat = m[idx] / (1.0F - std::pow(kB1, static_cast<float>(it + 1)));
+      const float shat = s2[idx] / (1.0F - std::pow(kB2, static_cast<float>(it + 1)));
+      v[idx] -= config.lr * mhat / (std::sqrt(shat) + kEps);
+    }
+  }
+
+  result.quantized = assemble(/*hard=*/true);
+  weight.value = result.quantized;
+  result.mse_adaround = output_mse(module, calib_input, target);
+
+  // Count weights rounded against the nearest-rounding decision.
+  const Tensor nearest = quantize_symmetric(w_orig, bits, scale);
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (std::abs(result.quantized[i] - nearest[i]) > 0.25F * scale) ++result.flipped;
+  }
+
+  weight.value = w_orig;
+  weight.zero_grad();
+  return result;
+}
+
+}  // namespace clado::quant

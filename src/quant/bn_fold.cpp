@@ -1,0 +1,67 @@
+#include "clado/quant/bn_fold.h"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "clado/nn/blocks.h"
+#include "clado/nn/layers.h"
+
+namespace clado::quant {
+
+namespace {
+
+using clado::nn::BatchNorm2d;
+using clado::nn::Conv2d;
+using clado::nn::Identity;
+using clado::nn::Module;
+using clado::nn::ResidualBlock;
+using clado::nn::Sequential;
+
+void fold_pair(Conv2d& conv, const BatchNorm2d& bn) {
+  const std::int64_t c = bn.channels();
+  std::vector<float> scale(static_cast<std::size_t>(c));
+  std::vector<float> shift(static_cast<std::size_t>(c));
+  for (std::int64_t i = 0; i < c; ++i) {
+    const float s =
+        bn.gamma()[i] / std::sqrt(bn.running_var()[i] + bn.eps());
+    scale[static_cast<std::size_t>(i)] = s;
+    shift[static_cast<std::size_t>(i)] = bn.beta()[i] - bn.running_mean()[i] * s;
+  }
+  conv.fold_scale_shift(scale, shift);
+}
+
+int fold_in_sequential(Sequential& seq);
+
+/// Recurses into composite modules that can contain (conv, bn) pairs.
+int fold_in_module(Module& module) {
+  if (auto* seq = dynamic_cast<Sequential*>(&module)) return fold_in_sequential(*seq);
+  if (auto* block = dynamic_cast<ResidualBlock*>(&module)) {
+    int folded = fold_in_sequential(block->main_path());
+    if (block->shortcut_path() != nullptr) folded += fold_in_sequential(*block->shortcut_path());
+    return folded;
+  }
+  return 0;
+}
+
+int fold_in_sequential(Sequential& seq) {
+  int folded = 0;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    folded += fold_in_module(seq.child(i));
+    if (i + 1 >= seq.size()) continue;
+    auto* conv = dynamic_cast<Conv2d*>(&seq.child(i));
+    auto* bn = dynamic_cast<BatchNorm2d*>(&seq.child(i + 1));
+    if (conv == nullptr || bn == nullptr) continue;
+    if (conv->out_channels() != bn->channels()) continue;  // not a foldable pair
+    fold_pair(*conv, *bn);
+    seq.replace_child(i + 1, std::make_unique<Identity>());
+    ++folded;
+  }
+  return folded;
+}
+
+}  // namespace
+
+int fold_batchnorm(clado::nn::Sequential& root) { return fold_in_sequential(root); }
+
+}  // namespace clado::quant

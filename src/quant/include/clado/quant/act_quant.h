@@ -1,0 +1,88 @@
+// Activation fake quantization (the paper quantizes activations to 8 bits
+// in every experiment; the MPQ decision variables are weights only).
+//
+// ActFakeQuant is a Module inserted after activations / blocks by the model
+// builders. It has three modes:
+//   kBypass   — identity (fp32 baseline behaviour)
+//   kObserve  — identity, but records calibration statistics
+//   kQuantize — affine uniform fake quantization with the frozen range;
+//               backward is the straight-through estimator with clipping
+//               (gradients are zeroed outside the representable range).
+//
+// Three observers decide how the frozen range is derived from what was
+// seen during calibration (the observer menu MQBench exposes):
+//   kMinMax      — exact running min/max (default; sensitive to outliers)
+//   kPercentile  — symmetric percentile clip on a deterministic reservoir
+//   kMse         — clipping range minimizing quantization MSE on the
+//                  reservoir (the activation analogue of the weight
+//                  calibration in quantizer.h)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "clado/nn/module.h"
+#include "clado/tensor/rng.h"
+
+namespace clado::quant {
+
+using clado::nn::Module;
+using clado::nn::Tensor;
+
+enum class ActQuantMode { kBypass, kObserve, kQuantize };
+
+enum class ObserverKind { kMinMax, kPercentile, kMse };
+
+const char* observer_name(ObserverKind k);
+
+class ActFakeQuant : public Module {
+ public:
+  explicit ActFakeQuant(int bits = 8, ObserverKind observer = ObserverKind::kMinMax,
+                        double percentile = 0.999);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string type_name() const override { return "ActFakeQuant"; }
+
+  void set_mode(ActQuantMode mode) { mode_ = mode; }
+  ActQuantMode mode() const { return mode_; }
+
+  /// Freezes scale/zero-point from the observed statistics. No-op when
+  /// nothing was observed (layer then passes through even in kQuantize
+  /// mode).
+  void freeze_from_observed();
+
+  /// Clears observed statistics and calibration (for re-calibration).
+  void reset_observer();
+
+  float scale() const { return scale_; }
+  float lo() const { return lo_; }
+  float hi() const { return hi_; }
+  bool calibrated() const { return calibrated_; }
+  ObserverKind observer() const { return observer_; }
+
+ private:
+  void observe(const Tensor& input);
+  /// Chooses the clipping range [lo, hi] according to the observer.
+  void choose_range(float& lo, float& hi) const;
+
+  int bits_;
+  ObserverKind observer_;
+  double percentile_;
+  ActQuantMode mode_ = ActQuantMode::kBypass;
+
+  bool observed_ = false;
+  bool calibrated_ = false;
+  float obs_min_ = 0.0F, obs_max_ = 0.0F;
+  // Deterministic reservoir sample of observed values (percentile / MSE).
+  std::vector<float> reservoir_;
+  std::int64_t seen_ = 0;
+  clado::tensor::Rng reservoir_rng_{0x0B5E7E};
+
+  float scale_ = 1.0F, zero_point_ = 0.0F;
+  float lo_ = 0.0F, hi_ = 0.0F;  // representable range after calibration
+
+  Tensor input_;  // stashed for the STE clip mask
+};
+
+}  // namespace clado::quant

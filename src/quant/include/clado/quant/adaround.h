@@ -1,0 +1,52 @@
+// AdaRound-style adaptive weight rounding (Nagel et al., "Up or Down?
+// Adaptive Rounding for Post-Training Quantization" — the rounding scheme
+// BRECQ builds on, referenced by the paper's prior-work discussion).
+//
+// Round-to-nearest minimizes weight-space error; AdaRound instead learns,
+// per weight, whether to round up or down so that the *layer output* on
+// calibration data is preserved:
+//
+//   W̃(V) = s · clip( ⌊W/s⌋ + h(V), qmin, qmax ),
+//   h(V)  = clip( sigmoid(V)·(ζ−γ) + γ, 0, 1 ),   ζ = 1.1, γ = −0.1,
+//   min_V ‖layer(X, W̃(V)) − layer(X, W)‖² + λ Σ (1 − |2h(V)−1|^β),
+//
+// with β annealed so h is eventually pushed to {0, 1}. Optimized with
+// Adam, gradients obtained through the layer's existing backward pass.
+#pragma once
+
+#include <cstdint>
+
+#include "clado/nn/module.h"
+
+namespace clado::quant {
+
+using clado::nn::Tensor;
+
+struct AdaRoundConfig {
+  int iterations = 250;
+  float lr = 1e-2F;
+  float lambda = 0.01F;     ///< rounding-regularizer weight
+  double beta_start = 20.0; ///< annealed soft-to-hard schedule
+  double beta_end = 2.0;
+  /// Fraction of iterations before the regularizer turns on (pure
+  /// reconstruction first, as in the reference implementation).
+  double warmup = 0.2;
+};
+
+/// Result of adaptive rounding for one layer.
+struct AdaRoundResult {
+  Tensor quantized;          ///< W̃ on the b-bit grid
+  double mse_nearest = 0.0;  ///< calibration output MSE of round-to-nearest
+  double mse_adaround = 0.0; ///< calibration output MSE of the result
+  int flipped = 0;           ///< weights rounded opposite to nearest
+};
+
+/// Learns the rounding of `layer`'s weight at `bits` on `calib_input`
+/// (a batch shaped like the layer's input). `module` and `layer` must
+/// refer to the same object (its Module and QuantizableLayer facets).
+/// The layer's weight and gradients are restored before returning.
+AdaRoundResult adaround_weight(clado::nn::Module& module, clado::nn::QuantizableLayer& layer,
+                               const Tensor& calib_input, int bits,
+                               const AdaRoundConfig& config = {});
+
+}  // namespace clado::quant

@@ -1,0 +1,27 @@
+// BatchNorm folding — the standard deployment transform applied before
+// weight quantization (MQBench's default for PTQ):
+//
+//   BN(conv(x)) = gamma * (conv(x) − mu) / sqrt(var + eps) + beta
+//               = conv'(x)    with   W' = W * s,  b' = b * s + (beta − mu * s),
+//                                    s  = gamma / sqrt(var + eps)  (per channel)
+//
+// Folding changes the weight tensors the MPQ problem quantizes — the
+// sensitivities of a deployed (folded) network differ from the training
+// graph's, which is why the pipeline lets you fold first and measure after.
+#pragma once
+
+#include "clado/nn/sequential.h"
+
+namespace clado::quant {
+
+/// Recursively folds every (Conv2d, BatchNorm2d) adjacent pair found in
+/// `root` (including inside residual blocks and their shortcuts) into the
+/// convolution, replacing the BatchNorm with an Identity. The model must be
+/// in eval mode semantics (running statistics are used). Returns the number
+/// of BatchNorms folded.
+///
+/// Note: convolutions built without a bias gain one, so a state dict saved
+/// after folding is not loadable into an unfolded graph.
+int fold_batchnorm(clado::nn::Sequential& root);
+
+}  // namespace clado::quant

@@ -1,0 +1,67 @@
+// Integer-arithmetic inference kernels.
+//
+// Fake quantization (the rest of this library) simulates quantized
+// inference in float. These kernels execute it the way fixed-point
+// hardware would: int8 storage, int32 accumulation, float only at the
+// final rescale. They certify that a (weight-scale, activation-scale)
+// pair realizes the fake-quant semantics bit-exactly:
+//
+//     dequant(A) ·_fp32 dequant(B)  ==  (sa · sb) · [ (A − za) ·_int (B − zb) ]
+//
+// which is what makes the accuracy numbers measured with fake quant valid
+// claims about an integer deployment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "clado/tensor/tensor.h"
+
+namespace clado::quant {
+
+using clado::tensor::Shape;
+using clado::tensor::Tensor;
+
+/// Affine-quantized int8 tensor: real value = (q − zero_point) * scale.
+struct QTensor {
+  Shape shape;
+  std::vector<std::int8_t> data;
+  float scale = 1.0F;
+  std::int32_t zero_point = 0;
+
+  std::int64_t numel() const { return static_cast<std::int64_t>(data.size()); }
+  std::int64_t size(std::size_t axis) const { return shape[axis]; }
+};
+
+/// Affine parameters covering [lo, hi] with zero exactly representable.
+struct QParams {
+  float scale = 1.0F;
+  std::int32_t zero_point = 0;
+};
+QParams choose_qparams(float lo, float hi);
+
+/// Quantizes with explicit parameters (round-to-nearest, saturating).
+QTensor quantize_int8(const Tensor& x, QParams params);
+
+/// Quantizes with parameters derived from the tensor's own min/max.
+QTensor quantize_int8_minmax(const Tensor& x);
+
+Tensor dequantize(const QTensor& q);
+
+/// C(int32)[M,N] = Σ_k (A[i,k] − za) · (B[j,k] − zb), with B stored
+/// row-major as [N, K] (i.e. already transposed, the weight layout).
+/// Implemented with the zero-point expansion so the inner loop is a pure
+/// int8×int8→int32 dot product.
+void gemm_s8s8_s32(std::int64_t m, std::int64_t n, std::int64_t k, const std::int8_t* a,
+                   std::int32_t za, const std::int8_t* b, std::int32_t zb, std::int32_t* c);
+
+/// Fully-integer linear layer: x [M,K] int8, w [N,K] int8, optional fp32
+/// bias [N]; returns fp32 output [M,N] = (sx·sw)·acc + bias.
+Tensor qlinear(const QTensor& x, const QTensor& w, const float* bias);
+
+/// Fully-integer 2-d convolution (NCHW, square kernel, no groups):
+/// returns fp32 output; weights [O, C, k, k] int8.
+Tensor qconv2d(const QTensor& x, const QTensor& w, const float* bias, std::int64_t stride,
+               std::int64_t pad);
+
+}  // namespace clado::quant

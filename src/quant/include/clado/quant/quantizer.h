@@ -1,0 +1,61 @@
+// Weight quantizers.
+//
+// Matches the paper's setup (§4.1 / §5.1): uniform quantization with
+// MSE-optimal scale factors; per-tensor symmetric by default, per-channel
+// affine for MobileNetV3 and ViT (the experiments marked "+" in Table 1):
+//   Q(w, b) = clip(round(w / s), −2^{b−1}, 2^{b−1}−1) · s          (symmetric)
+//   Q(w, b) = (clip(round(w / s) + z, 0, 2^b−1) − z) · s           (affine)
+#pragma once
+
+#include <cstdint>
+
+#include "clado/tensor/tensor.h"
+
+namespace clado::quant {
+
+using clado::tensor::Tensor;
+
+enum class WeightScheme {
+  kPerTensorSymmetric,   ///< paper default (§4.1)
+  kPerChannelAffine,     ///< the "+" experiments (MobileNetV3, ViT)
+  kPerChannelSymmetric,  ///< per-channel scale, zero-centred grid
+  kPerTensorAffine,      ///< single scale + zero point
+};
+
+const char* scheme_name(WeightScheme s);
+
+/// Fake-quantizes `w` to `bits` with the given symmetric scale.
+Tensor quantize_symmetric(const Tensor& w, int bits, float scale);
+
+/// Mean squared error between w and Q(w, bits, scale).
+double quant_mse_symmetric(const Tensor& w, int bits, float scale);
+
+/// Grid-searches the symmetric scale minimizing MSE (the calibration the
+/// paper inherits from MPQCO/MQBench). Deterministic.
+float mse_optimal_scale_symmetric(const Tensor& w, int bits,
+                                  int grid_points = 80);
+
+/// Fake-quantizes with the MSE-optimal symmetric scale.
+Tensor quantize_symmetric_mse(const Tensor& w, int bits);
+
+/// Per-output-channel affine fake quantization with per-channel MSE range
+/// shrinking. `w`'s first axis is the channel axis ([out, ...]).
+Tensor quantize_per_channel_affine_mse(const Tensor& w, int bits,
+                                       int grid_points = 40);
+
+/// Per-output-channel symmetric fake quantization (MSE-optimal scale per
+/// channel).
+Tensor quantize_per_channel_symmetric_mse(const Tensor& w, int bits,
+                                          int grid_points = 40);
+
+/// Whole-tensor affine fake quantization with MSE range shrinking.
+Tensor quantize_per_tensor_affine_mse(const Tensor& w, int bits, int grid_points = 40);
+
+/// Dispatches on scheme; the entry point the sensitivity engine uses to
+/// build Δw_m^(i) = Q(w, b_m) − w.
+Tensor quantize_weight(const Tensor& w, int bits, WeightScheme scheme);
+
+/// Bytes occupied by `numel` weights stored at `bits` bits each.
+double weight_bytes(std::int64_t numel, int bits);
+
+}  // namespace clado::quant

@@ -1,0 +1,166 @@
+#include "clado/quant/int8.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "clado/tensor/ops.h"
+
+namespace clado::quant {
+
+QParams choose_qparams(float lo, float hi) {
+  lo = std::min(lo, 0.0F);
+  hi = std::max(hi, 0.0F);
+  if (hi - lo < 1e-8F) hi = lo + 1e-8F;
+  QParams p;
+  p.scale = (hi - lo) / 255.0F;
+  p.zero_point =
+      static_cast<std::int32_t>(std::nearbyint(-128.0F - lo / p.scale));
+  p.zero_point = std::clamp(p.zero_point, -128, 127);
+  return p;
+}
+
+QTensor quantize_int8(const Tensor& x, QParams params) {
+  QTensor q;
+  q.shape = x.shape();
+  q.scale = params.scale;
+  q.zero_point = params.zero_point;
+  q.data.resize(static_cast<std::size_t>(x.numel()));
+  const float inv = 1.0F / params.scale;
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const float v = std::nearbyint(x[i] * inv) + static_cast<float>(params.zero_point);
+    q.data[static_cast<std::size_t>(i)] =
+        static_cast<std::int8_t>(std::clamp(v, -128.0F, 127.0F));
+  }
+  return q;
+}
+
+QTensor quantize_int8_minmax(const Tensor& x) {
+  if (x.empty()) throw std::invalid_argument("quantize_int8_minmax: empty tensor");
+  return quantize_int8(x, choose_qparams(x.min(), x.max()));
+}
+
+Tensor dequantize(const QTensor& q) {
+  Tensor out(q.shape);
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    out[i] = (static_cast<float>(q.data[static_cast<std::size_t>(i)]) -
+              static_cast<float>(q.zero_point)) *
+             q.scale;
+  }
+  return out;
+}
+
+void gemm_s8s8_s32(std::int64_t m, std::int64_t n, std::int64_t k, const std::int8_t* a,
+                   std::int32_t za, const std::int8_t* b, std::int32_t zb, std::int32_t* c) {
+  // Σ (a − za)(b − zb) = Σ ab − zb Σ a_row − za Σ b_row + K·za·zb.
+  std::vector<std::int32_t> row_sum_a(static_cast<std::size_t>(m), 0);
+  std::vector<std::int32_t> row_sum_b(static_cast<std::size_t>(n), 0);
+  for (std::int64_t i = 0; i < m; ++i) {
+    std::int32_t acc = 0;
+    const std::int8_t* arow = a + i * k;
+    for (std::int64_t p = 0; p < k; ++p) acc += arow[p];
+    row_sum_a[static_cast<std::size_t>(i)] = acc;
+  }
+  for (std::int64_t j = 0; j < n; ++j) {
+    std::int32_t acc = 0;
+    const std::int8_t* brow = b + j * k;
+    for (std::int64_t p = 0; p < k; ++p) acc += brow[p];
+    row_sum_b[static_cast<std::size_t>(j)] = acc;
+  }
+  const std::int32_t kzz = static_cast<std::int32_t>(k) * za * zb;
+
+  for (std::int64_t i = 0; i < m; ++i) {
+    const std::int8_t* arow = a + i * k;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const std::int8_t* brow = b + j * k;
+      // Pure int8 dot product with widening; vectorizes to pmaddubsw-style
+      // code under -O3 on most targets.
+      std::int32_t acc = 0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        acc += static_cast<std::int32_t>(arow[p]) * static_cast<std::int32_t>(brow[p]);
+      }
+      c[i * n + j] = acc - zb * row_sum_a[static_cast<std::size_t>(i)] -
+                     za * row_sum_b[static_cast<std::size_t>(j)] + kzz;
+    }
+  }
+}
+
+Tensor qlinear(const QTensor& x, const QTensor& w, const float* bias) {
+  if (x.shape.size() != 2 || w.shape.size() != 2 || x.shape[1] != w.shape[1]) {
+    throw std::invalid_argument("qlinear: expects x [M,K], w [N,K]");
+  }
+  const std::int64_t m = x.shape[0];
+  const std::int64_t k = x.shape[1];
+  const std::int64_t n = w.shape[0];
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(m * n));
+  gemm_s8s8_s32(m, n, k, x.data.data(), x.zero_point, w.data.data(), w.zero_point, acc.data());
+
+  Tensor out({m, n});
+  const float rescale = x.scale * w.scale;
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      float v = rescale * static_cast<float>(acc[static_cast<std::size_t>(i * n + j)]);
+      if (bias != nullptr) v += bias[j];
+      out.data()[i * n + j] = v;
+    }
+  }
+  return out;
+}
+
+Tensor qconv2d(const QTensor& x, const QTensor& w, const float* bias, std::int64_t stride,
+               std::int64_t pad) {
+  if (x.shape.size() != 4 || w.shape.size() != 4 || x.shape[1] != w.shape[1]) {
+    throw std::invalid_argument("qconv2d: expects x [N,C,H,W], w [O,C,k,k]");
+  }
+  const std::int64_t batch = x.shape[0];
+  const std::int64_t channels = x.shape[1];
+  const std::int64_t h = x.shape[2];
+  const std::int64_t width = x.shape[3];
+  const std::int64_t out_c = w.shape[0];
+  const std::int64_t kernel = w.shape[2];
+  const std::int64_t oh = clado::tensor::conv_out_size(h, kernel, stride, pad);
+  const std::int64_t ow = clado::tensor::conv_out_size(width, kernel, stride, pad);
+  const std::int64_t positions = oh * ow;
+  const std::int64_t patch = channels * kernel * kernel;
+
+  // int8 im2col: padding contributes the zero point (real value 0).
+  std::vector<std::int8_t> cols(static_cast<std::size_t>(positions * patch));
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(out_c * positions));
+  Tensor out({batch, out_c, oh, ow});
+
+  for (std::int64_t s = 0; s < batch; ++s) {
+    const std::int8_t* img = x.data.data() + s * channels * h * width;
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        std::int8_t* row = cols.data() + (oy * ow + ox) * patch;
+        for (std::int64_t ch = 0; ch < channels; ++ch) {
+          const std::int8_t* plane = img + ch * h * width;
+          for (std::int64_t ky = 0; ky < kernel; ++ky) {
+            const std::int64_t iy = oy * stride + ky - pad;
+            for (std::int64_t kx = 0; kx < kernel; ++kx) {
+              const std::int64_t ix = ox * stride + kx - pad;
+              const bool inside = iy >= 0 && iy < h && ix >= 0 && ix < width;
+              *row++ = inside ? plane[iy * width + ix]
+                              : static_cast<std::int8_t>(x.zero_point);
+            }
+          }
+        }
+      }
+    }
+    // acc [positions, out_c] via the shared int8 GEMM, then scatter.
+    gemm_s8s8_s32(positions, out_c, patch, cols.data(), x.zero_point, w.data.data(),
+                  w.zero_point, acc.data());
+    const float rescale = x.scale * w.scale;
+    float* obase = out.data() + s * out_c * positions;
+    for (std::int64_t p = 0; p < positions; ++p) {
+      for (std::int64_t c = 0; c < out_c; ++c) {
+        float v = rescale * static_cast<float>(acc[static_cast<std::size_t>(p * out_c + c)]);
+        if (bias != nullptr) v += bias[c];
+        obase[c * positions + p] = v;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace clado::quant

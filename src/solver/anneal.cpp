@@ -1,0 +1,97 @@
+#include "clado/solver/anneal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "clado/tensor/rng.h"
+
+namespace clado::solver {
+
+namespace {
+
+/// Feasible start: cheapest choice per group (greedy with zero values).
+bool cheapest_start(const QuadraticProblem& p, std::vector<int>& choice) {
+  choice.assign(p.cost.size(), 0);
+  double total = 0.0;
+  for (std::size_t g = 0; g < p.cost.size(); ++g) {
+    std::size_t best = 0;
+    for (std::size_t m = 1; m < p.cost[g].size(); ++m) {
+      if (p.cost[g][m] < p.cost[g][best]) best = m;
+    }
+    choice[g] = static_cast<int>(best);
+    total += p.cost[g][best];
+  }
+  return total <= p.budget + 1e-9;
+}
+
+}  // namespace
+
+AnnealResult solve_anneal(const QuadraticProblem& problem, const AnnealOptions& options) {
+  problem.validate();
+  AnnealResult result;
+  std::vector<int> start;
+  if (!cheapest_start(problem, start)) return result;
+
+  clado::tensor::Rng rng(options.seed);
+  double global_best = std::numeric_limits<double>::infinity();
+
+  for (int restart = 0; restart < options.restarts; ++restart) {
+    std::vector<int> choice = start;
+    // Perturb restarts 1.. with random feasible re-picks.
+    if (restart > 0) {
+      for (std::size_t g = 0; g < choice.size(); ++g) {
+        const auto m = static_cast<int>(rng.uniform_int(problem.cost[g].size()));
+        const double dcost = problem.cost[g][static_cast<std::size_t>(m)] -
+                             problem.cost[g][static_cast<std::size_t>(choice[g])];
+        if (problem.integer_cost(choice) + dcost <= problem.budget + 1e-9) choice[g] = m;
+      }
+    }
+    double obj = problem.integer_objective(choice);
+    double cost = problem.integer_cost(choice);
+    std::vector<int> best_choice = choice;
+    double best_obj = obj;
+
+    // Temperature scale tied to the objective magnitude.
+    const double scale = std::max(1e-12, std::abs(obj));
+    for (std::int64_t it = 0; it < options.iterations; ++it) {
+      const double progress = static_cast<double>(it) / static_cast<double>(options.iterations);
+      const double temp = scale * options.t_start *
+                          std::pow(options.t_end / options.t_start, progress);
+
+      const auto g = static_cast<std::size_t>(rng.uniform_int(problem.cost.size()));
+      const auto m = static_cast<int>(rng.uniform_int(problem.cost[g].size()));
+      if (m == choice[g]) continue;
+      const double dcost = problem.cost[g][static_cast<std::size_t>(m)] -
+                           problem.cost[g][static_cast<std::size_t>(choice[g])];
+      if (cost + dcost > problem.budget + 1e-9) continue;
+
+      const int old = choice[g];
+      choice[g] = m;
+      const double new_obj = problem.integer_objective(choice);
+      const double delta = new_obj - obj;
+      if (delta <= 0.0 || rng.uniform() < std::exp(-delta / temp)) {
+        obj = new_obj;
+        cost += dcost;
+        if (obj < best_obj) {
+          best_obj = obj;
+          best_choice = choice;
+        }
+      } else {
+        choice[g] = old;
+      }
+    }
+
+    best_obj = local_search_1opt(problem, best_choice);
+    if (best_obj < global_best) {
+      global_best = best_obj;
+      result.choice = best_choice;
+    }
+  }
+
+  result.objective = global_best;
+  result.feasible = true;
+  return result;
+}
+
+}  // namespace clado::solver

@@ -1,0 +1,32 @@
+// Simulated-annealing fallback for indefinite objectives.
+//
+// When the PSD approximation is disabled (Figure 7 ablation), the IQP's
+// relaxation bounds become invalid and branch-and-bound degenerates; this
+// annealer provides a budget-bounded heuristic so the pipeline still emits
+// an assignment (mirroring practitioners falling back to heuristics when
+// the exact solver fails to converge).
+#pragma once
+
+#include <cstdint>
+
+#include "clado/solver/iqp.h"
+
+namespace clado::solver {
+
+struct AnnealOptions {
+  std::int64_t iterations = 20000;
+  double t_start = 1.0;   ///< initial temperature, scaled by objective range
+  double t_end = 1e-4;
+  std::uint64_t seed = 1;
+  int restarts = 3;
+};
+
+struct AnnealResult {
+  std::vector<int> choice;
+  double objective = 0.0;
+  bool feasible = false;
+};
+
+AnnealResult solve_anneal(const QuadraticProblem& problem, const AnnealOptions& options = {});
+
+}  // namespace clado::solver

@@ -1,0 +1,51 @@
+// Branch-and-bound Integer Quadratic Program solver for Eq. (11):
+//   min αᵀ Ĝ α   s.t. one-hot groups, Σ size(i,m)·α_im <= C_target.
+//
+// Node bounds come from the Frank–Wolfe convex relaxation (qp.h); with a
+// PSD Ĝ (Algorithm 1's projection step) the bounds are valid and the
+// search is exact up to tolerance. Incumbents come from rounding the
+// relaxed point followed by 1-opt local search. Without PSD the bounds are
+// declared invalid (options.objective_convex = false) and the solver
+// degenerates to a node-limited heuristic — reproducing the paper's
+// "solver unable to converge" ablation (§7, Figure 7).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "clado/solver/qp.h"
+
+namespace clado::solver {
+
+struct IqpOptions {
+  std::int64_t max_nodes = 20000;
+  FwOptions fw;
+  double abs_tol = 1e-9;        ///< prune when bound >= incumbent − tol
+  double time_limit_sec = 120.0;
+  bool objective_convex = true; ///< false disables bound-based pruning
+};
+
+struct IqpResult {
+  std::vector<int> choice;      ///< per-group selected index (empty if infeasible)
+  double objective = 0.0;
+  double best_bound = 0.0;      ///< global lower bound at termination
+  std::int64_t nodes = 0;
+  bool feasible = false;
+  bool proven_optimal = false;
+  bool hit_limit = false;       ///< node or time limit reached
+  double seconds = 0.0;
+};
+
+IqpResult solve_iqp(const QuadraticProblem& problem, const IqpOptions& options = {});
+
+/// 1-opt local search: repeatedly moves single groups to a better feasible
+/// choice until no move improves. Refines `choice` in place; returns the
+/// final objective. Used internally and exposed for the annealer/tests.
+double local_search_1opt(const QuadraticProblem& problem, std::vector<int>& choice,
+                         const std::vector<std::vector<char>>& allowed = {},
+                         int max_passes = 50);
+
+/// Exhaustive enumeration (tests only; exponential).
+IqpResult solve_iqp_brute_force(const QuadraticProblem& problem);
+
+}  // namespace clado::solver

@@ -1,0 +1,64 @@
+// Multiple-choice knapsack machinery.
+//
+// Two consumers:
+//   * Baseline MPQ methods (HAWQ / MPQCO / CLADO*) have separable linear
+//     objectives — their bit allocation IS a multiple-choice knapsack,
+//     solved exactly here by dynamic programming over a scaled cost grid.
+//   * CLADO's IQP branch-and-bound uses the exact LP relaxation of the
+//     MCKP polytope as the linear-minimization oracle inside Frank–Wolfe
+//     (the classic Sinha–Zoltners dominance + greedy-efficiency solution,
+//     which has at most one fractional group).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace clado::solver {
+
+/// One choice group: parallel arrays of value (to minimize) and cost.
+struct ChoiceGroup {
+  std::vector<double> value;
+  std::vector<double> cost;
+};
+
+/// Integer solution: chosen index per group, or empty if infeasible.
+struct MckpSolution {
+  std::vector<int> choice;
+  double value = 0.0;
+  double cost = 0.0;
+  bool feasible = false;
+};
+
+/// Exact DP on a scaled cost grid with `buckets` cells. Costs are rounded
+/// UP to grid cells, so the returned solution is always feasible for the
+/// true budget; with enough buckets (default 4096) the value is exact for
+/// the instances this project produces. Groups where even the cheapest
+/// choice exceeds the budget make the instance infeasible.
+MckpSolution solve_mckp_dp(const std::vector<ChoiceGroup>& groups, double budget,
+                           int buckets = 4096);
+
+/// Brute-force reference (exponential; tests only).
+MckpSolution solve_mckp_brute_force(const std::vector<ChoiceGroup>& groups, double budget);
+
+/// Fractional solution of the LP relaxation: per group, a weight per choice
+/// (sums to 1; at most one group fractional at the optimum).
+struct MckpLpSolution {
+  std::vector<std::vector<double>> weight;
+  double value = 0.0;
+  double cost = 0.0;
+  bool feasible = false;
+};
+
+/// Exact LP relaxation via per-group lower convex hulls + global greedy
+/// efficiency walk. `allowed[i][m] == false` masks out a choice (used by
+/// branch-and-bound child nodes); pass empty `allowed` for no mask.
+MckpLpSolution solve_mckp_lp(const std::vector<ChoiceGroup>& groups, double budget,
+                             const std::vector<std::vector<char>>& allowed = {});
+
+/// Greedy integer repair: starts from the per-group cheapest allowed
+/// choice and applies whole efficiency steps while the budget lasts.
+/// Always feasible when the base is; used to seed incumbents.
+MckpSolution solve_mckp_greedy(const std::vector<ChoiceGroup>& groups, double budget,
+                               const std::vector<std::vector<char>>& allowed = {});
+
+}  // namespace clado::solver

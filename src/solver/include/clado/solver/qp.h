@@ -1,0 +1,59 @@
+// Continuous relaxation machinery for the IQP: Frank–Wolfe over the
+// multiple-choice-knapsack polytope.
+//
+// The relaxed feasible set of Eq. (11) is
+//   { x >= 0, per-group sums = 1, Σ cost·x <= budget },
+// whose linear-minimization oracle is the exact MCKP LP (mckp.h). For a
+// PSD objective the Frank–Wolfe duality gap yields valid lower bounds,
+// which is what makes branch-and-bound exact (mirroring the role of the
+// convex QP relaxation inside Gurobi in the paper's setup).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "clado/solver/mckp.h"
+#include "clado/tensor/tensor.h"
+
+namespace clado::solver {
+
+using clado::tensor::Tensor;
+
+/// min xᵀGx over the relaxed multiple-choice knapsack polytope.
+struct QuadraticProblem {
+  Tensor G;                               ///< [n, n] symmetric objective
+  std::vector<std::vector<double>> cost;  ///< cost[g][m], flat size == n
+  double budget = 0.0;
+
+  std::int64_t total_choices() const;
+  std::int64_t num_groups() const { return static_cast<std::int64_t>(cost.size()); }
+  /// Flat offset of group g's first choice.
+  std::int64_t offset(std::size_t g) const;
+  /// Validates shape consistency; throws std::invalid_argument.
+  void validate() const;
+
+  /// Objective of an integer assignment (choice index per group).
+  double integer_objective(const std::vector<int>& choice) const;
+  /// Total cost of an integer assignment.
+  double integer_cost(const std::vector<int>& choice) const;
+};
+
+struct FwOptions {
+  int max_iters = 200;
+  double gap_tol = 1e-8;  ///< stop when duality gap <= gap_tol * max(1, |f|)
+};
+
+struct FwResult {
+  std::vector<double> x;      ///< flat relaxed solution (empty if infeasible)
+  double objective = 0.0;
+  double lower_bound = 0.0;   ///< best FW dual bound (valid when G is PSD)
+  int iterations = 0;
+  bool feasible = false;
+};
+
+/// Runs Frank–Wolfe from a feasible integer warm start. `allowed` masks
+/// choices per group (empty = all allowed).
+FwResult frank_wolfe(const QuadraticProblem& problem, const FwOptions& options,
+                     const std::vector<std::vector<char>>& allowed = {});
+
+}  // namespace clado::solver

@@ -1,0 +1,284 @@
+#include "clado/solver/iqp.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace clado::solver {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Flat index of group g's choice m.
+std::int64_t flat_index(const QuadraticProblem& p, std::size_t g, int m) {
+  return p.offset(g) + m;
+}
+
+/// Incremental evaluation state: selected flat index per group and
+/// row-sum vector r[i] = Σ_h G[i][sel_h].
+struct IncrementalEval {
+  const QuadraticProblem* problem;
+  std::vector<std::int64_t> sel;
+  std::vector<double> rowsum;
+  double objective = 0.0;
+  double cost = 0.0;
+
+  void reset(const QuadraticProblem& p, const std::vector<int>& choice) {
+    problem = &p;
+    const std::int64_t n = p.total_choices();
+    sel.clear();
+    for (std::size_t g = 0; g < p.cost.size(); ++g) sel.push_back(flat_index(p, g, choice[g]));
+    rowsum.assign(static_cast<std::size_t>(n), 0.0);
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float* row = p.G.data() + i * n;
+      double acc = 0.0;
+      for (std::int64_t s : sel) acc += row[s];
+      rowsum[static_cast<std::size_t>(i)] = acc;
+    }
+    objective = 0.0;
+    for (std::int64_t s : sel) objective += rowsum[static_cast<std::size_t>(s)];
+    cost = p.integer_cost(choice);
+  }
+
+  /// Objective delta of moving group g from its current flat choice to
+  /// flat index b (G symmetric).
+  double move_delta(std::size_t g, std::int64_t b) const {
+    const std::int64_t n = problem->total_choices();
+    const std::int64_t a = sel[g];
+    if (a == b) return 0.0;
+    const double gaa = problem->G.data()[a * n + a];
+    const double gbb = problem->G.data()[b * n + b];
+    const double gab = problem->G.data()[a * n + b];
+    // rowsum includes the contribution of a itself; remove it to get the
+    // cross term against the other groups.
+    const double cross_a = rowsum[static_cast<std::size_t>(a)] - gaa;
+    const double cross_b = rowsum[static_cast<std::size_t>(b)] - gab;
+    return gbb - gaa + 2.0 * (cross_b - cross_a);
+  }
+
+  void apply_move(std::size_t g, int m_new, double dcost) {
+    const std::int64_t n = problem->total_choices();
+    const std::int64_t a = sel[g];
+    const std::int64_t b = flat_index(*problem, g, m_new);
+    objective += move_delta(g, b);
+    cost += dcost;
+    for (std::int64_t i = 0; i < n; ++i) {
+      rowsum[static_cast<std::size_t>(i)] +=
+          problem->G.data()[i * n + b] - problem->G.data()[i * n + a];
+    }
+    sel[g] = b;
+  }
+};
+
+bool allowed_at(const std::vector<std::vector<char>>& allowed, std::size_t g, std::size_t m) {
+  if (allowed.empty()) return true;
+  return allowed[g][m] != 0;
+}
+
+}  // namespace
+
+double local_search_1opt(const QuadraticProblem& problem, std::vector<int>& choice,
+                         const std::vector<std::vector<char>>& allowed, int max_passes) {
+  IncrementalEval eval;
+  eval.reset(problem, choice);
+  for (int pass = 0; pass < max_passes; ++pass) {
+    bool improved = false;
+    for (std::size_t g = 0; g < problem.cost.size(); ++g) {
+      const int current = choice[g];
+      int best_m = current;
+      double best_delta = -1e-12;  // require strict improvement
+      for (std::size_t m = 0; m < problem.cost[g].size(); ++m) {
+        if (static_cast<int>(m) == current || !allowed_at(allowed, g, m)) continue;
+        const double dcost = problem.cost[g][m] - problem.cost[g][static_cast<std::size_t>(current)];
+        if (eval.cost + dcost > problem.budget + 1e-9) continue;
+        const double delta = eval.move_delta(g, flat_index(problem, g, static_cast<int>(m)));
+        if (delta < best_delta) {
+          best_delta = delta;
+          best_m = static_cast<int>(m);
+        }
+      }
+      if (best_m != current) {
+        const double dcost =
+            problem.cost[g][static_cast<std::size_t>(best_m)] -
+            problem.cost[g][static_cast<std::size_t>(current)];
+        eval.apply_move(g, best_m, dcost);
+        choice[g] = best_m;
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+  return eval.objective;
+}
+
+namespace {
+
+struct Node {
+  std::vector<std::vector<char>> allowed;
+  double parent_bound;
+};
+
+std::vector<std::vector<char>> full_mask(const QuadraticProblem& p) {
+  std::vector<std::vector<char>> mask(p.cost.size());
+  for (std::size_t g = 0; g < p.cost.size(); ++g) mask[g].assign(p.cost[g].size(), 1);
+  return mask;
+}
+
+/// Rounds the relaxed point into a feasible integer incumbent: integer
+/// greedy on the gradient at x (captures curvature), then 1-opt.
+bool round_to_incumbent(const QuadraticProblem& p, const std::vector<double>& x,
+                        const std::vector<std::vector<char>>& allowed,
+                        std::vector<int>& choice, double& objective) {
+  const std::int64_t n = p.total_choices();
+  std::vector<double> grad(static_cast<std::size_t>(n), 0.0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = p.G.data() + i * n;
+    double acc = 0.0;
+    for (std::int64_t j = 0; j < n; ++j) acc += static_cast<double>(row[j]) * x[static_cast<std::size_t>(j)];
+    grad[static_cast<std::size_t>(i)] = 2.0 * acc;
+  }
+  std::vector<ChoiceGroup> groups(p.cost.size());
+  std::size_t k = 0;
+  for (std::size_t g = 0; g < p.cost.size(); ++g) {
+    groups[g].cost = p.cost[g];
+    groups[g].value.resize(p.cost[g].size());
+    for (std::size_t m = 0; m < p.cost[g].size(); ++m) groups[g].value[m] = grad[k++];
+  }
+  const MckpSolution greedy = solve_mckp_greedy(groups, p.budget, allowed);
+  if (!greedy.feasible) return false;
+  choice = greedy.choice;
+  objective = local_search_1opt(p, choice);
+  return true;
+}
+
+}  // namespace
+
+IqpResult solve_iqp(const QuadraticProblem& problem, const IqpOptions& options) {
+  problem.validate();
+  const auto t_start = std::chrono::steady_clock::now();
+  auto elapsed = [&]() {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start).count();
+  };
+
+  IqpResult result;
+  std::vector<Node> stack;
+  stack.push_back({full_mask(problem), -kInf});
+
+  double incumbent = kInf;
+  std::vector<int> incumbent_choice;
+  double open_bound_min = kInf;  // min bound among nodes discarded by limits
+
+  while (!stack.empty()) {
+    if (result.nodes >= options.max_nodes || elapsed() > options.time_limit_sec) {
+      result.hit_limit = true;
+      for (const auto& node : stack) open_bound_min = std::min(open_bound_min, node.parent_bound);
+      break;
+    }
+    Node node = std::move(stack.back());
+    stack.pop_back();
+    ++result.nodes;
+
+    if (options.objective_convex && node.parent_bound >= incumbent - options.abs_tol) {
+      continue;  // parent bound already prunes this subtree
+    }
+
+    const FwResult relax = frank_wolfe(problem, options.fw, node.allowed);
+    if (!relax.feasible) continue;
+    const double bound = options.objective_convex ? relax.lower_bound : -kInf;
+    if (bound >= incumbent - options.abs_tol) continue;
+
+    std::vector<int> cand;
+    double cand_obj = 0.0;
+    if (round_to_incumbent(problem, relax.x, node.allowed, cand, cand_obj)) {
+      if (cand_obj < incumbent) {
+        incumbent = cand_obj;
+        incumbent_choice = cand;
+      }
+    }
+
+    // Find the most fractional group.
+    std::size_t branch_group = 0;
+    double worst_intness = 1.0;
+    std::int64_t off = 0;
+    for (std::size_t g = 0; g < problem.cost.size(); ++g) {
+      double mx = 0.0;
+      for (std::size_t m = 0; m < problem.cost[g].size(); ++m) {
+        mx = std::max(mx, relax.x[static_cast<std::size_t>(off) + m]);
+      }
+      if (mx < worst_intness) {
+        worst_intness = mx;
+        branch_group = g;
+      }
+      off += static_cast<std::int64_t>(problem.cost[g].size());
+    }
+    if (worst_intness > 1.0 - 1e-7) {
+      // Relaxation is integral: its objective equals the bound; the
+      // incumbent update above already captured it (rounding at an
+      // integral x reproduces x). Nothing to branch on.
+      continue;
+    }
+
+    // Children: fix branch_group to each allowed choice, most promising
+    // (largest relaxed weight) explored first => push in ascending order.
+    const std::int64_t goff = problem.offset(branch_group);
+    std::vector<std::pair<double, int>> order;
+    for (std::size_t m = 0; m < problem.cost[branch_group].size(); ++m) {
+      if (!allowed_at(node.allowed, branch_group, m)) continue;
+      order.emplace_back(relax.x[static_cast<std::size_t>(goff) + m], static_cast<int>(m));
+    }
+    std::sort(order.begin(), order.end());  // ascending; top of stack = best
+    for (const auto& [weight, m] : order) {
+      Node child;
+      child.allowed = node.allowed;
+      std::fill(child.allowed[branch_group].begin(), child.allowed[branch_group].end(), 0);
+      child.allowed[branch_group][static_cast<std::size_t>(m)] = 1;
+      child.parent_bound = bound;
+      stack.push_back(std::move(child));
+    }
+  }
+
+  result.seconds = elapsed();
+  if (incumbent < kInf) {
+    result.feasible = true;
+    result.choice = incumbent_choice;
+    result.objective = incumbent;
+    result.best_bound = result.hit_limit ? std::min(open_bound_min, incumbent) : incumbent;
+    result.proven_optimal = !result.hit_limit && options.objective_convex;
+  }
+  return result;
+}
+
+IqpResult solve_iqp_brute_force(const QuadraticProblem& problem) {
+  problem.validate();
+  IqpResult result;
+  const std::size_t n = problem.cost.size();
+  std::vector<int> choice(n, 0);
+  double best = kInf;
+  while (true) {
+    if (problem.integer_cost(choice) <= problem.budget + 1e-12) {
+      const double obj = problem.integer_objective(choice);
+      ++result.nodes;
+      if (obj < best) {
+        best = obj;
+        result.choice = choice;
+        result.feasible = true;
+      }
+    }
+    std::size_t g = 0;
+    while (g < n) {
+      if (++choice[g] < static_cast<int>(problem.cost[g].size())) break;
+      choice[g] = 0;
+      ++g;
+    }
+    if (g == n) break;
+  }
+  result.objective = best;
+  result.best_bound = best;
+  result.proven_optimal = result.feasible;
+  return result;
+}
+
+}  // namespace clado::solver

@@ -1,0 +1,338 @@
+#include "clado/solver/mckp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace clado::solver {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+bool allowed_at(const std::vector<std::vector<char>>& allowed, std::size_t g, std::size_t m) {
+  if (allowed.empty()) return true;
+  return allowed[g][m] != 0;
+}
+
+void validate(const std::vector<ChoiceGroup>& groups) {
+  for (const auto& g : groups) {
+    if (g.value.size() != g.cost.size() || g.value.empty()) {
+      throw std::invalid_argument("mckp: group value/cost size mismatch or empty group");
+    }
+    for (double c : g.cost) {
+      if (c < 0.0) throw std::invalid_argument("mckp: negative cost");
+    }
+  }
+}
+
+/// Hull point: a surviving choice of one group after dominance filtering.
+struct HullPoint {
+  int index;     // original choice index
+  double cost;
+  double value;
+};
+
+/// Lower convex hull of a group's (cost, value) points: ascending cost,
+/// descending value, concave efficiency steps.
+std::vector<HullPoint> lower_hull(const ChoiceGroup& group,
+                                  const std::vector<std::vector<char>>& allowed,
+                                  std::size_t gi) {
+  std::vector<HullPoint> pts;
+  for (std::size_t m = 0; m < group.value.size(); ++m) {
+    if (!allowed_at(allowed, gi, m)) continue;
+    pts.push_back({static_cast<int>(m), group.cost[m], group.value[m]});
+  }
+  if (pts.empty()) return pts;
+  std::sort(pts.begin(), pts.end(), [](const HullPoint& a, const HullPoint& b) {
+    return a.cost < b.cost || (a.cost == b.cost && a.value < b.value);
+  });
+  // Dominance: drop any point whose value is not strictly below all cheaper
+  // kept points.
+  std::vector<HullPoint> kept;
+  for (const auto& p : pts) {
+    if (!kept.empty() && kept.back().cost == p.cost) continue;  // same cost, worse value
+    if (!kept.empty() && p.value >= kept.back().value) continue;
+    kept.push_back(p);
+  }
+  // Convexity: efficiencies (value drop per cost) must be decreasing.
+  std::vector<HullPoint> hull;
+  for (const auto& p : kept) {
+    while (hull.size() >= 2) {
+      const auto& a = hull[hull.size() - 2];
+      const auto& b = hull[hull.size() - 1];
+      const double e_ab = (a.value - b.value) / (b.cost - a.cost);
+      const double e_bp = (b.value - p.value) / (p.cost - b.cost);
+      if (e_bp >= e_ab) {
+        hull.pop_back();  // b is not on the lower hull
+      } else {
+        break;
+      }
+    }
+    hull.push_back(p);
+  }
+  return hull;
+}
+
+/// One efficiency step between consecutive hull points of a group.
+struct Step {
+  std::size_t group;
+  std::size_t hull_pos;  // step from hull_pos to hull_pos + 1
+  double efficiency;     // value drop per unit cost
+  double dcost;
+  double dvalue;         // negative
+};
+
+}  // namespace
+
+MckpSolution solve_mckp_dp(const std::vector<ChoiceGroup>& groups, double budget, int buckets) {
+  validate(groups);
+  if (buckets < 1) throw std::invalid_argument("mckp: buckets must be >= 1");
+  const std::size_t n = groups.size();
+  if (n == 0) return {.choice = {}, .value = 0.0, .cost = 0.0, .feasible = true};
+
+  // Cost grid: round each cost UP to a multiple of budget/buckets so that a
+  // DP-feasible solution is feasible in real costs.
+  const double cell = budget / static_cast<double>(buckets);
+  auto scaled = [&](double c) {
+    return static_cast<int>(std::ceil(c / cell - 1e-12));
+  };
+
+  const int cap = buckets;
+  std::vector<double> dp(static_cast<std::size_t>(cap + 1), kInf);
+  // parent[g * (cap+1) + c] = chosen index at group g reaching state c.
+  std::vector<int> parent(n * static_cast<std::size_t>(cap + 1), -1);
+  std::vector<int> prev_cost(n * static_cast<std::size_t>(cap + 1), -1);
+
+  dp[0] = 0.0;
+  std::vector<double> next(static_cast<std::size_t>(cap + 1));
+  for (std::size_t g = 0; g < n; ++g) {
+    std::fill(next.begin(), next.end(), kInf);
+    for (int c = 0; c <= cap; ++c) {
+      if (dp[static_cast<std::size_t>(c)] == kInf) continue;
+      for (std::size_t m = 0; m < groups[g].value.size(); ++m) {
+        const int sc = scaled(groups[g].cost[m]);
+        if (c + sc > cap) continue;
+        const double v = dp[static_cast<std::size_t>(c)] + groups[g].value[m];
+        const std::size_t state = static_cast<std::size_t>(c + sc);
+        if (v < next[state]) {
+          next[state] = v;
+          parent[g * static_cast<std::size_t>(cap + 1) + state] = static_cast<int>(m);
+          prev_cost[g * static_cast<std::size_t>(cap + 1) + state] = c;
+        }
+      }
+    }
+    dp.swap(next);
+  }
+
+  int best_c = -1;
+  double best_v = kInf;
+  for (int c = 0; c <= cap; ++c) {
+    if (dp[static_cast<std::size_t>(c)] < best_v) {
+      best_v = dp[static_cast<std::size_t>(c)];
+      best_c = c;
+    }
+  }
+  MckpSolution sol;
+  if (best_c < 0) return sol;  // infeasible
+
+  sol.choice.assign(n, -1);
+  int c = best_c;
+  for (std::size_t g = n; g-- > 0;) {
+    const int m = parent[g * static_cast<std::size_t>(cap + 1) + static_cast<std::size_t>(c)];
+    sol.choice[g] = m;
+    c = prev_cost[g * static_cast<std::size_t>(cap + 1) + static_cast<std::size_t>(c)];
+  }
+  sol.feasible = true;
+  for (std::size_t g = 0; g < n; ++g) {
+    sol.value += groups[g].value[static_cast<std::size_t>(sol.choice[g])];
+    sol.cost += groups[g].cost[static_cast<std::size_t>(sol.choice[g])];
+  }
+  return sol;
+}
+
+MckpSolution solve_mckp_brute_force(const std::vector<ChoiceGroup>& groups, double budget) {
+  validate(groups);
+  const std::size_t n = groups.size();
+  MckpSolution best;
+  std::vector<int> choice(n, 0);
+  double best_v = kInf;
+
+  // Odometer enumeration.
+  while (true) {
+    double v = 0.0, c = 0.0;
+    for (std::size_t g = 0; g < n; ++g) {
+      v += groups[g].value[static_cast<std::size_t>(choice[g])];
+      c += groups[g].cost[static_cast<std::size_t>(choice[g])];
+    }
+    if (c <= budget && v < best_v) {
+      best_v = v;
+      best = {.choice = choice, .value = v, .cost = c, .feasible = true};
+    }
+    std::size_t g = 0;
+    while (g < n) {
+      if (++choice[g] < static_cast<int>(groups[g].value.size())) break;
+      choice[g] = 0;
+      ++g;
+    }
+    if (g == n) break;
+  }
+  return best;
+}
+
+MckpLpSolution solve_mckp_lp(const std::vector<ChoiceGroup>& groups, double budget,
+                             const std::vector<std::vector<char>>& allowed) {
+  validate(groups);
+  const std::size_t n = groups.size();
+  MckpLpSolution sol;
+  sol.weight.resize(n);
+  for (std::size_t g = 0; g < n; ++g) sol.weight[g].assign(groups[g].value.size(), 0.0);
+
+  // Unconstrained-optimum shortcut: pick each group's min-value allowed
+  // choice; if that fits the budget it is LP-optimal.
+  {
+    double v = 0.0, c = 0.0;
+    bool ok = true;
+    std::vector<int> pick(n, -1);
+    for (std::size_t g = 0; g < n && ok; ++g) {
+      int best = -1;
+      for (std::size_t m = 0; m < groups[g].value.size(); ++m) {
+        if (!allowed_at(allowed, g, m)) continue;
+        if (best < 0 || groups[g].value[m] < groups[g].value[static_cast<std::size_t>(best)] ||
+            (groups[g].value[m] == groups[g].value[static_cast<std::size_t>(best)] &&
+             groups[g].cost[m] < groups[g].cost[static_cast<std::size_t>(best)])) {
+          best = static_cast<int>(m);
+        }
+      }
+      if (best < 0) {
+        ok = false;
+      } else {
+        pick[g] = best;
+        v += groups[g].value[static_cast<std::size_t>(best)];
+        c += groups[g].cost[static_cast<std::size_t>(best)];
+      }
+    }
+    if (!ok) return sol;  // a group has no allowed choice: infeasible
+    if (c <= budget) {
+      for (std::size_t g = 0; g < n; ++g) {
+        sol.weight[g][static_cast<std::size_t>(pick[g])] = 1.0;
+      }
+      sol.value = v;
+      sol.cost = c;
+      sol.feasible = true;
+      return sol;
+    }
+  }
+
+  // Hulls + base (cheapest hull point per group).
+  std::vector<std::vector<HullPoint>> hulls(n);
+  double base_cost = 0.0, base_value = 0.0;
+  for (std::size_t g = 0; g < n; ++g) {
+    hulls[g] = lower_hull(groups[g], allowed, g);
+    if (hulls[g].empty()) return sol;
+    base_cost += hulls[g].front().cost;
+    base_value += hulls[g].front().value;
+  }
+  if (base_cost > budget + 1e-9) return sol;  // infeasible
+
+  std::vector<Step> steps;
+  for (std::size_t g = 0; g < n; ++g) {
+    for (std::size_t h = 0; h + 1 < hulls[g].size(); ++h) {
+      const double dc = hulls[g][h + 1].cost - hulls[g][h].cost;
+      const double dv = hulls[g][h + 1].value - hulls[g][h].value;  // < 0 on hull
+      steps.push_back({g, h, -dv / dc, dc, dv});
+    }
+  }
+  std::sort(steps.begin(), steps.end(),
+            [](const Step& a, const Step& b) { return a.efficiency > b.efficiency; });
+
+  std::vector<std::size_t> at(n, 0);  // current hull position per group
+  std::vector<double> frac(n, 0.0);   // fraction moved into the next point
+  double rem = budget - base_cost;
+  double value = base_value;
+  for (const auto& s : steps) {
+    if (s.efficiency <= 0.0) break;  // no further improvement possible
+    if (rem <= 1e-15) break;
+    if (s.dcost <= rem) {
+      rem -= s.dcost;
+      value += s.dvalue;
+      at[s.group] = s.hull_pos + 1;
+      frac[s.group] = 0.0;
+    } else {
+      const double f = rem / s.dcost;
+      value += f * s.dvalue;
+      at[s.group] = s.hull_pos;
+      frac[s.group] = f;
+      rem = 0.0;
+      break;
+    }
+  }
+
+  double cost = budget - rem;
+  for (std::size_t g = 0; g < n; ++g) {
+    const auto& hull = hulls[g];
+    const std::size_t h = at[g];
+    if (frac[g] > 0.0) {
+      sol.weight[g][static_cast<std::size_t>(hull[h].index)] = 1.0 - frac[g];
+      sol.weight[g][static_cast<std::size_t>(hull[h + 1].index)] = frac[g];
+    } else {
+      sol.weight[g][static_cast<std::size_t>(hull[h].index)] = 1.0;
+    }
+  }
+  sol.value = value;
+  sol.cost = cost;
+  sol.feasible = true;
+  return sol;
+}
+
+MckpSolution solve_mckp_greedy(const std::vector<ChoiceGroup>& groups, double budget,
+                               const std::vector<std::vector<char>>& allowed) {
+  validate(groups);
+  const std::size_t n = groups.size();
+  MckpSolution sol;
+
+  std::vector<std::vector<HullPoint>> hulls(n);
+  double cost = 0.0, value = 0.0;
+  for (std::size_t g = 0; g < n; ++g) {
+    hulls[g] = lower_hull(groups[g], allowed, g);
+    if (hulls[g].empty()) return sol;
+    cost += hulls[g].front().cost;
+    value += hulls[g].front().value;
+  }
+  if (cost > budget + 1e-9) return sol;
+
+  std::vector<Step> steps;
+  for (std::size_t g = 0; g < n; ++g) {
+    for (std::size_t h = 0; h + 1 < hulls[g].size(); ++h) {
+      const double dc = hulls[g][h + 1].cost - hulls[g][h].cost;
+      const double dv = hulls[g][h + 1].value - hulls[g][h].value;
+      steps.push_back({g, h, -dv / dc, dc, dv});
+    }
+  }
+  std::sort(steps.begin(), steps.end(),
+            [](const Step& a, const Step& b) { return a.efficiency > b.efficiency; });
+
+  std::vector<std::size_t> at(n, 0);
+  double rem = budget - cost;
+  for (const auto& s : steps) {
+    if (s.efficiency <= 0.0) break;
+    if (at[s.group] != s.hull_pos) continue;  // earlier step skipped: keep order valid
+    if (s.dcost <= rem) {
+      rem -= s.dcost;
+      value += s.dvalue;
+      at[s.group] = s.hull_pos + 1;
+    }
+  }
+
+  sol.choice.assign(n, -1);
+  sol.value = value;
+  sol.cost = budget - rem;
+  sol.feasible = true;
+  for (std::size_t g = 0; g < n; ++g) {
+    sol.choice[g] = hulls[g][at[g]].index;
+  }
+  return sol;
+}
+
+}  // namespace clado::solver

@@ -1,0 +1,187 @@
+#include "clado/solver/qp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace clado::solver {
+
+std::int64_t QuadraticProblem::total_choices() const {
+  std::int64_t n = 0;
+  for (const auto& g : cost) n += static_cast<std::int64_t>(g.size());
+  return n;
+}
+
+std::int64_t QuadraticProblem::offset(std::size_t g) const {
+  std::int64_t off = 0;
+  for (std::size_t i = 0; i < g; ++i) off += static_cast<std::int64_t>(cost[i].size());
+  return off;
+}
+
+void QuadraticProblem::validate() const {
+  const std::int64_t n = total_choices();
+  if (G.dim() != 2 || G.size(0) != n || G.size(1) != n) {
+    throw std::invalid_argument("QuadraticProblem: G must be [n, n] with n = total choices");
+  }
+  for (const auto& g : cost) {
+    if (g.empty()) throw std::invalid_argument("QuadraticProblem: empty group");
+  }
+  if (budget < 0.0) throw std::invalid_argument("QuadraticProblem: negative budget");
+}
+
+double QuadraticProblem::integer_objective(const std::vector<int>& choice) const {
+  const std::int64_t n = total_choices();
+  std::vector<std::int64_t> idx;
+  idx.reserve(choice.size());
+  std::int64_t off = 0;
+  for (std::size_t g = 0; g < cost.size(); ++g) {
+    idx.push_back(off + choice[g]);
+    off += static_cast<std::int64_t>(cost[g].size());
+  }
+  double acc = 0.0;
+  for (std::int64_t a : idx) {
+    for (std::int64_t b : idx) acc += G.data()[a * n + b];
+  }
+  return acc;
+}
+
+double QuadraticProblem::integer_cost(const std::vector<int>& choice) const {
+  double acc = 0.0;
+  for (std::size_t g = 0; g < cost.size(); ++g) {
+    acc += cost[g][static_cast<std::size_t>(choice[g])];
+  }
+  return acc;
+}
+
+namespace {
+
+/// Builds the oracle's per-group value arrays from a flat gradient.
+std::vector<ChoiceGroup> oracle_groups(const QuadraticProblem& p,
+                                       const std::vector<double>& grad) {
+  std::vector<ChoiceGroup> groups(p.cost.size());
+  std::size_t k = 0;
+  for (std::size_t g = 0; g < p.cost.size(); ++g) {
+    groups[g].cost = p.cost[g];
+    groups[g].value.resize(p.cost[g].size());
+    for (std::size_t m = 0; m < p.cost[g].size(); ++m) groups[g].value[m] = grad[k++];
+  }
+  return groups;
+}
+
+void flatten_lp(const MckpLpSolution& lp, std::vector<double>& out) {
+  std::size_t k = 0;
+  for (const auto& w : lp.weight) {
+    for (double v : w) out[k++] = v;
+  }
+}
+
+double quad(const Tensor& g_mat, const std::vector<double>& x) {
+  const std::int64_t n = static_cast<std::int64_t>(x.size());
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (x[static_cast<std::size_t>(i)] == 0.0) continue;
+    double row = 0.0;
+    const float* r = g_mat.data() + i * n;
+    for (std::int64_t j = 0; j < n; ++j) row += static_cast<double>(r[j]) * x[static_cast<std::size_t>(j)];
+    acc += row * x[static_cast<std::size_t>(i)];
+  }
+  return acc;
+}
+
+void gradient(const Tensor& g_mat, const std::vector<double>& x, std::vector<double>& grad) {
+  const std::int64_t n = static_cast<std::int64_t>(x.size());
+  for (std::int64_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    const float* r = g_mat.data() + i * n;
+    for (std::int64_t j = 0; j < n; ++j) acc += static_cast<double>(r[j]) * x[static_cast<std::size_t>(j)];
+    grad[static_cast<std::size_t>(i)] = 2.0 * acc;  // symmetric G
+  }
+}
+
+}  // namespace
+
+FwResult frank_wolfe(const QuadraticProblem& problem, const FwOptions& options,
+                     const std::vector<std::vector<char>>& allowed) {
+  problem.validate();
+  const std::int64_t n = problem.total_choices();
+  FwResult res;
+
+  // Warm start: integer greedy on the diagonal (always feasible when the
+  // instance is).
+  std::vector<double> diag(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) diag[static_cast<std::size_t>(i)] = problem.G.data()[i * n + i];
+  const MckpSolution warm =
+      solve_mckp_greedy(oracle_groups(problem, diag), problem.budget, allowed);
+  if (!warm.feasible) return res;  // infeasible node
+
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  {
+    std::int64_t off = 0;
+    for (std::size_t g = 0; g < problem.cost.size(); ++g) {
+      x[static_cast<std::size_t>(off + warm.choice[g])] = 1.0;
+      off += static_cast<std::int64_t>(problem.cost[g].size());
+    }
+  }
+
+  std::vector<double> grad(static_cast<std::size_t>(n));
+  std::vector<double> s(static_cast<std::size_t>(n));
+  std::vector<double> d(static_cast<std::size_t>(n));
+  double f = quad(problem.G, x);
+  double best_lb = -std::numeric_limits<double>::infinity();
+
+  int it = 0;
+  for (; it < options.max_iters; ++it) {
+    gradient(problem.G, x, grad);
+    const MckpLpSolution lp =
+        solve_mckp_lp(oracle_groups(problem, grad), problem.budget, allowed);
+    if (!lp.feasible) break;  // should not happen once warm start exists
+    flatten_lp(lp, s);
+
+    // FW duality gap and dual bound: f + gᵀ(s − x) <= f* for convex f.
+    double gap = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      gap += grad[static_cast<std::size_t>(i)] *
+             (x[static_cast<std::size_t>(i)] - s[static_cast<std::size_t>(i)]);
+    }
+    best_lb = std::max(best_lb, f - gap);
+    if (gap <= options.gap_tol * std::max(1.0, std::abs(f))) {
+      ++it;
+      break;
+    }
+
+    for (std::int64_t i = 0; i < n; ++i) {
+      d[static_cast<std::size_t>(i)] =
+          s[static_cast<std::size_t>(i)] - x[static_cast<std::size_t>(i)];
+    }
+    // Exact line search for quadratic objective: f(x + t d) minimized at
+    // t* = −(xᵀGd) / (dᵀGd) accounting for symmetry.
+    double dgd = quad(problem.G, d);
+    double xgd = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      xgd += 0.5 * grad[static_cast<std::size_t>(i)] * d[static_cast<std::size_t>(i)];
+    }
+    double t = 1.0;
+    if (dgd > 1e-18) {
+      t = std::clamp(-xgd / dgd, 0.0, 1.0);
+    } else {
+      // Non-convex direction (only without PSD projection): jump to the
+      // vertex if it improves.
+      t = (xgd + dgd <= 0.0) ? 1.0 : 0.0;
+    }
+    if (t == 0.0) break;
+    for (std::int64_t i = 0; i < n; ++i) {
+      x[static_cast<std::size_t>(i)] += t * d[static_cast<std::size_t>(i)];
+    }
+    f = quad(problem.G, x);
+  }
+
+  res.x = std::move(x);
+  res.objective = f;
+  res.lower_bound = best_lb == -std::numeric_limits<double>::infinity() ? f : best_lb;
+  res.iterations = it;
+  res.feasible = true;
+  return res;
+}
+
+}  // namespace clado::solver

@@ -1,0 +1,56 @@
+// Compute kernels shared by the NN engine and the solvers.
+//
+// All kernels operate on contiguous row-major buffers. GEMM is a blocked,
+// register-tiled single-thread implementation — on the small models used in
+// this reproduction it is the only kernel that matters for wall clock.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "clado/tensor/tensor.h"
+
+namespace clado::tensor {
+
+/// C = alpha * op(A) * op(B) + beta * C, with op controlled by the
+/// transpose flags. A is [M,K] (or [K,M] if trans_a), B is [K,N] (or [N,K]
+/// if trans_b), C is [M,N].
+void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n, std::int64_t k,
+          float alpha, const float* a, const float* b, float beta, float* c);
+
+/// out = A(MxK) * B(KxN); both 2-d tensors.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// 2-d transpose.
+Tensor transpose2d(const Tensor& a);
+
+/// im2col for NCHW input. Input [N,C,H,W]; output is a matrix of shape
+/// [N * out_h * out_w, C * kh * kw] whose rows are flattened receptive
+/// fields — ready for a GEMM against a [C*kh*kw, out_c] weight matrix.
+void im2col(const float* input, std::int64_t channels, std::int64_t height, std::int64_t width,
+            std::int64_t kh, std::int64_t kw, std::int64_t stride, std::int64_t pad,
+            float* out);
+
+/// Adjoint of im2col: scatters column-matrix gradients back into an image
+/// gradient buffer (accumulates; caller zero-fills first).
+void col2im(const float* cols, std::int64_t channels, std::int64_t height, std::int64_t width,
+            std::int64_t kh, std::int64_t kw, std::int64_t stride, std::int64_t pad,
+            float* grad_input);
+
+/// Output spatial size of a convolution.
+std::int64_t conv_out_size(std::int64_t in, std::int64_t kernel, std::int64_t stride,
+                           std::int64_t pad);
+
+/// Row-wise in-place softmax on a [rows, cols] matrix.
+void softmax_rows(float* data, std::int64_t rows, std::int64_t cols);
+
+/// Row-wise log-softmax (stable) into `out` (may alias `data`).
+void log_softmax_rows(const float* data, std::int64_t rows, std::int64_t cols, float* out);
+
+/// y += x (spans of equal length).
+void axpy(float alpha, std::span<const float> x, std::span<float> y);
+
+/// Dot product with double accumulation.
+double dot(std::span<const float> x, std::span<const float> y);
+
+}  // namespace clado::tensor

@@ -1,0 +1,29 @@
+// Binary (de)serialization of tensors and named tensor maps.
+//
+// Used by the model zoo to cache trained weights under artifacts/ so that
+// benchmark binaries do not retrain on every invocation. The format is a
+// tiny self-describing container: magic, version, entry count, then per
+// entry (name, rank, dims, raw float32 payload). Little-endian only — this
+// repository targets a single machine, not an interchange format.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "clado/tensor/tensor.h"
+
+namespace clado::tensor {
+
+using StateDict = std::map<std::string, Tensor>;
+
+/// Writes the dict to `path`. Throws std::runtime_error on I/O failure.
+void save_state_dict(const StateDict& dict, const std::string& path);
+
+/// Reads a dict previously written by save_state_dict.
+/// Throws std::runtime_error on I/O failure or a malformed file.
+StateDict load_state_dict(const std::string& path);
+
+/// True if `path` exists and carries the state-dict magic.
+bool state_dict_exists(const std::string& path);
+
+}  // namespace clado::tensor

@@ -1,0 +1,252 @@
+#include "clado/tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace clado::tensor {
+
+namespace {
+
+// Cache-blocking sizes tuned for a single core with a 32KB L1 / 256KB+ L2.
+constexpr std::int64_t kBlockM = 64;
+constexpr std::int64_t kBlockN = 128;
+constexpr std::int64_t kBlockK = 128;
+
+// Packs op(A) block [mb x kb] into row-major contiguous storage.
+void pack_a(bool trans_a, const float* a, std::int64_t lda, std::int64_t m0, std::int64_t k0,
+            std::int64_t mb, std::int64_t kb, float* packed) {
+  if (!trans_a) {
+    for (std::int64_t i = 0; i < mb; ++i) {
+      std::memcpy(packed + i * kb, a + (m0 + i) * lda + k0,
+                  static_cast<std::size_t>(kb) * sizeof(float));
+    }
+  } else {
+    for (std::int64_t i = 0; i < mb; ++i) {
+      for (std::int64_t p = 0; p < kb; ++p) {
+        packed[i * kb + p] = a[(k0 + p) * lda + (m0 + i)];
+      }
+    }
+  }
+}
+
+// Packs op(B) block [kb x nb] into row-major contiguous storage.
+void pack_b(bool trans_b, const float* b, std::int64_t ldb, std::int64_t k0, std::int64_t n0,
+            std::int64_t kb, std::int64_t nb, float* packed) {
+  if (!trans_b) {
+    for (std::int64_t p = 0; p < kb; ++p) {
+      std::memcpy(packed + p * nb, b + (k0 + p) * ldb + n0,
+                  static_cast<std::size_t>(nb) * sizeof(float));
+    }
+  } else {
+    for (std::int64_t p = 0; p < kb; ++p) {
+      for (std::int64_t j = 0; j < nb; ++j) {
+        packed[p * nb + j] = b[(n0 + j) * ldb + (k0 + p)];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n, std::int64_t k,
+          float alpha, const float* a, const float* b, float beta, float* c) {
+  if (m <= 0 || n <= 0) return;
+  // Scale C by beta first so the accumulation loop is pure +=.
+  if (beta == 0.0F) {
+    std::fill(c, c + m * n, 0.0F);
+  } else if (beta != 1.0F) {
+    for (std::int64_t i = 0; i < m * n; ++i) c[i] *= beta;
+  }
+  if (k <= 0 || alpha == 0.0F) return;
+
+  const std::int64_t lda = trans_a ? m : k;
+  const std::int64_t ldb = trans_b ? k : n;
+
+  // Small-problem fast path: depthwise convolutions and attention heads
+  // issue huge numbers of tiny GEMMs where packing (and especially scratch
+  // allocation) would dominate.
+  if (m * n * k <= 16 * 1024) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      for (std::int64_t p = 0; p < k; ++p) {
+        const float av = alpha * (trans_a ? a[p * m + i] : a[i * k + p]);
+        if (av == 0.0F) continue;
+        float* crow = c + i * n;
+        if (!trans_b) {
+          const float* brow = b + p * n;
+          for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        } else {
+          for (std::int64_t j = 0; j < n; ++j) crow[j] += av * b[j * k + p];
+        }
+      }
+    }
+    return;
+  }
+
+  // Packing scratch persists across calls; the engine is single-threaded
+  // per GEMM, so thread_local is purely an allocation-avoidance measure.
+  static thread_local std::vector<float> pa;
+  static thread_local std::vector<float> pb;
+  pa.resize(static_cast<std::size_t>(kBlockM * kBlockK));
+  pb.resize(static_cast<std::size_t>(kBlockK * kBlockN));
+
+  for (std::int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+    const std::int64_t kb = std::min(kBlockK, k - k0);
+    for (std::int64_t n0 = 0; n0 < n; n0 += kBlockN) {
+      const std::int64_t nb = std::min(kBlockN, n - n0);
+      pack_b(trans_b, b, ldb, k0, n0, kb, nb, pb.data());
+      for (std::int64_t m0 = 0; m0 < m; m0 += kBlockM) {
+        const std::int64_t mb = std::min(kBlockM, m - m0);
+        pack_a(trans_a, a, lda, m0, k0, mb, kb, pa.data());
+        // Micro-kernel: 2 rows of A at a time, full nb columns; the inner
+        // loop vectorizes under -O3.
+        std::int64_t i = 0;
+        for (; i + 1 < mb; i += 2) {
+          float* c0 = c + (m0 + i) * n + n0;
+          float* c1 = c0 + n;
+          const float* a0 = pa.data() + i * kb;
+          const float* a1 = a0 + kb;
+          for (std::int64_t p = 0; p < kb; ++p) {
+            const float av0 = alpha * a0[p];
+            const float av1 = alpha * a1[p];
+            const float* brow = pb.data() + p * nb;
+            for (std::int64_t j = 0; j < nb; ++j) {
+              c0[j] += av0 * brow[j];
+              c1[j] += av1 * brow[j];
+            }
+          }
+        }
+        for (; i < mb; ++i) {
+          float* crow = c + (m0 + i) * n + n0;
+          const float* arow = pa.data() + i * kb;
+          for (std::int64_t p = 0; p < kb; ++p) {
+            const float av = alpha * arow[p];
+            const float* brow = pb.data() + p * nb;
+            for (std::int64_t j = 0; j < nb; ++j) crow[j] += av * brow[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  if (a.dim() != 2 || b.dim() != 2) throw std::invalid_argument("matmul: expects 2-d tensors");
+  if (a.size(1) != b.size(0)) {
+    throw std::invalid_argument("matmul: inner dims mismatch " + a.shape_str() + " x " +
+                                b.shape_str());
+  }
+  Tensor c({a.size(0), b.size(1)});
+  gemm(false, false, a.size(0), b.size(1), a.size(1), 1.0F, a.data(), b.data(), 0.0F, c.data());
+  return c;
+}
+
+Tensor transpose2d(const Tensor& a) {
+  if (a.dim() != 2) throw std::invalid_argument("transpose2d: expects 2-d tensor");
+  const std::int64_t rows = a.size(0);
+  const std::int64_t cols = a.size(1);
+  Tensor out({cols, rows});
+  for (std::int64_t i = 0; i < rows; ++i) {
+    for (std::int64_t j = 0; j < cols; ++j) {
+      out.data()[j * rows + i] = a.data()[i * cols + j];
+    }
+  }
+  return out;
+}
+
+std::int64_t conv_out_size(std::int64_t in, std::int64_t kernel, std::int64_t stride,
+                           std::int64_t pad) {
+  return (in + 2 * pad - kernel) / stride + 1;
+}
+
+void im2col(const float* input, std::int64_t channels, std::int64_t height, std::int64_t width,
+            std::int64_t kh, std::int64_t kw, std::int64_t stride, std::int64_t pad,
+            float* out) {
+  const std::int64_t out_h = conv_out_size(height, kh, stride, pad);
+  const std::int64_t out_w = conv_out_size(width, kw, stride, pad);
+  const std::int64_t patch = channels * kh * kw;
+  for (std::int64_t oy = 0; oy < out_h; ++oy) {
+    for (std::int64_t ox = 0; ox < out_w; ++ox) {
+      float* row = out + (oy * out_w + ox) * patch;
+      for (std::int64_t ch = 0; ch < channels; ++ch) {
+        const float* img = input + ch * height * width;
+        for (std::int64_t ky = 0; ky < kh; ++ky) {
+          const std::int64_t iy = oy * stride + ky - pad;
+          for (std::int64_t kx = 0; kx < kw; ++kx) {
+            const std::int64_t ix = ox * stride + kx - pad;
+            const bool inside = iy >= 0 && iy < height && ix >= 0 && ix < width;
+            *row++ = inside ? img[iy * width + ix] : 0.0F;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* cols, std::int64_t channels, std::int64_t height, std::int64_t width,
+            std::int64_t kh, std::int64_t kw, std::int64_t stride, std::int64_t pad,
+            float* grad_input) {
+  const std::int64_t out_h = conv_out_size(height, kh, stride, pad);
+  const std::int64_t out_w = conv_out_size(width, kw, stride, pad);
+  const std::int64_t patch = channels * kh * kw;
+  for (std::int64_t oy = 0; oy < out_h; ++oy) {
+    for (std::int64_t ox = 0; ox < out_w; ++ox) {
+      const float* row = cols + (oy * out_w + ox) * patch;
+      for (std::int64_t ch = 0; ch < channels; ++ch) {
+        float* img = grad_input + ch * height * width;
+        for (std::int64_t ky = 0; ky < kh; ++ky) {
+          const std::int64_t iy = oy * stride + ky - pad;
+          for (std::int64_t kx = 0; kx < kw; ++kx) {
+            const std::int64_t ix = ox * stride + kx - pad;
+            if (iy >= 0 && iy < height && ix >= 0 && ix < width) {
+              img[iy * width + ix] += *row;
+            }
+            ++row;
+          }
+        }
+      }
+    }
+  }
+}
+
+void softmax_rows(float* data, std::int64_t rows, std::int64_t cols) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float* row = data + r * cols;
+    const float mx = *std::max_element(row, row + cols);
+    double denom = 0.0;
+    for (std::int64_t j = 0; j < cols; ++j) {
+      row[j] = std::exp(row[j] - mx);
+      denom += row[j];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (std::int64_t j = 0; j < cols; ++j) row[j] *= inv;
+  }
+}
+
+void log_softmax_rows(const float* data, std::int64_t rows, std::int64_t cols, float* out) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* row = data + r * cols;
+    float* orow = out + r * cols;
+    const float mx = *std::max_element(row, row + cols);
+    double denom = 0.0;
+    for (std::int64_t j = 0; j < cols; ++j) denom += std::exp(static_cast<double>(row[j]) - mx);
+    const float log_denom = static_cast<float>(std::log(denom)) + mx;
+    for (std::int64_t j = 0; j < cols; ++j) orow[j] = row[j] - log_denom;
+  }
+}
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+double dot(std::span<const float> x, std::span<const float> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("dot: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += static_cast<double>(x[i]) * y[i];
+  return acc;
+}
+
+}  // namespace clado::tensor

@@ -1,0 +1,81 @@
+#include "clado/tensor/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace clado::tensor {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x434C4144;  // "CLAD"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!is) throw std::runtime_error("state dict: truncated file");
+  return v;
+}
+
+}  // namespace
+
+void save_state_dict(const StateDict& dict, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("save_state_dict: cannot open " + path);
+  write_pod(os, kMagic);
+  write_pod(os, kVersion);
+  write_pod(os, static_cast<std::uint64_t>(dict.size()));
+  for (const auto& [name, tensor] : dict) {
+    write_pod(os, static_cast<std::uint32_t>(name.size()));
+    os.write(name.data(), static_cast<std::streamsize>(name.size()));
+    write_pod(os, static_cast<std::uint32_t>(tensor.dim()));
+    for (std::int64_t d : tensor.shape()) write_pod(os, static_cast<std::int64_t>(d));
+    os.write(reinterpret_cast<const char*>(tensor.data()),
+             static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
+  }
+  if (!os) throw std::runtime_error("save_state_dict: write failed for " + path);
+}
+
+StateDict load_state_dict(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("load_state_dict: cannot open " + path);
+  if (read_pod<std::uint32_t>(is) != kMagic) {
+    throw std::runtime_error("load_state_dict: bad magic in " + path);
+  }
+  if (read_pod<std::uint32_t>(is) != kVersion) {
+    throw std::runtime_error("load_state_dict: unsupported version in " + path);
+  }
+  const auto count = read_pod<std::uint64_t>(is);
+  StateDict dict;
+  for (std::uint64_t e = 0; e < count; ++e) {
+    const auto name_len = read_pod<std::uint32_t>(is);
+    std::string name(name_len, '\0');
+    is.read(name.data(), name_len);
+    const auto rank = read_pod<std::uint32_t>(is);
+    Shape shape(rank);
+    for (auto& d : shape) d = read_pod<std::int64_t>(is);
+    Tensor t(shape);
+    is.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+    if (!is) throw std::runtime_error("load_state_dict: truncated tensor in " + path);
+    dict.emplace(std::move(name), std::move(t));
+  }
+  return dict;
+}
+
+bool state_dict_exists(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  std::uint32_t magic = 0;
+  is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  return is && magic == kMagic;
+}
+
+}  // namespace clado::tensor

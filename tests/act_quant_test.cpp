@@ -1,0 +1,244 @@
+#include "clado/quant/act_quant.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "clado/tensor/rng.h"
+
+namespace clado::quant {
+namespace {
+
+using clado::tensor::Rng;
+using clado::tensor::Tensor;
+
+TEST(ActFakeQuant, BypassIsIdentity) {
+  Rng rng(1);
+  ActFakeQuant aq(8);
+  const Tensor x = Tensor::randn({2, 8}, rng);
+  const Tensor y = aq.forward(x);
+  for (std::int64_t i = 0; i < x.numel(); ++i) EXPECT_EQ(y[i], x[i]);
+}
+
+TEST(ActFakeQuant, ObserveTracksRunningMinMax) {
+  ActFakeQuant aq(8);
+  aq.set_mode(ActQuantMode::kObserve);
+  aq.forward(Tensor({2}, std::vector<float>{-1.0F, 2.0F}));
+  aq.forward(Tensor({2}, std::vector<float>{-3.0F, 1.0F}));
+  aq.freeze_from_observed();
+  EXPECT_TRUE(aq.calibrated());
+  EXPECT_LE(aq.lo(), -2.9F);
+  EXPECT_GE(aq.hi(), 1.9F);
+}
+
+TEST(ActFakeQuant, QuantizeWithoutCalibrationPassesThrough) {
+  Rng rng(2);
+  ActFakeQuant aq(8);
+  aq.set_mode(ActQuantMode::kQuantize);
+  const Tensor x = Tensor::randn({4}, rng);
+  const Tensor y = aq.forward(x);
+  for (std::int64_t i = 0; i < x.numel(); ++i) EXPECT_EQ(y[i], x[i]);
+}
+
+TEST(ActFakeQuant, QuantizeSnapsToGridAndClips) {
+  ActFakeQuant aq(2);  // 4 levels
+  aq.set_mode(ActQuantMode::kObserve);
+  aq.forward(Tensor({2}, std::vector<float>{0.0F, 3.0F}));
+  aq.freeze_from_observed();
+  aq.set_mode(ActQuantMode::kQuantize);
+
+  const Tensor y = aq.forward(Tensor({4}, std::vector<float>{-5.0F, 0.4F, 2.1F, 99.0F}));
+  std::set<float> levels(y.flat().begin(), y.flat().end());
+  EXPECT_LE(levels.size(), 4U);
+  EXPECT_GE(y.min(), aq.lo() - 1e-5F);
+  EXPECT_LE(y.max(), aq.hi() + 1e-5F);
+}
+
+TEST(ActFakeQuant, ZeroIsExactlyRepresentable) {
+  ActFakeQuant aq(8);
+  aq.set_mode(ActQuantMode::kObserve);
+  aq.forward(Tensor({2}, std::vector<float>{0.13F, 7.7F}));  // all-positive range
+  aq.freeze_from_observed();
+  aq.set_mode(ActQuantMode::kQuantize);
+  const Tensor y = aq.forward(Tensor({1}, std::vector<float>{0.0F}));
+  EXPECT_FLOAT_EQ(y[0], 0.0F);  // ReLU-style sparsity must survive
+}
+
+TEST(ActFakeQuant, EightBitErrorIsSmall) {
+  Rng rng(3);
+  ActFakeQuant aq(8);
+  const Tensor x = Tensor::uniform({4096}, rng, -1.0F, 3.0F);
+  aq.set_mode(ActQuantMode::kObserve);
+  aq.forward(x);
+  aq.freeze_from_observed();
+  aq.set_mode(ActQuantMode::kQuantize);
+  const Tensor y = aq.forward(x);
+  double max_err = 0.0;
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    max_err = std::max(max_err, std::abs(static_cast<double>(y[i]) - x[i]));
+  }
+  // Half a step of (range 4.0 / 255 levels) plus slack.
+  EXPECT_LT(max_err, 4.0 / 255.0);
+}
+
+TEST(ActFakeQuant, SteMasksClippedPositions) {
+  ActFakeQuant aq(4);
+  aq.set_mode(ActQuantMode::kObserve);
+  aq.forward(Tensor({2}, std::vector<float>{-1.0F, 1.0F}));
+  aq.freeze_from_observed();
+  aq.set_mode(ActQuantMode::kQuantize);
+
+  const Tensor x({3}, std::vector<float>{-10.0F, 0.0F, 10.0F});
+  aq.forward(x);
+  const Tensor g = aq.backward(Tensor({3}, 1.0F));
+  EXPECT_EQ(g[0], 0.0F);  // below range: clipped, no gradient
+  EXPECT_EQ(g[1], 1.0F);  // inside: straight through
+  EXPECT_EQ(g[2], 0.0F);  // above range
+}
+
+TEST(ActFakeQuant, BackwardInBypassIsIdentity) {
+  Rng rng(4);
+  ActFakeQuant aq(8);
+  const Tensor g = Tensor::randn({5}, rng);
+  const Tensor out = aq.backward(g);
+  for (std::int64_t i = 0; i < g.numel(); ++i) EXPECT_EQ(out[i], g[i]);
+}
+
+class ActBitsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ActBitsTest, ErrorShrinksWithBits) {
+  const int bits = GetParam();
+  Rng rng(5);
+  const Tensor x = Tensor::uniform({2048}, rng, -2.0F, 2.0F);
+  auto mse_at = [&](int b) {
+    ActFakeQuant aq(b);
+    aq.set_mode(ActQuantMode::kObserve);
+    aq.forward(x);
+    aq.freeze_from_observed();
+    aq.set_mode(ActQuantMode::kQuantize);
+    const Tensor y = aq.forward(x);
+    double mse = 0.0;
+    for (std::int64_t i = 0; i < x.numel(); ++i) {
+      mse += std::pow(static_cast<double>(y[i]) - x[i], 2);
+    }
+    return mse;
+  };
+  EXPECT_LT(mse_at(bits + 1), mse_at(bits) * 0.6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits2To6, ActBitsTest, ::testing::Range(2, 7));
+
+// --- observer variants -----------------------------------------------------
+
+Tensor outlier_batch(Rng& rng, std::int64_t n = 8192) {
+  Tensor x = Tensor::randn({n}, rng);  // bulk ~N(0,1)
+  x[0] = 60.0F;                        // extreme outliers
+  x[1] = -45.0F;
+  return x;
+}
+
+double quant_mse(ActFakeQuant& aq, const Tensor& bulk) {
+  const Tensor y = aq.forward(bulk);
+  double mse = 0.0;
+  for (std::int64_t i = 0; i < bulk.numel(); ++i) {
+    mse += std::pow(static_cast<double>(y[i]) - bulk[i], 2);
+  }
+  return mse / static_cast<double>(bulk.numel());
+}
+
+TEST(Observers, PercentileClipsOutliers) {
+  Rng rng(10);
+  const Tensor x = outlier_batch(rng);
+  ActFakeQuant minmax(4, ObserverKind::kMinMax);
+  ActFakeQuant pct(4, ObserverKind::kPercentile, 0.995);
+  for (auto* aq : {&minmax, &pct}) {
+    aq->set_mode(ActQuantMode::kObserve);
+    aq->forward(x);
+    aq->freeze_from_observed();
+    aq->set_mode(ActQuantMode::kQuantize);
+  }
+  // The percentile range must be far tighter than the outlier-driven one.
+  EXPECT_LT(pct.hi(), minmax.hi() * 0.3F);
+  // And the bulk MSE far lower.
+  Tensor bulk = x;
+  bulk[0] = 0.0F;
+  bulk[1] = 0.0F;
+  EXPECT_LT(quant_mse(pct, bulk), quant_mse(minmax, bulk) * 0.2);
+}
+
+TEST(Observers, MseObserverBeatsMinMaxOnOutliers) {
+  Rng rng(11);
+  const Tensor x = outlier_batch(rng);
+  ActFakeQuant minmax(4, ObserverKind::kMinMax);
+  ActFakeQuant mse(4, ObserverKind::kMse);
+  for (auto* aq : {&minmax, &mse}) {
+    aq->set_mode(ActQuantMode::kObserve);
+    aq->forward(x);
+    aq->freeze_from_observed();
+    aq->set_mode(ActQuantMode::kQuantize);
+  }
+  Tensor bulk = x;
+  bulk[0] = 0.0F;
+  bulk[1] = 0.0F;
+  EXPECT_LT(quant_mse(mse, bulk), quant_mse(minmax, bulk) * 0.5);
+}
+
+TEST(Observers, AllAgreeOnCleanUniformData) {
+  Rng rng(12);
+  const Tensor x = Tensor::uniform({8192}, rng, -1.0F, 1.0F);
+  std::vector<double> errs;
+  for (auto kind : {ObserverKind::kMinMax, ObserverKind::kPercentile, ObserverKind::kMse}) {
+    ActFakeQuant aq(8, kind);
+    aq.set_mode(ActQuantMode::kObserve);
+    aq.forward(x);
+    aq.freeze_from_observed();
+    aq.set_mode(ActQuantMode::kQuantize);
+    errs.push_back(quant_mse(aq, x));
+  }
+  // Without outliers the three observers land on similar ranges.
+  for (double e : errs) EXPECT_LT(e, errs[0] * 4.0 + 1e-12);
+}
+
+TEST(Observers, ResetObserverClearsCalibration) {
+  Rng rng(13);
+  ActFakeQuant aq(8, ObserverKind::kPercentile);
+  aq.set_mode(ActQuantMode::kObserve);
+  aq.forward(Tensor::randn({256}, rng));
+  aq.freeze_from_observed();
+  EXPECT_TRUE(aq.calibrated());
+  aq.reset_observer();
+  EXPECT_FALSE(aq.calibrated());
+  // Quantize mode without calibration is a pass-through again.
+  aq.set_mode(ActQuantMode::kQuantize);
+  const Tensor x = Tensor::randn({8}, rng);
+  const Tensor y = aq.forward(x);
+  for (std::int64_t i = 0; i < x.numel(); ++i) EXPECT_EQ(y[i], x[i]);
+}
+
+TEST(Observers, DeterministicReservoir) {
+  Rng rng_a(14);
+  Rng rng_b(14);
+  ActFakeQuant a(6, ObserverKind::kPercentile);
+  ActFakeQuant b(6, ObserverKind::kPercentile);
+  for (int i = 0; i < 5; ++i) {
+    a.set_mode(ActQuantMode::kObserve);
+    b.set_mode(ActQuantMode::kObserve);
+    a.forward(Tensor::randn({4096}, rng_a));
+    b.forward(Tensor::randn({4096}, rng_b));
+  }
+  a.freeze_from_observed();
+  b.freeze_from_observed();
+  EXPECT_EQ(a.scale(), b.scale());
+  EXPECT_EQ(a.lo(), b.lo());
+  EXPECT_EQ(a.hi(), b.hi());
+}
+
+TEST(Observers, Names) {
+  EXPECT_STREQ(observer_name(ObserverKind::kMinMax), "minmax");
+  EXPECT_STREQ(observer_name(ObserverKind::kPercentile), "percentile");
+  EXPECT_STREQ(observer_name(ObserverKind::kMse), "mse");
+}
+
+}  // namespace
+}  // namespace clado::quant

@@ -1,0 +1,105 @@
+#include "clado/quant/adaround.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "clado/nn/layers.h"
+#include "clado/quant/quantizer.h"
+
+namespace clado::quant {
+namespace {
+
+using clado::nn::Conv2d;
+using clado::nn::Linear;
+using clado::nn::Tensor;
+using clado::tensor::Rng;
+
+TEST(AdaRound, OutputOnQuantizationGrid) {
+  Rng rng(1);
+  Linear fc(8, 6, /*bias=*/false);
+  fc.init(rng);
+  const Tensor x = Tensor::randn({32, 8}, rng);
+  const auto res = adaround_weight(fc, fc, x, 3);
+
+  const float scale = mse_optimal_scale_symmetric(fc.weight_param().value, 3);
+  std::set<float> grid;
+  for (int q = -4; q <= 3; ++q) grid.insert(static_cast<float>(q) * scale);
+  for (float w : res.quantized.flat()) {
+    bool on_grid = false;
+    for (float g : grid) {
+      if (std::abs(w - g) < 1e-5F) on_grid = true;
+    }
+    EXPECT_TRUE(on_grid) << w;
+  }
+}
+
+TEST(AdaRound, NeverWorseThanNearestOnCalibrationData) {
+  // The defining property: layer-output MSE of the learned rounding is at
+  // most that of round-to-nearest (on the data it optimized).
+  Rng rng(2);
+  for (int bits : {2, 3, 4}) {
+    Linear fc(16, 8, /*bias=*/false);
+    fc.init(rng);
+    const Tensor x = Tensor::randn({64, 16}, rng);
+    const auto res = adaround_weight(fc, fc, x, bits);
+    EXPECT_LE(res.mse_adaround, res.mse_nearest * 1.02 + 1e-12) << bits << " bits";
+  }
+}
+
+TEST(AdaRound, ImprovesAtLowBits) {
+  // Against an MSE-calibrated round-to-nearest baseline the headroom is a
+  // few percent of output MSE at 2-bit on a layer this small; require a
+  // strict, reproducible improvement plus actual rounding flips.
+  Rng rng(3);
+  Conv2d conv(3, 6, 3, 1, 1, 1, /*bias=*/false);
+  conv.init(rng);
+  const Tensor x = Tensor::randn({16, 3, 6, 6}, rng);
+  const auto res = adaround_weight(conv, conv, x, 2);
+  EXPECT_LT(res.mse_adaround, res.mse_nearest * 0.98);
+  EXPECT_GT(res.flipped, 0);  // it actually changed some roundings
+}
+
+TEST(AdaRound, RestoresWeightsAndGrads) {
+  Rng rng(4);
+  Linear fc(8, 4, /*bias=*/false);
+  fc.init(rng);
+  const Tensor before = fc.weight_param().value;
+  const Tensor x = Tensor::randn({16, 8}, rng);
+  adaround_weight(fc, fc, x, 3);
+  for (std::int64_t i = 0; i < before.numel(); ++i) {
+    EXPECT_EQ(fc.weight_param().value[i], before[i]);
+  }
+  for (float g : fc.weight_param().grad.flat()) EXPECT_EQ(g, 0.0F);
+}
+
+TEST(AdaRound, DeterministicGivenInputs) {
+  Rng rng(5);
+  Linear fc(8, 4, /*bias=*/false);
+  fc.init(rng);
+  const Tensor x = Tensor::randn({16, 8}, rng);
+  const auto a = adaround_weight(fc, fc, x, 3);
+  const auto b = adaround_weight(fc, fc, x, 3);
+  for (std::int64_t i = 0; i < a.quantized.numel(); ++i) {
+    EXPECT_EQ(a.quantized[i], b.quantized[i]);
+  }
+  EXPECT_DOUBLE_EQ(a.mse_adaround, b.mse_adaround);
+}
+
+TEST(AdaRound, WorksOnConvWithBias) {
+  // Bias is held fixed; only weight rounding is learned. The result must
+  // still be a strict improvement in output MSE.
+  Rng rng(6);
+  Conv2d conv(2, 4, 3, 2, 1, 1, /*bias=*/true);
+  conv.init(rng);
+  std::vector<clado::nn::ParamRef> params;
+  conv.collect_params("", params);
+  for (auto& v : params[1].param->value.flat()) v = 0.2F;
+  const Tensor x = Tensor::randn({8, 2, 6, 6}, rng);
+  const auto res = adaround_weight(conv, conv, x, 2);
+  EXPECT_LE(res.mse_adaround, res.mse_nearest + 1e-12);
+}
+
+}  // namespace
+}  // namespace clado::quant

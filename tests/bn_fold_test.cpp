@@ -1,0 +1,192 @@
+#include "clado/quant/bn_fold.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "clado/nn/blocks.h"
+#include "clado/nn/layers.h"
+#include "clado/nn/loss.h"
+#include "clado/core/algorithms.h"
+#include "clado/quant/qat.h"
+#include "test_models_util.h"
+
+namespace clado::quant {
+namespace {
+
+using clado::nn::Activation;
+using clado::nn::BatchNorm2d;
+using clado::nn::Conv2d;
+using clado::nn::ResidualBlock;
+using clado::nn::Sequential;
+using clado::nn::Tensor;
+using clado::tensor::Rng;
+
+/// conv-bn-relu-conv-bn stack with warmed-up running statistics.
+void warm_bn_stats(Sequential& seq, Rng& rng, std::int64_t channels, std::int64_t size) {
+  seq.set_training(true);
+  for (int i = 0; i < 20; ++i) {
+    seq.forward(Tensor::randn({8, channels, size, size}, rng));
+  }
+  seq.set_training(false);
+}
+
+TEST(BnFold, PlainConvBnPairMatchesExactly) {
+  Rng rng(1);
+  Sequential seq;
+  seq.emplace_named<Conv2d>("conv", 3, 6, 3, 1, 1, 1, /*bias=*/false)->init(rng);
+  seq.emplace_named<BatchNorm2d>("bn", 6);
+  warm_bn_stats(seq, rng, 3, 6);
+
+  const Tensor x = Tensor::randn({4, 3, 6, 6}, rng);
+  const Tensor before = seq.forward(x);
+  EXPECT_EQ(fold_batchnorm(seq), 1);
+  const Tensor after = seq.forward(x);
+  ASSERT_EQ(after.shape(), before.shape());
+  for (std::int64_t i = 0; i < before.numel(); ++i) {
+    EXPECT_NEAR(after[i], before[i], 1e-4F + 1e-4F * std::abs(before[i])) << i;
+  }
+  // BN is now an Identity.
+  EXPECT_EQ(seq.child(1).type_name(), "Identity");
+}
+
+TEST(BnFold, ConvWithBiasFoldsCorrectly) {
+  Rng rng(2);
+  Sequential seq;
+  seq.emplace_named<Conv2d>("conv", 2, 4, 1, 1, 0, 1, /*bias=*/true)->init(rng);
+  // Give the bias nonzero values so the b' = b*s + shift path is exercised.
+  std::vector<clado::nn::ParamRef> params;
+  seq.collect_params("", params);
+  for (auto& p : params) {
+    if (p.name == "conv.bias") {
+      for (auto& v : p.param->value.flat()) v = 0.3F;
+    }
+  }
+  seq.emplace_named<BatchNorm2d>("bn", 4);
+  warm_bn_stats(seq, rng, 2, 4);
+
+  const Tensor x = Tensor::randn({2, 2, 4, 4}, rng);
+  const Tensor before = seq.forward(x);
+  ASSERT_EQ(fold_batchnorm(seq), 1);
+  const Tensor after = seq.forward(x);
+  for (std::int64_t i = 0; i < before.numel(); ++i) {
+    EXPECT_NEAR(after[i], before[i], 1e-4F + 1e-4F * std::abs(before[i]));
+  }
+}
+
+TEST(BnFold, RecursesIntoResidualBlocksAndShortcuts) {
+  Rng rng(3);
+  auto main = std::make_unique<Sequential>();
+  main->emplace_named<Conv2d>("conv1", 4, 4, 3, 1, 1, 1, false)->init(rng);
+  main->emplace_named<BatchNorm2d>("bn1", 4);
+  main->emplace_named<Activation>("act", clado::nn::Act::kRelu);
+  main->emplace_named<Conv2d>("conv2", 4, 8, 3, 2, 1, 1, false)->init(rng);
+  main->emplace_named<BatchNorm2d>("bn2", 8);
+  auto shortcut = std::make_unique<Sequential>();
+  shortcut->emplace_named<Conv2d>("conv0", 4, 8, 1, 2, 0, 1, false)->init(rng);
+  shortcut->emplace_named<BatchNorm2d>("bn0", 8);
+
+  Sequential seq;
+  seq.push_back(std::make_unique<ResidualBlock>(std::move(main), std::move(shortcut), true),
+                "block");
+  warm_bn_stats(seq, rng, 4, 8);
+
+  const Tensor x = Tensor::randn({2, 4, 8, 8}, rng);
+  const Tensor before = seq.forward(x);
+  EXPECT_EQ(fold_batchnorm(seq), 3);
+  const Tensor after = seq.forward(x);
+  for (std::int64_t i = 0; i < before.numel(); ++i) {
+    EXPECT_NEAR(after[i], before[i], 2e-4F + 2e-4F * std::abs(before[i]));
+  }
+}
+
+TEST(BnFold, NoFoldableBnReturnsZero) {
+  Rng rng(4);
+  Sequential seq;
+  seq.emplace_named<Conv2d>("conv", 2, 2, 1, 1, 0)->init(rng);
+  seq.emplace_named<Activation>("act", clado::nn::Act::kRelu);  // breaks adjacency
+  seq.emplace_named<BatchNorm2d>("bn", 2);
+  EXPECT_EQ(fold_batchnorm(seq), 0);
+}
+
+TEST(BnFold, WholeZooModelEndToEnd) {
+  // Fold a complete model: accuracy (hence logits) must be preserved and
+  // the quant-layer list must stay valid for MPQ afterwards.
+  clado::tensor::Rng rng(5);
+  clado::models::Model bn_model;
+  bn_model.net = std::make_unique<Sequential>();
+  bn_model.candidate_bits = {2, 8};
+  bn_model.scheme = WeightScheme::kPerTensorSymmetric;
+  {
+    auto stem = std::make_unique<Sequential>();
+    stem->emplace_named<Conv2d>("conv1", 3, 6, 3, 1, 1, 1, false)->init(rng);
+    stem->emplace_named<BatchNorm2d>("bn1", 6);
+    stem->emplace_named<Activation>("act", clado::nn::Act::kRelu);
+    bn_model.net->push_back(std::move(stem), "stem");
+  }
+  bn_model.net->emplace_named<clado::nn::GlobalAvgPool>("pool");
+  bn_model.net->emplace_named<clado::nn::Linear>("fc", 6, 5)->init(rng);
+  bn_model.finalize();
+
+  Rng drng(6);
+  const Tensor x = Tensor::randn({8, 3, 8, 8}, drng);
+  bn_model.net->set_training(true);
+  for (int i = 0; i < 10; ++i) bn_model.net->forward(x);
+  bn_model.net->set_training(false);
+
+  const Tensor before = bn_model.net->forward(x);
+  EXPECT_EQ(fold_batchnorm(*bn_model.net), 1);
+  const Tensor after = bn_model.net->forward(x);
+  for (std::int64_t i = 0; i < before.numel(); ++i) {
+    EXPECT_NEAR(after[i], before[i], 1e-4F + 1e-4F * std::abs(before[i]));
+  }
+
+  // The quant-layer references remain usable: weights can still be baked.
+  std::vector<int> bits(bn_model.quant_layers.size(), 8);
+  EXPECT_NO_THROW(bake_weights(bn_model.quant_layers, bits, bn_model.scheme));
+}
+
+TEST(BnFold, MpqPipelineRunsOnFoldedGraph) {
+  // The full sensitivity + IQP pipeline must work unchanged on a folded
+  // model (the deployment-graph workflow of bench_ablation_bnfold).
+  clado::tensor::Rng rng(7);
+  clado::models::Model m;
+  m.net = std::make_unique<Sequential>();
+  m.candidate_bits = {2, 8};
+  m.scheme = WeightScheme::kPerTensorSymmetric;
+  m.num_classes = 5;
+  {
+    auto stem = std::make_unique<Sequential>();
+    stem->emplace_named<Conv2d>("conv1", 3, 4, 3, 1, 1, 1, false)->init(rng);
+    stem->emplace_named<BatchNorm2d>("bn1", 4);
+    stem->emplace_named<Activation>("act", clado::nn::Act::kRelu);
+    m.net->push_back(std::move(stem), "stem");
+  }
+  {
+    auto main = std::make_unique<Sequential>();
+    main->emplace_named<Conv2d>("conv1", 4, 4, 3, 1, 1, 1, false)->init(rng);
+    main->emplace_named<BatchNorm2d>("bn1", 4);
+    m.net->push_back(std::make_unique<ResidualBlock>(std::move(main), nullptr, true), "block");
+  }
+  m.net->emplace_named<clado::nn::GlobalAvgPool>("pool");
+  m.net->emplace_named<clado::nn::Linear>("fc", 4, 5)->init(rng);
+  m.finalize();
+
+  clado::tensor::Rng drng(8);
+  clado::data::Batch batch;
+  batch.images = Tensor::randn({12, 3, 8, 8}, drng);
+  for (int i = 0; i < 12; ++i) batch.labels.push_back(i % 5);
+  m.net->set_training(true);
+  for (int i = 0; i < 10; ++i) m.net->forward(batch.images);
+  m.net->set_training(false);
+
+  EXPECT_EQ(fold_batchnorm(*m.net), 2);
+  clado::core::MpqPipeline pipe(m, batch, {});
+  const double target = uniform_bytes(m.quant_layers, 8) * 0.6;
+  const auto a = pipe.assign(clado::core::Algorithm::kClado, target);
+  EXPECT_LE(a.bytes, target + 1e-6);
+  EXPECT_EQ(a.bits.size(), m.quant_layers.size());
+}
+
+}  // namespace
+}  // namespace clado::quant

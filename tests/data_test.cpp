@@ -1,0 +1,153 @@
+#include "clado/data/synthcv.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace clado::data {
+namespace {
+
+SynthCvDataset::Config small_config(std::uint64_t seed = 7) {
+  SynthCvDataset::Config c;
+  c.num_classes = 8;
+  c.seed = seed;
+  return c;
+}
+
+TEST(SynthCv, SamplesAreDeterministic) {
+  SynthCvDataset a(small_config());
+  SynthCvDataset b(small_config());
+  for (std::int64_t idx : {0, 1, 97, 5000}) {
+    EXPECT_EQ(a.label_of(idx), b.label_of(idx));
+    const Tensor ia = a.image_of(idx);
+    const Tensor ib = b.image_of(idx);
+    for (std::int64_t i = 0; i < ia.numel(); ++i) EXPECT_EQ(ia[i], ib[i]);
+  }
+}
+
+TEST(SynthCv, DifferentSeedsProduceDifferentData) {
+  SynthCvDataset a(small_config(7));
+  SynthCvDataset b(small_config(8));
+  const Tensor ia = a.image_of(0);
+  const Tensor ib = b.image_of(0);
+  int same = 0;
+  for (std::int64_t i = 0; i < ia.numel(); ++i) {
+    if (ia[i] == ib[i]) ++same;
+  }
+  EXPECT_LT(same, ia.numel() / 10);
+}
+
+TEST(SynthCv, LabelsInRangeAndBalanced) {
+  SynthCvDataset ds(small_config());
+  std::vector<int> counts(8, 0);
+  const int n = 8000;
+  for (int i = 0; i < n; ++i) {
+    const std::int64_t label = ds.label_of(i);
+    ASSERT_GE(label, 0);
+    ASSERT_LT(label, 8);
+    ++counts[static_cast<std::size_t>(label)];
+  }
+  for (int c : counts) EXPECT_NEAR(c, n / 8, n / 8 / 3);
+}
+
+TEST(SynthCv, ImageShapeAndFiniteValues) {
+  SynthCvDataset ds(small_config());
+  const Tensor img = ds.image_of(3);
+  EXPECT_EQ(img.shape(), (clado::tensor::Shape{3, 16, 16}));
+  for (float v : img.flat()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(SynthCv, ClassMeansAreSeparated) {
+  // Per-sample noise is strong by design (so quantization matters), but
+  // averaging samples of one class must reveal a class-specific template
+  // distinct from other classes' templates.
+  SynthCvDataset ds(small_config());
+  auto class_mean = [&](std::int64_t cls) {
+    Tensor mean({3, 16, 16});
+    int count = 0;
+    for (std::int64_t i = 0; count < 40; ++i) {
+      if (ds.label_of(i) != cls) continue;
+      mean += ds.image_of(i);
+      ++count;
+    }
+    mean *= 1.0F / static_cast<float>(count);
+    return mean;
+  };
+  const Tensor m0 = class_mean(0);
+  const Tensor m4 = class_mean(4);
+  Tensor diff = m0;
+  diff -= m4;
+  const double separation = std::sqrt(static_cast<double>(diff.sq_norm()));
+  const double scale = std::sqrt(static_cast<double>(m0.sq_norm()));
+  EXPECT_GT(separation, 0.3 * scale);
+}
+
+TEST(SynthCv, MakeBatchAssemblesIndices) {
+  SynthCvDataset ds(small_config());
+  const std::vector<std::int64_t> idx = {5, 0, 42};
+  const Batch batch = ds.make_batch(idx);
+  EXPECT_EQ(batch.size(), 3);
+  EXPECT_EQ(batch.images.shape(), (clado::tensor::Shape{3, 3, 16, 16}));
+  ASSERT_EQ(batch.labels.size(), 3U);
+  EXPECT_EQ(batch.labels[0], ds.label_of(5));
+  EXPECT_EQ(batch.labels[2], ds.label_of(42));
+  // Image payloads match image_of.
+  const Tensor direct = ds.image_of(0);
+  for (std::int64_t i = 0; i < direct.numel(); ++i) {
+    EXPECT_EQ(batch.images.data()[direct.numel() + i], direct[i]);
+  }
+}
+
+TEST(SynthCv, RangeBatch) {
+  SynthCvDataset ds(small_config());
+  const Batch batch = ds.make_range_batch(10, 4);
+  EXPECT_EQ(batch.size(), 4);
+  EXPECT_EQ(batch.labels[0], ds.label_of(10));
+  EXPECT_EQ(batch.labels[3], ds.label_of(13));
+}
+
+TEST(SynthCv, ConfigValidation) {
+  SynthCvDataset::Config c;
+  c.num_classes = 1;
+  EXPECT_THROW(SynthCvDataset{c}, std::invalid_argument);
+  c = {};
+  c.image_size = 2;
+  EXPECT_THROW(SynthCvDataset{c}, std::invalid_argument);
+}
+
+TEST(SampleIndices, DistinctAndInRange) {
+  clado::tensor::Rng rng(1);
+  const auto idx = sample_indices(100, 50, rng);
+  EXPECT_EQ(idx.size(), 50U);
+  std::set<std::int64_t> unique(idx.begin(), idx.end());
+  EXPECT_EQ(unique.size(), 50U);
+  for (std::int64_t i : idx) {
+    EXPECT_GE(i, 0);
+    EXPECT_LT(i, 100);
+  }
+}
+
+TEST(SampleIndices, CountExceedingUniverseThrows) {
+  clado::tensor::Rng rng(2);
+  EXPECT_THROW(sample_indices(10, 11, rng), std::invalid_argument);
+}
+
+TEST(SensitivitySets, ReproducibleAndIndependent) {
+  const auto sets_a = make_sensitivity_sets(1000, 32, 4, 99);
+  const auto sets_b = make_sensitivity_sets(1000, 32, 4, 99);
+  ASSERT_EQ(sets_a.size(), 4U);
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(sets_a[s], sets_b[s]);
+    EXPECT_EQ(sets_a[s].size(), 32U);
+  }
+  // Different sets are (almost surely) different.
+  EXPECT_NE(sets_a[0], sets_a[1]);
+  // Different master seeds give different sets.
+  const auto sets_c = make_sensitivity_sets(1000, 32, 4, 100);
+  EXPECT_NE(sets_a[0], sets_c[0]);
+}
+
+}  // namespace
+}  // namespace clado::data

@@ -1,0 +1,88 @@
+// Shared numerical-gradient checking for layer tests.
+//
+// For a module M and random projection weights r, defines the scalar
+//   L(x, θ) = Σ r ⊙ M(x)
+// and compares analytic gradients (backward pass with grad_output = r)
+// against central finite differences. Works in float, so tolerances are
+// loose-ish; every layer's backward has to pass for the HVP-based Table 2
+// experiment to be meaningful.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "clado/nn/module.h"
+
+namespace clado::testing {
+
+using clado::nn::Module;
+using clado::nn::ParamRef;
+using clado::tensor::Rng;
+using clado::tensor::Tensor;
+
+inline double projected_output(Module& module, const Tensor& input, const Tensor& projection) {
+  const Tensor out = module.forward(input);
+  EXPECT_EQ(out.shape(), projection.shape());
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    acc += static_cast<double>(out[i]) * projection[i];
+  }
+  return acc;
+}
+
+/// Checks dL/dx and dL/dθ for every trainable parameter. `eps` is the
+/// finite-difference step; `tol` is the mixed absolute/relative tolerance.
+inline void check_gradients(Module& module, Tensor input, const Tensor& projection,
+                            double eps = 1e-3, double tol = 2e-2,
+                            std::int64_t max_checked = 64) {
+  std::vector<ParamRef> params;
+  module.collect_params("", params);
+  for (auto& p : params) p.param->zero_grad();
+
+  module.forward(input);  // populate stashes
+  // Analytic pass.
+  module.forward(input);
+  const Tensor grad_input = module.backward(projection);
+
+  auto expect_close = [&](double analytic, double numeric, const std::string& what) {
+    const double scale = std::max({1.0, std::abs(analytic), std::abs(numeric)});
+    EXPECT_NEAR(analytic, numeric, tol * scale) << what;
+  };
+
+  // Input gradient (subsample large tensors for speed).
+  const std::int64_t in_n = input.numel();
+  const std::int64_t in_stride = std::max<std::int64_t>(1, in_n / max_checked);
+  for (std::int64_t i = 0; i < in_n; i += in_stride) {
+    const float saved = input[i];
+    input[i] = saved + static_cast<float>(eps);
+    const double plus = projected_output(module, input, projection);
+    input[i] = saved - static_cast<float>(eps);
+    const double minus = projected_output(module, input, projection);
+    input[i] = saved;
+    expect_close(grad_input[i], (plus - minus) / (2.0 * eps), "input grad @" + std::to_string(i));
+  }
+
+  // Parameter gradients.
+  for (auto& p : params) {
+    if (!p.param->trainable) continue;
+    Tensor& w = p.param->value;
+    const std::int64_t n = w.numel();
+    const std::int64_t stride = std::max<std::int64_t>(1, n / max_checked);
+    for (std::int64_t i = 0; i < n; i += stride) {
+      const float saved = w[i];
+      w[i] = saved + static_cast<float>(eps);
+      const double plus = projected_output(module, input, projection);
+      w[i] = saved - static_cast<float>(eps);
+      const double minus = projected_output(module, input, projection);
+      w[i] = saved;
+      expect_close(p.param->grad[i], (plus - minus) / (2.0 * eps),
+                   p.name + " grad @" + std::to_string(i));
+    }
+  }
+}
+
+}  // namespace clado::testing

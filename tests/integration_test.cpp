@@ -1,0 +1,157 @@
+// End-to-end pipeline test on a real (small) trained model: pretrain →
+// calibrate → measure sensitivities → solve all algorithms → PTQ evaluate.
+// Asserts the structural properties the paper's evaluation relies on, not
+// exact accuracies (those are benchmarked, not unit-tested).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "clado/core/algorithms.h"
+#include "clado/core/qat_runner.h"
+#include "clado/data/synthcv.h"
+#include "clado/models/builders.h"
+#include "clado/models/zoo.h"
+
+namespace clado::core {
+namespace {
+
+using clado::models::Model;
+using clado::models::TrainedModel;
+using clado::tensor::Rng;
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // Train one small real model once for the whole suite.
+    Rng rng(0xFEED);
+    tm_ = new TrainedModel{clado::models::build_resnet_a(rng, 8),
+                           clado::data::SynthCvDataset(dataset_config(21)),
+                           clado::data::SynthCvDataset(dataset_config(22)),
+                           0.0};
+    clado::models::ZooConfig cfg;
+    cfg.num_classes = 8;
+    cfg.train_size = 1024;
+    cfg.val_size = 512;
+    tm_->val_accuracy = clado::models::train_model(tm_->model, tm_->train_set, tm_->val_set,
+                                                   cfg, /*epochs=*/6, /*lr=*/0.05F);
+    tm_->model.calibrate_activations(tm_->train_set.make_range_batch(0, 128));
+
+    Rng srng(5);
+    const auto idx = clado::data::sample_indices(1024, 48, srng);
+    pipe_ = new MpqPipeline(tm_->model, tm_->train_set.make_batch(idx), {});
+  }
+
+  static void TearDownTestSuite() {
+    delete pipe_;
+    delete tm_;
+    pipe_ = nullptr;
+    tm_ = nullptr;
+  }
+
+  static clado::data::SynthCvDataset::Config dataset_config(std::uint64_t seed) {
+    clado::data::SynthCvDataset::Config c;
+    c.num_classes = 8;
+    c.seed = seed;
+    return c;
+  }
+
+  static TrainedModel* tm_;
+  static MpqPipeline* pipe_;
+};
+
+TrainedModel* IntegrationTest::tm_ = nullptr;
+MpqPipeline* IntegrationTest::pipe_ = nullptr;
+
+TEST_F(IntegrationTest, PretrainingReachesUsefulAccuracy) {
+  EXPECT_GT(tm_->val_accuracy, 0.7);
+}
+
+TEST_F(IntegrationTest, AllAlgorithmsProduceFeasibleDistinctiveAssignments) {
+  const double int8 = tm_->model.uniform_size_bytes(8);
+  const double target = int8 * 0.375;  // 3-bit-equivalent budget
+  std::map<std::string, Assignment> assignments;
+  for (auto alg : {Algorithm::kHawq, Algorithm::kMpqco, Algorithm::kCladoStar,
+                   Algorithm::kClado, Algorithm::kBrecqBlock}) {
+    const auto a = pipe_->assign(alg, target);
+    EXPECT_LE(a.bytes, target + 1e-6) << algorithm_name(alg);
+    assignments.emplace(algorithm_name(alg), a);
+  }
+  // CLADO must differ from CLADO* somewhere (cross-layer terms matter) —
+  // on this trained model they essentially always do.
+  EXPECT_NE(assignments.at("CLADO").bits, assignments.at("CLADO*").bits);
+}
+
+TEST_F(IntegrationTest, CladoObjectiveDominatesBaselinesUnderItsOwnMetric) {
+  const double target = tm_->model.uniform_size_bytes(8) * 0.375;
+  clado::solver::QuadraticProblem p;
+  p.G = pipe_->clado_matrix();
+  p.cost = pipe_->size_costs();
+  p.budget = target;
+  const auto clado = pipe_->assign(Algorithm::kClado, target);
+  for (auto alg : {Algorithm::kHawq, Algorithm::kMpqco, Algorithm::kCladoStar}) {
+    const auto other = pipe_->assign(alg, target);
+    EXPECT_LE(p.integer_objective(clado.choice), p.integer_objective(other.choice) + 1e-6)
+        << algorithm_name(alg);
+  }
+}
+
+TEST_F(IntegrationTest, PredictedObjectiveTracksRealLossIncrease) {
+  // The IQP proxy ½αᵀĜα ≈ ΔL: across several budgets, a larger predicted
+  // objective must correspond to a (weakly) larger measured loss increase.
+  const double int8 = tm_->model.uniform_size_bytes(8);
+  const auto& batch = pipe_->engine().batch();
+  const double base = tm_->model.loss(batch);
+  std::vector<double> predicted, measured;
+  for (double frac : {0.3, 0.4, 0.6, 0.9}) {
+    const auto a = pipe_->assign(Algorithm::kClado, int8 * frac);
+    auto snap = pipe_->apply_ptq(a);
+    predicted.push_back(a.predicted);
+    measured.push_back(tm_->model.loss(batch) - base);
+    snap->restore();
+  }
+  for (std::size_t i = 1; i < predicted.size(); ++i) {
+    EXPECT_LE(predicted[i], predicted[i - 1] + 1e-9) << "larger budget, smaller objective";
+  }
+  // Rank agreement between proxy and measured loss increase.
+  for (std::size_t i = 1; i < measured.size(); ++i) {
+    EXPECT_LE(measured[i], measured[i - 1] + 0.05);
+  }
+}
+
+TEST_F(IntegrationTest, SensitivitySweepIsReusedAcrossBudgets) {
+  const auto before = pipe_->engine().stats().forward_measurements;
+  pipe_->assign(Algorithm::kClado, tm_->model.uniform_size_bytes(8) * 0.5);
+  pipe_->assign(Algorithm::kClado, tm_->model.uniform_size_bytes(8) * 0.7);
+  // No additional network measurements beyond the initial sweep.
+  EXPECT_EQ(pipe_->engine().stats().forward_measurements, before);
+}
+
+TEST_F(IntegrationTest, PtqAccuracyOrderingAtAggressiveCompression) {
+  // The headline claim, as a soft structural check: CLADO's PTQ accuracy
+  // at an aggressive budget is at least that of the diagonal ablation.
+  const double target = tm_->model.uniform_size_bytes(8) * 0.32;
+  auto eval = [&](Algorithm alg) {
+    const auto a = pipe_->assign(alg, target);
+    auto snap = pipe_->apply_ptq(a);
+    const double acc = tm_->model.accuracy_on(tm_->val_set, 512);
+    snap->restore();
+    return acc;
+  };
+  const double acc_clado = eval(Algorithm::kClado);
+  const double acc_star = eval(Algorithm::kCladoStar);
+  EXPECT_GE(acc_clado, acc_star - 0.03);
+}
+
+TEST_F(IntegrationTest, QatImprovesAggressivePtq) {
+  const double target = tm_->model.uniform_size_bytes(8) * 0.3;
+  const auto a = pipe_->assign(Algorithm::kClado, target);
+  QatConfig cfg;
+  cfg.epochs = 2;
+  cfg.train_size = 512;
+  cfg.val_size = 512;
+  const QatResult res = run_qat(tm_->model, a, tm_->train_set, tm_->val_set, cfg);
+  EXPECT_GE(res.post_qat_accuracy, res.pre_qat_accuracy - 0.02);
+}
+
+}  // namespace
+}  // namespace clado::core

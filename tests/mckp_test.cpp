@@ -1,0 +1,196 @@
+#include "clado/solver/mckp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "clado/tensor/rng.h"
+
+namespace clado::solver {
+namespace {
+
+using clado::tensor::Rng;
+
+std::vector<ChoiceGroup> random_instance(std::size_t groups, std::size_t choices, Rng& rng) {
+  std::vector<ChoiceGroup> out(groups);
+  for (auto& g : out) {
+    for (std::size_t m = 0; m < choices; ++m) {
+      g.value.push_back(rng.uniform(-1.0, 1.0));
+      g.cost.push_back(rng.uniform(0.1, 2.0));
+    }
+  }
+  return out;
+}
+
+double min_total_cost(const std::vector<ChoiceGroup>& groups) {
+  double c = 0.0;
+  for (const auto& g : groups) c += *std::min_element(g.cost.begin(), g.cost.end());
+  return c;
+}
+
+TEST(MckpDp, TrivialSingleGroup) {
+  std::vector<ChoiceGroup> groups = {{{5.0, 1.0, 3.0}, {1.0, 2.0, 3.0}}};
+  const auto sol = solve_mckp_dp(groups, 10.0);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_EQ(sol.choice[0], 1);  // min value fits
+  EXPECT_DOUBLE_EQ(sol.value, 1.0);
+}
+
+TEST(MckpDp, BudgetForcesCheapChoice) {
+  std::vector<ChoiceGroup> groups = {{{5.0, 1.0}, {1.0, 10.0}}};
+  const auto sol = solve_mckp_dp(groups, 5.0);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_EQ(sol.choice[0], 0);  // the good choice is too expensive
+}
+
+TEST(MckpDp, InfeasibleWhenCheapestExceedsBudget) {
+  std::vector<ChoiceGroup> groups = {{{1.0, 2.0}, {5.0, 6.0}}};
+  EXPECT_FALSE(solve_mckp_dp(groups, 4.0).feasible);
+}
+
+TEST(MckpDp, MatchesBruteForceOnRandomInstances) {
+  Rng rng(1);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto groups = random_instance(6, 3, rng);
+    const double budget = min_total_cost(groups) * rng.uniform(1.05, 2.0);
+    const auto dp = solve_mckp_dp(groups, budget, 8192);
+    const auto bf = solve_mckp_brute_force(groups, budget);
+    ASSERT_EQ(dp.feasible, bf.feasible) << "trial " << trial;
+    if (bf.feasible) {
+      EXPECT_LE(dp.cost, budget + 1e-9);
+      // DP on a fine grid should match the exact optimum closely.
+      EXPECT_NEAR(dp.value, bf.value, 1e-6 + 0.02 * std::abs(bf.value)) << "trial " << trial;
+    }
+  }
+}
+
+TEST(MckpDp, SolutionsAlwaysFeasible) {
+  Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto groups = random_instance(10, 4, rng);
+    const double budget = min_total_cost(groups) * rng.uniform(1.0, 3.0);
+    const auto sol = solve_mckp_dp(groups, budget, 512);  // coarse grid
+    if (sol.feasible) {
+      double cost = 0.0;
+      for (std::size_t g = 0; g < groups.size(); ++g) {
+        cost += groups[g].cost[static_cast<std::size_t>(sol.choice[g])];
+      }
+      EXPECT_LE(cost, budget + 1e-9) << "trial " << trial;
+    }
+  }
+}
+
+TEST(MckpLp, LowerBoundsIntegerOptimum) {
+  Rng rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto groups = random_instance(5, 3, rng);
+    const double budget = min_total_cost(groups) * rng.uniform(1.05, 2.0);
+    const auto lp = solve_mckp_lp(groups, budget);
+    const auto bf = solve_mckp_brute_force(groups, budget);
+    ASSERT_EQ(lp.feasible, bf.feasible);
+    if (bf.feasible) {
+      EXPECT_LE(lp.value, bf.value + 1e-9) << "trial " << trial;
+    }
+  }
+}
+
+TEST(MckpLp, WeightsAreASimplexPoint) {
+  Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto groups = random_instance(6, 4, rng);
+    const double budget = min_total_cost(groups) * 1.3;
+    const auto lp = solve_mckp_lp(groups, budget);
+    if (!lp.feasible) continue;
+    int fractional_groups = 0;
+    double cost = 0.0;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      double sum = 0.0;
+      bool fractional = false;
+      for (std::size_t m = 0; m < groups[g].value.size(); ++m) {
+        const double w = lp.weight[g][m];
+        EXPECT_GE(w, -1e-12);
+        if (w > 1e-9 && w < 1.0 - 1e-9) fractional = true;
+        sum += w;
+        cost += w * groups[g].cost[m];
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-9);
+      if (fractional) ++fractional_groups;
+    }
+    EXPECT_LE(fractional_groups, 1);  // Sinha–Zoltners structure
+    EXPECT_LE(cost, budget + 1e-6);
+  }
+}
+
+TEST(MckpLp, UnconstrainedOptimumShortcut) {
+  std::vector<ChoiceGroup> groups = {{{3.0, 1.0}, {1.0, 1.0}}, {{2.0, 5.0}, {1.0, 1.0}}};
+  const auto lp = solve_mckp_lp(groups, 100.0);
+  ASSERT_TRUE(lp.feasible);
+  EXPECT_DOUBLE_EQ(lp.weight[0][1], 1.0);
+  EXPECT_DOUBLE_EQ(lp.weight[1][0], 1.0);
+  EXPECT_DOUBLE_EQ(lp.value, 3.0);
+}
+
+TEST(MckpLp, RespectsAllowedMask) {
+  std::vector<ChoiceGroup> groups = {{{0.0, 10.0}, {1.0, 1.0}}};
+  std::vector<std::vector<char>> allowed = {{0, 1}};  // forbid the good choice
+  const auto lp = solve_mckp_lp(groups, 100.0, allowed);
+  ASSERT_TRUE(lp.feasible);
+  EXPECT_DOUBLE_EQ(lp.weight[0][1], 1.0);
+}
+
+TEST(MckpLp, FullyMaskedGroupIsInfeasible) {
+  std::vector<ChoiceGroup> groups = {{{0.0, 1.0}, {1.0, 1.0}}};
+  std::vector<std::vector<char>> allowed = {{0, 0}};
+  EXPECT_FALSE(solve_mckp_lp(groups, 100.0, allowed).feasible);
+}
+
+TEST(MckpGreedy, FeasibleAndNoWorseThanBase) {
+  Rng rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto groups = random_instance(8, 3, rng);
+    const double min_cost = min_total_cost(groups);
+    const double budget = min_cost * rng.uniform(1.0, 2.5);
+    const auto greedy = solve_mckp_greedy(groups, budget);
+    ASSERT_TRUE(greedy.feasible);
+    double cost = 0.0, base_value = 0.0;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      cost += groups[g].cost[static_cast<std::size_t>(greedy.choice[g])];
+      // Base = value at each group's cheapest choice.
+      std::size_t cheapest = 0;
+      for (std::size_t m = 1; m < groups[g].cost.size(); ++m) {
+        if (groups[g].cost[m] < groups[g].cost[cheapest]) cheapest = m;
+      }
+      base_value += groups[g].value[cheapest];
+    }
+    EXPECT_LE(cost, budget + 1e-9);
+    EXPECT_LE(greedy.value, base_value + 1e-9);
+  }
+}
+
+TEST(MckpGreedy, NeverBelowLpBound) {
+  Rng rng(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto groups = random_instance(6, 3, rng);
+    const double budget = min_total_cost(groups) * 1.4;
+    const auto lp = solve_mckp_lp(groups, budget);
+    const auto greedy = solve_mckp_greedy(groups, budget);
+    ASSERT_TRUE(lp.feasible);
+    ASSERT_TRUE(greedy.feasible);
+    EXPECT_GE(greedy.value, lp.value - 1e-9);
+  }
+}
+
+TEST(Mckp, ValidationErrors) {
+  EXPECT_THROW(solve_mckp_dp({{{1.0}, {}}}, 1.0), std::invalid_argument);
+  EXPECT_THROW(solve_mckp_dp({{{1.0}, {-0.5}}}, 1.0), std::invalid_argument);
+  EXPECT_THROW(solve_mckp_dp({{{1.0}, {0.5}}}, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Mckp, EmptyInstanceIsTriviallyFeasible) {
+  const auto sol = solve_mckp_dp({}, 1.0);
+  EXPECT_TRUE(sol.feasible);
+  EXPECT_TRUE(sol.choice.empty());
+}
+
+}  // namespace
+}  // namespace clado::solver

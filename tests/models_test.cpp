@@ -1,0 +1,214 @@
+#include "clado/models/builders.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <set>
+
+#include "clado/models/zoo.h"
+#include "clado/nn/hvp.h"
+
+namespace clado::models {
+namespace {
+
+using clado::tensor::Rng;
+using clado::tensor::Tensor;
+
+class BuilderTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BuilderTest, ForwardShapeAndFinite) {
+  Rng rng(1);
+  Model m = build_by_name(GetParam(), rng, 16);
+  Rng drng(2);
+  const Tensor x = Tensor::randn({4, 3, 16, 16}, drng);
+  m.net->set_training(false);
+  const Tensor y = m.net->forward(x);
+  EXPECT_EQ(y.shape(), (clado::tensor::Shape{4, 16}));
+  for (float v : y.flat()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST_P(BuilderTest, QuantLayersDiscoveredWithMonotoneStages) {
+  Rng rng(3);
+  Model m = build_by_name(GetParam(), rng, 16);
+  EXPECT_GE(m.num_quant_layers(), 10) << "enough MPQ decision variables";
+  int prev_stage = -1;
+  std::set<std::string> names;
+  for (const auto& l : m.quant_layers) {
+    EXPECT_GE(l.stage, prev_stage) << "layers must be in execution order";
+    prev_stage = l.stage;
+    EXPECT_TRUE(names.insert(l.name).second) << "duplicate layer name " << l.name;
+    EXPECT_NE(l.layer, nullptr);
+  }
+}
+
+TEST_P(BuilderTest, BackwardRunsThroughWholeModel) {
+  Rng rng(4);
+  Model m = build_by_name(GetParam(), rng, 16);
+  Rng drng(5);
+  const Tensor x = Tensor::randn({2, 3, 16, 16}, drng);
+  std::vector<std::int64_t> labels = {0, 7};
+  m.net->set_training(true);
+  clado::nn::zero_all_grads(*m.net);
+  clado::nn::loss_and_backward(*m.net, x, labels);
+  // Every quantizable layer should receive a gradient.
+  for (const auto& l : m.quant_layers) {
+    EXPECT_GT(l.layer->weight_param().grad.sq_norm(), 0.0F) << l.name;
+  }
+}
+
+TEST_P(BuilderTest, ActQuantCalibrationChangesNothingDramatically) {
+  Rng rng(6);
+  Model m = build_by_name(GetParam(), rng, 16);
+  Rng drng(7);
+  clado::data::Batch batch;
+  batch.images = Tensor::randn({8, 3, 16, 16}, drng);
+  for (int i = 0; i < 8; ++i) batch.labels.push_back(i % 16);
+
+  m.net->set_training(false);
+  const Tensor before = m.net->forward(batch.images);
+  m.calibrate_activations(batch);
+  const Tensor after = m.net->forward(batch.images);
+  // 8-bit activation quantization is nearly lossless relative to the
+  // logit scale (errors accumulate across stages, so compare relatively).
+  double max_abs_logit = 1.0;
+  for (float v : before.flat()) max_abs_logit = std::max(max_abs_logit, std::abs(static_cast<double>(v)));
+  double max_err = 0.0;
+  for (std::int64_t i = 0; i < before.numel(); ++i) {
+    max_err = std::max(max_err, std::abs(static_cast<double>(after[i]) - before[i]));
+  }
+  // The transformer's residual stream has a much wider dynamic range than
+  // post-BN CNN activations, so whole-tensor 8-bit quantization is coarser
+  // there (the reason the paper uses affine schemes for ViT).
+  const double tol = GetParam() == "vit_mini" ? 0.45 : 0.15;
+  EXPECT_LT(max_err / max_abs_logit, tol);
+}
+
+TEST_P(BuilderTest, DeterministicConstruction) {
+  Rng rng_a(8);
+  Rng rng_b(8);
+  Model a = build_by_name(GetParam(), rng_a, 16);
+  Model b = build_by_name(GetParam(), rng_b, 16);
+  const auto sa = clado::nn::extract_state(*a.net);
+  const auto sb = clado::nn::extract_state(*b.net);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (const auto& [name, tensor] : sa) {
+    const auto& other = sb.at(name);
+    for (std::int64_t i = 0; i < tensor.numel(); ++i) ASSERT_EQ(tensor[i], other[i]) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, BuilderTest, ::testing::ValuesIn(model_names()));
+
+TEST(Builders, CandidateBitsMatchPaper) {
+  Rng rng(9);
+  EXPECT_EQ(build_resnet_a(rng).candidate_bits, (std::vector<int>{2, 4, 8}));
+  EXPECT_EQ(build_mobilenet_v3_mini(rng).candidate_bits, (std::vector<int>{4, 6, 8}));
+  EXPECT_EQ(build_vit_mini(rng).candidate_bits, (std::vector<int>{2, 4, 8}));
+}
+
+TEST(Builders, SchemesMatchPaper) {
+  Rng rng(10);
+  EXPECT_EQ(build_resnet_a(rng).scheme, clado::quant::WeightScheme::kPerTensorSymmetric);
+  EXPECT_EQ(build_regnet_mini(rng).scheme, clado::quant::WeightScheme::kPerTensorSymmetric);
+  EXPECT_EQ(build_mobilenet_v3_mini(rng).scheme, clado::quant::WeightScheme::kPerChannelAffine);
+  EXPECT_EQ(build_vit_mini(rng).scheme, clado::quant::WeightScheme::kPerChannelAffine);
+}
+
+TEST(Builders, UnknownNameThrows) {
+  Rng rng(11);
+  EXPECT_THROW(build_by_name("alexnet", rng), std::invalid_argument);
+}
+
+TEST(Builders, VitUsesPaperLayerNaming) {
+  Rng rng(12);
+  Model m = build_vit_mini(rng);
+  ASSERT_GE(m.num_quant_layers(), 24);
+  EXPECT_EQ(m.quant_layers[0].name, "layer.0.attention.attention.query");
+  EXPECT_EQ(m.quant_layers[5].name, "layer.0.output.dense");
+  EXPECT_EQ(m.quant_layers.back().name, "classifier");
+}
+
+TEST(Model, AccuracyOnIsChunkingInvariant) {
+  Rng rng(20);
+  Model m = build_resnet_a(rng, 8);
+  clado::data::SynthCvDataset::Config dc;
+  dc.num_classes = 8;
+  dc.seed = 9;
+  clado::data::SynthCvDataset ds(dc);
+  const double big_chunks = m.accuracy_on(ds, 200, 128);
+  const double small_chunks = m.accuracy_on(ds, 200, 33);
+  EXPECT_NEAR(big_chunks, small_chunks, 1e-9);
+}
+
+TEST(Model, UniformSizeBytesScalesWithBits) {
+  Rng rng(21);
+  Model m = build_regnet_mini(rng, 8);
+  EXPECT_DOUBLE_EQ(m.uniform_size_bytes(8), 4.0 * m.uniform_size_bytes(2));
+  EXPECT_DOUBLE_EQ(m.uniform_size_bytes(4), 2.0 * m.uniform_size_bytes(2));
+}
+
+TEST(Model, ActQuantModeToggles) {
+  Rng rng(22);
+  Model m = build_resnet_a(rng, 8);
+  ASSERT_FALSE(m.act_quants.empty());
+  m.set_act_quant_mode(clado::quant::ActQuantMode::kObserve);
+  for (auto* aq : m.act_quants) {
+    EXPECT_EQ(aq->mode(), clado::quant::ActQuantMode::kObserve);
+  }
+  m.set_act_quant_mode(clado::quant::ActQuantMode::kBypass);
+  for (auto* aq : m.act_quants) {
+    EXPECT_EQ(aq->mode(), clado::quant::ActQuantMode::kBypass);
+  }
+}
+
+TEST(Model, CalibrationFreezesEveryObserver) {
+  Rng rng(23);
+  Model m = build_resnet_a(rng, 8);
+  clado::data::Batch batch;
+  Rng drng(24);
+  batch.images = Tensor::randn({8, 3, 16, 16}, drng);
+  for (int i = 0; i < 8; ++i) batch.labels.push_back(i % 8);
+  m.calibrate_activations(batch);
+  for (auto* aq : m.act_quants) {
+    EXPECT_TRUE(aq->calibrated());
+    EXPECT_EQ(aq->mode(), clado::quant::ActQuantMode::kQuantize);
+  }
+}
+
+TEST(Zoo, ArtifactCacheRoundTrip) {
+  const auto dir = std::filesystem::temp_directory_path() / "clado_zoo_test";
+  std::filesystem::remove_all(dir);
+  ZooConfig cfg;
+  cfg.artifacts_dir = dir.string();
+  cfg.train_size = 128;   // keep the test fast: a handful of steps
+  cfg.val_size = 128;
+  cfg.num_classes = 8;
+
+  // First call trains and saves; second call must load identical weights.
+  // Use the cheapest model for speed.
+  unsetenv("CLADO_ARTIFACTS_DIR");
+  TrainedModel first = get_or_train("vit_mini", cfg);
+  ASSERT_TRUE(std::filesystem::exists(dir / "vit_mini.bin"));
+  TrainedModel second = get_or_train("vit_mini", cfg);
+  const auto sa = clado::nn::extract_state(*first.model.net);
+  const auto sb = clado::nn::extract_state(*second.model.net);
+  for (const auto& [name, tensor] : sa) {
+    const auto& other = sb.at(name);
+    for (std::int64_t i = 0; i < tensor.numel(); ++i) ASSERT_EQ(tensor[i], other[i]) << name;
+  }
+  EXPECT_DOUBLE_EQ(first.val_accuracy, second.val_accuracy);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Zoo, ResolveArtifactsDirHonorsEnv) {
+  ZooConfig cfg;
+  cfg.artifacts_dir = "fallback";
+  setenv("CLADO_ARTIFACTS_DIR", "/tmp/from_env", 1);
+  EXPECT_EQ(resolve_artifacts_dir(cfg), "/tmp/from_env");
+  unsetenv("CLADO_ARTIFACTS_DIR");
+  EXPECT_EQ(resolve_artifacts_dir(cfg), "fallback");
+}
+
+}  // namespace
+}  // namespace clado::models

@@ -1,0 +1,113 @@
+#include "clado/core/qat_runner.h"
+
+#include <gtest/gtest.h>
+
+#include "clado/core/algorithms.h"
+#include "clado/models/zoo.h"
+#include "test_models_util.h"
+
+namespace clado::core {
+namespace {
+
+using clado::testing::make_tiny_model;
+using clado::testing::Model;
+using clado::tensor::Rng;
+
+clado::data::SynthCvDataset tiny_dataset(std::uint64_t seed) {
+  clado::data::SynthCvDataset::Config c;
+  c.num_classes = 5;
+  c.image_size = 8;
+  c.seed = seed;
+  return clado::data::SynthCvDataset(c);
+}
+
+struct QatFixture {
+  Rng rng{17};
+  Model model;
+  clado::data::SynthCvDataset train_set;
+  clado::data::SynthCvDataset val_set;
+
+  QatFixture() : model(make_tiny_model(rng)), train_set(tiny_dataset(1)), val_set(tiny_dataset(2)) {
+    // Short pretraining so QAT has a meaningful starting point.
+    clado::models::ZooConfig cfg;
+    cfg.num_classes = 5;
+    cfg.train_size = 1024;
+    cfg.val_size = 256;
+    clado::models::train_model(model, train_set, val_set, cfg, /*epochs=*/8, /*lr=*/0.05F);
+  }
+};
+
+Assignment all_bits(const Model& model, int bits, int index) {
+  Assignment a;
+  a.choice.assign(model.quant_layers.size(), index);
+  a.bits.assign(model.quant_layers.size(), bits);
+  return a;
+}
+
+TEST(QatRunner, RecoversAccuracyAtLowBits) {
+  QatFixture f;
+  const double fp32 = f.model.accuracy_on(f.val_set, 256);
+  ASSERT_GT(fp32, 0.4);  // pretraining worked (tiny 4-layer model)
+
+  QatConfig cfg;
+  cfg.epochs = 3;
+  cfg.train_size = 512;
+  cfg.val_size = 256;
+  const QatResult res = run_qat(f.model, all_bits(f.model, 2, 0), f.train_set, f.val_set, cfg);
+  // 2-bit PTQ on a tiny model degrades; QAT must not make things worse and
+  // should stay clearly above the 20% chance level of 5 classes.
+  EXPECT_GE(res.post_qat_accuracy, res.pre_qat_accuracy - 0.02);
+  EXPECT_GT(res.post_qat_accuracy, 0.25);
+}
+
+TEST(QatRunner, EightBitIsNearLossless) {
+  QatFixture f;
+  const double fp32 = f.model.accuracy_on(f.val_set, 256);
+  QatConfig cfg;
+  cfg.epochs = 1;
+  cfg.train_size = 256;
+  cfg.val_size = 256;
+  const QatResult res = run_qat(f.model, all_bits(f.model, 8, 1), f.train_set, f.val_set, cfg);
+  EXPECT_NEAR(res.pre_qat_accuracy, fp32, 0.05);
+}
+
+TEST(QatRunner, RestoresFp32WeightsAndTransforms) {
+  QatFixture f;
+  std::vector<clado::nn::Tensor> before;
+  for (auto& l : f.model.quant_layers) before.push_back(l.layer->weight_param().value);
+  const double acc_before = f.model.accuracy_on(f.val_set, 256);
+
+  QatConfig cfg;
+  cfg.epochs = 1;
+  cfg.train_size = 256;
+  cfg.val_size = 256;
+  run_qat(f.model, all_bits(f.model, 2, 0), f.train_set, f.val_set, cfg);
+
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    const auto& now = f.model.quant_layers[i].layer->weight_param().value;
+    for (std::int64_t k = 0; k < before[i].numel(); ++k) {
+      ASSERT_EQ(now[k], before[i][k]) << "layer " << i;
+    }
+  }
+  EXPECT_DOUBLE_EQ(f.model.accuracy_on(f.val_set, 256), acc_before);
+}
+
+TEST(QatRunner, PreQatMatchesDirectPtqEvaluation) {
+  QatFixture f;
+  const std::vector<int> bits(f.model.quant_layers.size(), 2);
+  double direct = 0.0;
+  {
+    clado::quant::WeightSnapshot snap(f.model.quant_layers);
+    clado::quant::bake_weights(f.model.quant_layers, bits, f.model.scheme);
+    direct = f.model.accuracy_on(f.val_set, 256);
+  }
+  QatConfig cfg;
+  cfg.epochs = 1;
+  cfg.train_size = 64;
+  cfg.val_size = 256;
+  const QatResult res = run_qat(f.model, all_bits(f.model, 2, 0), f.train_set, f.val_set, cfg);
+  EXPECT_DOUBLE_EQ(res.pre_qat_accuracy, direct);
+}
+
+}  // namespace
+}  // namespace clado::core

@@ -1,0 +1,127 @@
+#include "clado/core/report.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace clado::core {
+namespace {
+
+TEST(AsciiTable, AlignsColumns) {
+  AsciiTable table({"name", "value"});
+  table.add_row({"x", "1.00"});
+  table.add_row({"longer-name", "2.50"});
+  const std::string out = table.to_string();
+  std::istringstream is(out);
+  std::string header, rule, row1, row2;
+  std::getline(is, header);
+  std::getline(is, rule);
+  std::getline(is, row1);
+  std::getline(is, row2);
+  EXPECT_NE(header.find("name"), std::string::npos);
+  EXPECT_NE(rule.find("---"), std::string::npos);
+  // All data lines share the same column offset for the second column.
+  EXPECT_EQ(row1.size(), row2.size());
+  EXPECT_NE(row2.find("2.50"), std::string::npos);
+}
+
+TEST(AsciiTable, RejectsWrongWidth) {
+  AsciiTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(AsciiTable, NumberFormatting) {
+  EXPECT_EQ(AsciiTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(AsciiTable::num(3.0, 0), "3");
+  EXPECT_EQ(AsciiTable::pct(0.7342, 2), "73.42");
+  EXPECT_EQ(AsciiTable::pct(1.0, 1), "100.0");
+}
+
+TEST(WriteCsv, RoundTrips) {
+  const auto dir = std::filesystem::temp_directory_path() / "clado_report_test";
+  std::filesystem::remove_all(dir);
+  const std::string path = (dir / "sub" / "out.csv").string();
+  write_csv(path, {"a", "b"}, {{"1", "2"}, {"3", "4"}});
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good());
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(is, line);
+  EXPECT_EQ(line, "1,2");
+  std::getline(is, line);
+  EXPECT_EQ(line, "3,4");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Quartiles, OddSample) {
+  const Quartiles q = quartiles({5.0, 1.0, 3.0});
+  EXPECT_DOUBLE_EQ(q.median, 3.0);
+  EXPECT_DOUBLE_EQ(q.q25, 2.0);
+  EXPECT_DOUBLE_EQ(q.q75, 4.0);
+}
+
+TEST(Quartiles, SingleValue) {
+  const Quartiles q = quartiles({2.5});
+  EXPECT_DOUBLE_EQ(q.q25, 2.5);
+  EXPECT_DOUBLE_EQ(q.median, 2.5);
+  EXPECT_DOUBLE_EQ(q.q75, 2.5);
+}
+
+TEST(Quartiles, EmptyIsZero) {
+  const Quartiles q = quartiles({});
+  EXPECT_DOUBLE_EQ(q.median, 0.0);
+}
+
+TEST(Quartiles, MedianOfEvenSampleInterpolates) {
+  const Quartiles q = quartiles({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(q.median, 2.5);
+}
+
+TEST(AsciiChart, PlacesExtremePoints) {
+  ChartSeries s{"acc", {0.0, 1.0}, {10.0, 20.0}, 'o'};
+  const std::string chart = render_ascii_chart({s}, 40, 10, "title", "x", "y");
+  std::vector<std::string> lines;
+  std::istringstream is(chart);
+  for (std::string line; std::getline(is, line);) lines.push_back(line);
+  // Title, 10 grid rows, axis, x labels, legend.
+  ASSERT_GE(lines.size(), 13U);
+  EXPECT_EQ(lines[0], "title");
+  // y_max row carries the max label and the top-right point.
+  EXPECT_NE(lines[1].find("20"), std::string::npos);
+  EXPECT_EQ(lines[1].back(), 'o');
+  // y_min row carries the min label and the bottom-left point.
+  EXPECT_NE(lines[10].find("10"), std::string::npos);
+  EXPECT_NE(lines[10].find('o'), std::string::npos);
+  // Legend mentions the series.
+  EXPECT_NE(chart.find("o = acc"), std::string::npos);
+}
+
+TEST(AsciiChart, InterpolationDotsBetweenPoints) {
+  ChartSeries s{"line", {0.0, 10.0}, {0.0, 0.0}, '*'};
+  const std::string chart = render_ascii_chart({s}, 30, 6);
+  // A horizontal segment should leave '.' marks between the endpoints.
+  EXPECT_NE(chart.find('.'), std::string::npos);
+}
+
+TEST(AsciiChart, OverlappingSeriesMarkedWithHash) {
+  ChartSeries a{"a", {0.0, 1.0}, {0.0, 1.0}, 'a'};
+  ChartSeries b{"b", {0.0, 1.0}, {0.0, 1.0}, 'b'};
+  const std::string chart = render_ascii_chart({a, b}, 30, 8);
+  EXPECT_NE(chart.find('#'), std::string::npos);
+}
+
+TEST(AsciiChart, EmptyAndDegenerateInputs) {
+  EXPECT_EQ(render_ascii_chart({}, 30, 8), "(empty chart)\n");
+  // Single point, zero ranges: must not divide by zero.
+  ChartSeries s{"pt", {5.0}, {7.0}, 'x'};
+  EXPECT_NO_THROW(render_ascii_chart({s}, 30, 8));
+  EXPECT_THROW(render_ascii_chart({s}, 4, 2), std::invalid_argument);
+  ChartSeries bad{"bad", {1.0, 2.0}, {1.0}, 'x'};
+  EXPECT_THROW(render_ascii_chart({bad}, 30, 8), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace clado::core

@@ -1,0 +1,139 @@
+#include "clado/core/search_baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "clado/core/algorithms.h"
+#include "test_models_util.h"
+
+namespace clado::core {
+namespace {
+
+using clado::testing::make_noise_batch;
+using clado::testing::make_tiny_model;
+using clado::testing::Model;
+using clado::tensor::Rng;
+
+struct SearchFixture {
+  Rng rng{31};
+  Model model;
+  clado::data::Batch batch;
+
+  SearchFixture() : model(make_tiny_model(rng)) {
+    Rng brng(32);
+    batch = make_noise_batch(brng);
+  }
+
+  double uniform_bytes(int bits) const {
+    double bytes = 0.0;
+    for (const auto& l : model.quant_layers) {
+      bytes += static_cast<double>(l.layer->weight_param().value.numel()) * bits / 8.0;
+    }
+    return bytes;
+  }
+};
+
+TEST(RandomSearch, ProducesFeasibleAssignment) {
+  SearchFixture f;
+  SearchOptions opts;
+  opts.max_evaluations = 30;
+  const double target = f.uniform_bytes(8) * 0.5;
+  const auto res = random_search(f.model, f.batch, target, opts);
+  ASSERT_TRUE(res.feasible);
+  EXPECT_LE(res.bytes, target + 1e-6);
+  EXPECT_EQ(res.evaluations, 30);
+  EXPECT_EQ(res.bits.size(), f.model.quant_layers.size());
+  for (int b : res.bits) EXPECT_TRUE(b == 2 || b == 8);
+}
+
+TEST(RandomSearch, InfeasibleTargetReported) {
+  SearchFixture f;
+  const auto res = random_search(f.model, f.batch, f.uniform_bytes(2) * 0.5, {});
+  EXPECT_FALSE(res.feasible);
+}
+
+TEST(RandomSearch, RestoresWeights) {
+  SearchFixture f;
+  std::vector<clado::nn::Tensor> before;
+  for (auto& l : f.model.quant_layers) before.push_back(l.layer->weight_param().value);
+  SearchOptions opts;
+  opts.max_evaluations = 10;
+  random_search(f.model, f.batch, f.uniform_bytes(8) * 0.5, opts);
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    const auto& now = f.model.quant_layers[i].layer->weight_param().value;
+    for (std::int64_t k = 0; k < before[i].numel(); ++k) {
+      ASSERT_EQ(now[k], before[i][k]);
+    }
+  }
+}
+
+TEST(RandomSearch, DeterministicForSeed) {
+  SearchFixture f;
+  SearchOptions opts;
+  opts.max_evaluations = 20;
+  opts.seed = 9;
+  const auto a = random_search(f.model, f.batch, f.uniform_bytes(8) * 0.5, opts);
+  const auto b = random_search(f.model, f.batch, f.uniform_bytes(8) * 0.5, opts);
+  EXPECT_EQ(a.choice, b.choice);
+  EXPECT_DOUBLE_EQ(a.loss, b.loss);
+}
+
+TEST(EvolutionarySearch, FeasibleAndAtLeastAsGoodAsItsPopulationInit) {
+  SearchFixture f;
+  SearchOptions opts;
+  opts.max_evaluations = 60;
+  opts.population = 8;
+  const double target = f.uniform_bytes(8) * 0.5;
+  const auto evo = evolutionary_search(f.model, f.batch, target, opts);
+  ASSERT_TRUE(evo.feasible);
+  EXPECT_LE(evo.bytes, target + 1e-6);
+  EXPECT_LE(evo.evaluations, 60);
+
+  // With the same seed, the first `population` random candidates are the
+  // same ones random_search would try; evolution must end at least as good.
+  SearchOptions rnd_opts = opts;
+  rnd_opts.max_evaluations = opts.population;
+  const auto rnd = random_search(f.model, f.batch, target, rnd_opts);
+  EXPECT_LE(evo.loss, rnd.loss + 1e-9);
+}
+
+TEST(EvolutionarySearch, MoreEvaluationsNeverHurt) {
+  SearchFixture f;
+  const double target = f.uniform_bytes(8) * 0.45;
+  SearchOptions small;
+  small.max_evaluations = 20;
+  small.population = 6;
+  SearchOptions big = small;
+  big.max_evaluations = 80;
+  const auto a = evolutionary_search(f.model, f.batch, target, small);
+  const auto b = evolutionary_search(f.model, f.batch, target, big);
+  ASSERT_TRUE(a.feasible);
+  ASSERT_TRUE(b.feasible);
+  EXPECT_LE(b.loss, a.loss + 1e-9);
+}
+
+TEST(EvolutionarySearch, RejectsDegeneratePopulation) {
+  SearchFixture f;
+  SearchOptions opts;
+  opts.population = 1;
+  EXPECT_THROW(evolutionary_search(f.model, f.batch, f.uniform_bytes(8), opts),
+               std::invalid_argument);
+}
+
+TEST(Search, DirectLossAgreesWithPipelineEvaluation) {
+  // The search's candidate loss must match what the model reports when the
+  // same assignment is baked through the quant helpers.
+  SearchFixture f;
+  SearchOptions opts;
+  opts.max_evaluations = 15;
+  const double target = f.uniform_bytes(8) * 0.6;
+  const auto res = random_search(f.model, f.batch, target, opts);
+  ASSERT_TRUE(res.feasible);
+
+  clado::quant::WeightSnapshot snap(f.model.quant_layers);
+  clado::quant::bake_weights(f.model.quant_layers, res.bits, f.model.scheme);
+  const double direct = clado::testing::full_loss(f.model, f.batch);
+  EXPECT_NEAR(direct, res.loss, 1e-6 + 1e-5 * std::abs(direct));
+}
+
+}  // namespace
+}  // namespace clado::core

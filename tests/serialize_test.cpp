@@ -1,0 +1,80 @@
+#include "clado/tensor/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace clado::tensor {
+namespace {
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "clado_serialize_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const char* name) const { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(SerializeTest, RoundTripPreservesShapesAndValues) {
+  Rng rng(1);
+  StateDict dict;
+  dict.emplace("conv.weight", Tensor::randn({4, 3, 3, 3}, rng));
+  dict.emplace("fc.bias", Tensor::randn({10}, rng));
+  dict.emplace("scalarish", Tensor({1}, 3.25F));
+  save_state_dict(dict, path("model.bin"));
+
+  const StateDict loaded = load_state_dict(path("model.bin"));
+  ASSERT_EQ(loaded.size(), dict.size());
+  for (const auto& [name, tensor] : dict) {
+    const auto it = loaded.find(name);
+    ASSERT_NE(it, loaded.end()) << name;
+    ASSERT_EQ(it->second.shape(), tensor.shape());
+    for (std::int64_t i = 0; i < tensor.numel(); ++i) {
+      EXPECT_EQ(it->second[i], tensor[i]);
+    }
+  }
+}
+
+TEST_F(SerializeTest, EmptyDictRoundTrips) {
+  save_state_dict({}, path("empty.bin"));
+  EXPECT_TRUE(load_state_dict(path("empty.bin")).empty());
+}
+
+TEST_F(SerializeTest, ExistsDetectsMagic) {
+  EXPECT_FALSE(state_dict_exists(path("missing.bin")));
+  save_state_dict({{"t", Tensor({2})}}, path("good.bin"));
+  EXPECT_TRUE(state_dict_exists(path("good.bin")));
+
+  std::ofstream bad(path("bad.bin"), std::ios::binary);
+  bad << "not a state dict";
+  bad.close();
+  EXPECT_FALSE(state_dict_exists(path("bad.bin")));
+}
+
+TEST_F(SerializeTest, LoadRejectsBadMagic) {
+  std::ofstream bad(path("garbage.bin"), std::ios::binary);
+  bad << "XXXXYYYYZZZZ0000";
+  bad.close();
+  EXPECT_THROW(load_state_dict(path("garbage.bin")), std::runtime_error);
+}
+
+TEST_F(SerializeTest, LoadRejectsTruncatedFile) {
+  save_state_dict({{"weights", Tensor({128}, 1.0F)}}, path("full.bin"));
+  // Truncate mid-payload.
+  const auto full_size = std::filesystem::file_size(path("full.bin"));
+  std::filesystem::resize_file(path("full.bin"), full_size / 2);
+  EXPECT_THROW(load_state_dict(path("full.bin")), std::runtime_error);
+}
+
+TEST_F(SerializeTest, LoadMissingFileThrows) {
+  EXPECT_THROW(load_state_dict(path("never_written.bin")), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace clado::tensor

@@ -1,0 +1,187 @@
+// clado — command-line front end for the MPQ pipeline.
+//
+//   clado models                         list zoo models
+//   clado train <model>                  pretrain (or refresh) a zoo model
+//   clado assign <model> [options]       compute a bit-width assignment
+//   clado eval <model> [options]         assignment + PTQ accuracy report
+//   clado sweep <model> [options]        accuracy across a budget ladder
+//
+// Common options:
+//   --alg=<hawq|mpqco|clado-star|clado|brecq-block>   (default clado)
+//   --frac=<f>        target size as a fraction of the INT8 size (default 0.375)
+//   --set-size=<n>    sensitivity-set samples (default 64)
+//   --seed=<n>        sensitivity-set seed (default 48879)
+//   --val=<n>         validation samples for eval (default 1024)
+//   --no-psd          disable the PSD projection (Figure 7 ablation)
+//   --save-sens=<p>   write the measured sensitivity matrix to <p>
+//   --load-sens=<p>   reuse a previously saved sensitivity matrix
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "clado/core/algorithms.h"
+#include "clado/core/report.h"
+#include "clado/models/builders.h"
+#include "clado/models/zoo.h"
+
+namespace {
+
+using clado::core::Algorithm;
+using clado::core::AsciiTable;
+
+struct Options {
+  std::string command;
+  std::string model;
+  Algorithm algorithm = Algorithm::kClado;
+  double frac = 0.375;
+  std::int64_t set_size = 64;
+  std::uint64_t seed = 0xBEEF;
+  std::int64_t val_count = 1024;
+  bool psd = true;
+  std::string save_sens;
+  std::string load_sens;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: clado <models|train|assign|eval|sweep> [model] "
+               "[--alg=...] [--frac=F] [--set-size=N] [--seed=N] [--val=N] [--no-psd] "
+               "[--save-sens=PATH] [--load-sens=PATH]\n");
+  return 2;
+}
+
+bool parse_algorithm(const std::string& name, Algorithm& out) {
+  static const std::map<std::string, Algorithm> table = {
+      {"hawq", Algorithm::kHawq},
+      {"mpqco", Algorithm::kMpqco},
+      {"clado-star", Algorithm::kCladoStar},
+      {"clado", Algorithm::kClado},
+      {"brecq-block", Algorithm::kBrecqBlock},
+  };
+  const auto it = table.find(name);
+  if (it == table.end()) return false;
+  out = it->second;
+  return true;
+}
+
+bool parse(int argc, char** argv, Options& opts) {
+  if (argc < 2) return false;
+  opts.command = argv[1];
+  int positional = 0;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--alg=", 0) == 0) {
+      if (!parse_algorithm(arg.substr(6), opts.algorithm)) return false;
+    } else if (arg.rfind("--frac=", 0) == 0) {
+      opts.frac = std::atof(arg.c_str() + 7);
+    } else if (arg.rfind("--set-size=", 0) == 0) {
+      opts.set_size = std::atol(arg.c_str() + 11);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      opts.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--val=", 0) == 0) {
+      opts.val_count = std::atol(arg.c_str() + 6);
+    } else if (arg == "--no-psd") {
+      opts.psd = false;
+    } else if (arg.rfind("--save-sens=", 0) == 0) {
+      opts.save_sens = arg.substr(12);
+    } else if (arg.rfind("--load-sens=", 0) == 0) {
+      opts.load_sens = arg.substr(12);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    } else if (positional++ == 0) {
+      opts.model = arg;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+clado::core::MpqPipeline make_pipeline(clado::models::TrainedModel& tm, const Options& opts) {
+  tm.model.calibrate_activations(tm.train_set.make_range_batch(0, 128));
+  clado::tensor::Rng rng(opts.seed);
+  const auto indices = clado::data::sample_indices(4096, opts.set_size, rng);
+  clado::core::PipelineOptions popts;
+  popts.psd_projection = opts.psd;
+  clado::core::MpqPipeline pipeline(tm.model, tm.train_set.make_batch(indices), popts);
+  if (!opts.load_sens.empty()) pipeline.load_sensitivities(opts.load_sens);
+  if (!opts.save_sens.empty()) pipeline.save_sensitivities(opts.save_sens);
+  return pipeline;
+}
+
+void print_assignment(const clado::models::Model& model,
+                      const clado::core::Assignment& assignment) {
+  std::printf("# %s  target %.2f KB  realized %.2f KB  predicted ΔL proxy %.5f  %s\n",
+              clado::core::algorithm_name(assignment.algorithm),
+              assignment.target_bytes / 1024.0, assignment.bytes / 1024.0,
+              assignment.predicted,
+              assignment.proven_optimal  ? "(proven optimal)"
+              : assignment.used_fallback ? "(annealing fallback)"
+                                         : "");
+  AsciiTable table({"idx", "layer", "params", "bits"});
+  for (std::size_t i = 0; i < assignment.bits.size(); ++i) {
+    table.add_row({std::to_string(i), model.quant_layers[i].name,
+                   std::to_string(model.quant_layers[i].layer->weight_param().value.numel()),
+                   std::to_string(assignment.bits[i])});
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!parse(argc, argv, opts)) return usage();
+
+  if (opts.command == "models") {
+    for (const auto& name : clado::models::model_names()) std::printf("%s\n", name.c_str());
+    return 0;
+  }
+  if (opts.model.empty()) return usage();
+
+  if (opts.command == "train") {
+    clado::models::ZooConfig cfg;
+    cfg.verbose = true;
+    const auto tm = clado::models::get_or_train(opts.model, cfg);
+    std::printf("%s: fp32 top-1 %.2f%%\n", opts.model.c_str(), 100.0 * tm.val_accuracy);
+    return 0;
+  }
+
+  clado::models::TrainedModel tm = clado::models::get_or_train(opts.model);
+  if (opts.command == "assign") {
+    auto pipeline = make_pipeline(tm, opts);
+    const double target = tm.model.uniform_size_bytes(8) * opts.frac;
+    print_assignment(tm.model, pipeline.assign(opts.algorithm, target));
+    return 0;
+  }
+  if (opts.command == "eval") {
+    auto pipeline = make_pipeline(tm, opts);
+    const double target = tm.model.uniform_size_bytes(8) * opts.frac;
+    const auto assignment = pipeline.assign(opts.algorithm, target);
+    print_assignment(tm.model, assignment);
+    auto snapshot = pipeline.apply_ptq(assignment);
+    std::printf("\nPTQ top-1 on %lld val samples: %.2f%%  (fp32: %.2f%%)\n",
+                static_cast<long long>(opts.val_count),
+                100.0 * tm.model.accuracy_on(tm.val_set, opts.val_count),
+                100.0 * tm.val_accuracy);
+    return 0;
+  }
+  if (opts.command == "sweep") {
+    auto pipeline = make_pipeline(tm, opts);
+    const double int8 = tm.model.uniform_size_bytes(8);
+    AsciiTable table({"frac", "KB", "top-1 (%)"});
+    for (double f : {0.28, 0.3125, 0.375, 0.45, 0.55, 0.7, 0.9}) {
+      const auto assignment = pipeline.assign(opts.algorithm, int8 * f);
+      auto snapshot = pipeline.apply_ptq(assignment);
+      const double acc = tm.model.accuracy_on(tm.val_set, opts.val_count);
+      snapshot->restore();
+      table.add_row({AsciiTable::num(f, 4), AsciiTable::num(int8 * f / 1024.0, 2),
+                     AsciiTable::pct(acc)});
+    }
+    table.print();
+    return 0;
+  }
+  return usage();
+}
