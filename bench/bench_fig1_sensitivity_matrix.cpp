@@ -10,6 +10,7 @@
 
 #include "bench_common.h"
 #include "clado/core/sensitivity.h"
+#include "clado/tensor/thread_pool.h"
 
 namespace {
 
@@ -85,7 +86,9 @@ void run_model(const std::string& name, std::int64_t bit_index) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::printf("=== Figure 1: cross-layer sensitivity matrices & pair suboptimality ===\n\n");
+  std::printf("=== Figure 1: cross-layer sensitivity matrices & pair suboptimality ===\n");
+  std::printf("(sensitivity sweep on %d thread(s); bit-identical at any count)\n\n",
+              clado::tensor::ThreadPool::resolve_threads(0));
   const auto names = models_from_args(argc, argv, {"resnet_a", "resnet_b"});
   for (const auto& name : names) {
     run_model(name, /*bit_index=*/0);  // most aggressive bit-width

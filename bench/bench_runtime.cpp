@@ -6,22 +6,31 @@
 // MPQCO's proxy is one-to-two orders cheaper; the IQP itself solves in
 // (milli)seconds once sensitivities exist, and re-solving for a new budget
 // is effectively free — the reusability argument for sensitivity methods.
+//
+// The CLADO sweep is additionally timed at 1 thread and at the resolved
+// thread count (CLADO_NUM_THREADS / hardware); on a multi-core host the
+// parallel row shows the replica-sweep speedup at bit-identical output.
 #include <chrono>
 
 #include "bench_common.h"
+#include "clado/tensor/thread_pool.h"
 
 int main(int argc, char** argv) {
   using namespace clado::bench;
   using clado::core::AsciiTable;
+  using clado::tensor::ThreadPool;
   using Clock = std::chrono::steady_clock;
   auto secs = [](Clock::time_point t0) {
     return std::chrono::duration<double>(Clock::now() - t0).count();
   };
 
   const auto names = models_from_args(argc, argv, {"resnet_a", "vit_mini"});
-  std::printf("=== Runtime: sensitivity measurement and solve cost per phase ===\n\n");
+  const int sweep_threads = ThreadPool::resolve_threads(0);
+  std::printf("=== Runtime: sensitivity measurement and solve cost per phase ===\n");
+  std::printf("(sweep threads resolved to %d; set CLADO_NUM_THREADS to override)\n\n",
+              sweep_threads);
 
-  AsciiTable table({"model", "I", "|B|I", "phase", "measurements", "seconds"});
+  AsciiTable table({"model", "I", "|B|I", "phase", "threads", "measurements", "seconds"});
   std::vector<std::vector<std::string>> csv_rows;
   for (const auto& name : names) {
     TrainedModel tm = load_calibrated(name);
@@ -31,20 +40,40 @@ int main(int argc, char** argv) {
     const double int8_bytes = tm.model.uniform_size_bytes(8);
     MpqPipeline pipe(tm.model, sensitivity_batch(tm, 64), {});
 
-    auto add = [&](const char* phase, std::int64_t measurements, double seconds) {
+    auto add = [&](const char* phase, int threads, std::int64_t measurements, double seconds) {
       table.add_row({name, std::to_string(I), std::to_string(bi), phase,
+                     threads > 0 ? std::to_string(threads) : "-",
                      measurements >= 0 ? std::to_string(measurements) : "-",
                      AsciiTable::num(seconds, 3)});
-      csv_rows.push_back({name, phase,
+      csv_rows.push_back({name, phase, threads > 0 ? std::to_string(threads) : "",
                           measurements >= 0 ? std::to_string(measurements) : "",
                           AsciiTable::num(seconds, 4)});
     };
 
-    // CLADO sensitivity sweep (paper formula: ½|B|I(|B|I+1) measurements).
+    // CLADO sensitivity sweep (paper formula: ½|B|I(|B|I+1) measurements),
+    // serial reference first. full_matrix recomputes on every call (only
+    // the single-layer losses are cached), so the two timings are
+    // comparable; clado_matrix_raw() below reuses neither.
     auto t0 = Clock::now();
+    pipe.engine().full_matrix({}, 1);
+    const double serial_secs = secs(t0);
+    add("CLADO sweep", 1, bi * (bi + 1) / 2, serial_secs);
+
+    if (sweep_threads > 1) {
+      t0 = Clock::now();
+      pipe.engine().full_matrix({}, sweep_threads);
+      const double par_secs = secs(t0);
+      add("CLADO sweep", sweep_threads, bi * (bi + 1) / 2, par_secs);
+      std::printf("  %s: parallel sweep speedup = %.2fx at %d threads\n", name.c_str(),
+                  serial_secs / par_secs, sweep_threads);
+    }
+
+    const std::int64_t measured_before = pipe.engine().stats().forward_measurements;
+    t0 = Clock::now();
     pipe.clado_matrix_raw();
     const auto& stats = pipe.engine().stats();
-    add("CLADO sweep", stats.forward_measurements, secs(t0));
+    add("CLADO sweep (pipeline)", sweep_threads,
+        stats.forward_measurements - measured_before, secs(t0));
     std::printf("  %s: paper-formula measurements = %lld, prefix-cache stage speedup = %.2fx\n",
                 name.c_str(), static_cast<long long>(bi * (bi + 1) / 2),
                 static_cast<double>(stats.stage_executions_naive) /
@@ -52,30 +81,30 @@ int main(int argc, char** argv) {
 
     t0 = Clock::now();
     pipe.clado_matrix();  // PSD projection on top of the cached raw matrix
-    add("PSD projection", -1, secs(t0));
+    add("PSD projection", -1, -1, secs(t0));
 
     t0 = Clock::now();
     pipe.hawq_values();
-    add("HAWQ traces", 2 * 3 * I, secs(t0));  // 2 grad evals x probes x layers
+    add("HAWQ traces", -1, 2 * 3 * I, secs(t0));  // 2 grad evals x probes x layers
 
     t0 = Clock::now();
     pipe.mpqco_values();
-    add("MPQCO proxy", B * I, secs(t0));
+    add("MPQCO proxy", -1, B * I, secs(t0));
 
     t0 = Clock::now();
     const auto a1 = pipe.assign(Algorithm::kClado, int8_bytes * 0.375);
-    add("IQP solve (cold)", a1.solver_nodes, secs(t0));
+    add("IQP solve (cold)", -1, a1.solver_nodes, secs(t0));
 
     t0 = Clock::now();
     pipe.assign(Algorithm::kClado, int8_bytes * 0.5);
-    add("IQP re-solve (new budget)", -1, secs(t0));
+    add("IQP re-solve (new budget)", -1, -1, secs(t0));
     std::fflush(stdout);
   }
   std::printf("\n");
   table.print();
 
   clado::core::write_csv("bench_results/runtime.csv",
-                         {"model", "phase", "measurements", "seconds"}, csv_rows);
+                         {"model", "phase", "threads", "measurements", "seconds"}, csv_rows);
   std::printf("\nrows written to bench_results/runtime.csv\n");
   return 0;
 }

@@ -35,7 +35,7 @@ const Tensor& MpqPipeline::clado_matrix_raw() {
         if (done == total) std::fprintf(stderr, "\n");
       };
     }
-    g_raw_ = engine_.full_matrix(progress);
+    g_raw_ = engine_.full_matrix(progress, options_.sweep_threads);
   }
   return *g_raw_;
 }
@@ -114,6 +114,9 @@ const std::vector<std::vector<double>>& MpqPipeline::hawq_values() {
       }
     }
     hawq_values_ = std::move(values);
+    // The HVP probes perturbed weights and ran forwards outside the engine,
+    // so the layers' input stashes no longer reflect the clean weights.
+    engine_.mark_stashes_dirty();
   }
   return *hawq_values_;
 }

@@ -15,6 +15,7 @@
 //   * quantized weights Q(w, b_m) are computed once per (layer, bit).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -28,6 +29,22 @@ namespace clado::core {
 using clado::data::Batch;
 using clado::models::Model;
 using clado::tensor::Tensor;
+
+/// RAII weight restoration: snapshots a weight tensor on construction and
+/// writes the snapshot back on destruction. The sweep perturbs layer
+/// weights in place; the guard makes every mutation site exception-safe
+/// (a throwing progress callback or measurement leaves the model clean).
+class WeightRestoreGuard {
+ public:
+  explicit WeightRestoreGuard(Tensor& weight) : weight_(weight), original_(weight) {}
+  ~WeightRestoreGuard() { weight_ = original_; }
+  WeightRestoreGuard(const WeightRestoreGuard&) = delete;
+  WeightRestoreGuard& operator=(const WeightRestoreGuard&) = delete;
+
+ private:
+  Tensor& weight_;
+  Tensor original_;
+};
 
 struct SensitivityStats {
   std::int64_t forward_measurements = 0;  ///< loss evaluations performed
@@ -56,8 +73,17 @@ class SensitivityEngine {
   std::vector<std::vector<double>> diagonal_sensitivities();
 
   /// Full sensitivity matrix Ĝ (Eq. 10), raw (no PSD projection).
-  /// `progress` (optional) is called with (done_pairs, total_pairs).
-  Tensor full_matrix(const std::function<void(std::int64_t, std::int64_t)>& progress = {});
+  /// `progress` (optional) is called with (done_pairs, total_pairs) roughly
+  /// every 256 pair measurements and at completion.
+  ///
+  /// `num_threads` > 1 sweeps disjoint layer rows i concurrently, one
+  /// Model::clone() replica per worker; 0 resolves via
+  /// tensor::ThreadPool (CLADO_NUM_THREADS / hardware). Every Ĝ entry is
+  /// written exactly once by the worker owning its row with the same
+  /// Eq. (13) arithmetic as the serial sweep, so the result is
+  /// bit-identical at any thread count.
+  Tensor full_matrix(const std::function<void(std::int64_t, std::int64_t)>& progress = {},
+                     int num_threads = 0);
 
   /// MPQCO-style Gauss–Newton proxy: per-(layer, bit) mean squared layer
   /// output perturbation ‖X_i Δw‖²/N. Forward-only and much cheaper than
@@ -65,6 +91,11 @@ class SensitivityEngine {
   std::vector<std::vector<double>> mpqco_proxy();
 
   const SensitivityStats& stats() const { return stats_; }
+
+  /// Tells the engine the model's layer input stashes no longer reflect
+  /// the clean weights (e.g. after the pipeline ran HVP probes or a PTQ
+  /// forward outside the engine). mpqco_proxy() then rebuilds them.
+  void mark_stashes_dirty() { stashes_clean_ = false; }
 
   /// The sensitivity set this engine measures on.
   const Batch& batch() const { return batch_; }
@@ -75,9 +106,24 @@ class SensitivityEngine {
   }
 
  private:
-  /// Loss of the network with layer i already perturbed, re-running from
-  /// stage `stage` with the given input.
+  /// Loss of `model` re-run from stage `stage` with the given input,
+  /// counting measurements into `stats`. Parameterized over (model, stats)
+  /// so parallel workers evaluate on their own replica with their own
+  /// counters; only reads shared state (the batch).
+  double eval_loss(Model& model, SensitivityStats& stats, std::size_t stage,
+                   const Tensor& input, std::vector<Tensor>* record) const;
+
+  /// Loss of the primary model (marks its layer stashes dirty).
   double loss_from(std::size_t stage, const Tensor& input, std::vector<Tensor>* record);
+
+  /// Off-diagonal sweep worker: claims rows i from `next_row` and measures
+  /// all pairs (i, j > i) on `model` (the primary, or a per-worker
+  /// replica), writing into the n x n buffer `g`. `report(pairs)` is
+  /// invoked at every j-loop boundary with the pairs finished since the
+  /// previous call.
+  void sweep_rows(Model& model, SensitivityStats& stats, float* g, std::int64_t n,
+                  std::atomic<std::int64_t>& next_row,
+                  const std::function<void(std::int64_t)>& report);
 
   void ensure_single_losses();
 
@@ -88,6 +134,7 @@ class SensitivityEngine {
   std::vector<std::vector<Tensor>> deltas_;     // [I][|B|] Q(w, b) − w
   std::vector<std::vector<double>> single_losses_;
   bool singles_done_ = false;
+  bool stashes_clean_ = false;  // layer input stashes match clean weights
   SensitivityStats stats_;
 };
 

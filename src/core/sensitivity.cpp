@@ -1,10 +1,13 @@
 #include "clado/core/sensitivity.h"
 
 #include <chrono>
+#include <mutex>
 #include <stdexcept>
+#include <utility>
 
 #include "clado/nn/loss.h"
 #include "clado/quant/quantizer.h"
+#include "clado/tensor/thread_pool.h"
 
 namespace clado::core {
 
@@ -15,6 +18,9 @@ using Clock = std::chrono::steady_clock;
 double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
+
+// Pair-measurement count between progress callbacks.
+constexpr std::int64_t kProgressStride = 256;
 
 }  // namespace
 
@@ -40,13 +46,15 @@ SensitivityEngine::SensitivityEngine(Model& model, Batch batch)
     }
   }
 
-  // Clean pass: caches every stage input and the final output.
+  // Clean pass: caches every stage input and the final output, and leaves
+  // every layer's input stash consistent with the clean weights.
   clado::nn::CrossEntropyLoss criterion;
   const Tensor logits = model_.net->forward_cached(batch_.images);
   base_loss_ = criterion.forward(logits, batch_.labels);
   ++stats_.forward_measurements;
   stats_.stage_executions += static_cast<std::int64_t>(model_.net->size());
   stats_.stage_executions_naive += static_cast<std::int64_t>(model_.net->size());
+  stashes_clean_ = true;
   stats_.seconds += seconds_since(t0);
 }
 
@@ -54,14 +62,20 @@ const Tensor& SensitivityEngine::delta(std::int64_t layer, std::int64_t bit_inde
   return deltas_.at(static_cast<std::size_t>(layer)).at(static_cast<std::size_t>(bit_index));
 }
 
+double SensitivityEngine::eval_loss(Model& model, SensitivityStats& stats, std::size_t stage,
+                                    const Tensor& input, std::vector<Tensor>* record) const {
+  clado::nn::CrossEntropyLoss criterion;
+  const Tensor logits = model.net->forward_span(stage, input, record);
+  ++stats.forward_measurements;
+  stats.stage_executions += static_cast<std::int64_t>(model.net->size() - stage);
+  stats.stage_executions_naive += static_cast<std::int64_t>(model.net->size());
+  return criterion.forward(logits, batch_.labels);
+}
+
 double SensitivityEngine::loss_from(std::size_t stage, const Tensor& input,
                                     std::vector<Tensor>* record) {
-  clado::nn::CrossEntropyLoss criterion;
-  const Tensor logits = model_.net->forward_span(stage, input, record);
-  ++stats_.forward_measurements;
-  stats_.stage_executions += static_cast<std::int64_t>(model_.net->size() - stage);
-  stats_.stage_executions_naive += static_cast<std::int64_t>(model_.net->size());
-  return criterion.forward(logits, batch_.labels);
+  stashes_clean_ = false;
+  return eval_loss(model_, stats_, stage, input, record);
 }
 
 void SensitivityEngine::ensure_single_losses() {
@@ -74,14 +88,13 @@ void SensitivityEngine::ensure_single_losses() {
   for (std::int64_t i = 0; i < layers; ++i) {
     auto& ref = model_.quant_layers[static_cast<std::size_t>(i)];
     auto& w = ref.layer->weight_param().value;
-    const Tensor original = w;
+    const WeightRestoreGuard guard(w);
     const auto stage = static_cast<std::size_t>(ref.stage);
     for (std::int64_t m = 0; m < bits; ++m) {
       w = quantized_[static_cast<std::size_t>(i)][static_cast<std::size_t>(m)];
       single_losses_[static_cast<std::size_t>(i)][static_cast<std::size_t>(m)] =
           loss_from(stage, model_.net->cached_input(stage), nullptr);
     }
-    w = original;
   }
   singles_done_ = true;
   stats_.seconds += seconds_since(t0);
@@ -101,8 +114,57 @@ std::vector<std::vector<double>> SensitivityEngine::diagonal_sensitivities() {
   return diag;
 }
 
+void SensitivityEngine::sweep_rows(Model& model, SensitivityStats& stats, float* g,
+                                   std::int64_t n, std::atomic<std::int64_t>& next_row,
+                                   const std::function<void(std::int64_t)>& report) {
+  const std::int64_t layers = model.num_quant_layers();
+  const std::int64_t bits = num_bits();
+  std::vector<Tensor> tail;
+  for (;;) {
+    const std::int64_t i = next_row.fetch_add(1, std::memory_order_relaxed);
+    if (i >= layers) return;
+    auto& ref_i = model.quant_layers[static_cast<std::size_t>(i)];
+    auto& w_i = ref_i.layer->weight_param().value;
+    const WeightRestoreGuard guard_i(w_i);
+    const auto stage_i = static_cast<std::size_t>(ref_i.stage);
+
+    for (std::int64_t m = 0; m < bits; ++m) {
+      w_i = quantized_[static_cast<std::size_t>(i)][static_cast<std::size_t>(m)];
+      // Tail pass (also re-measures L_i; the measurement is the cache build).
+      eval_loss(model, stats, stage_i, model.net->cached_input(stage_i), &tail);
+      const double loss_i =
+          single_losses_[static_cast<std::size_t>(i)][static_cast<std::size_t>(m)];
+
+      for (std::int64_t j = i + 1; j < layers; ++j) {
+        auto& ref_j = model.quant_layers[static_cast<std::size_t>(j)];
+        auto& w_j = ref_j.layer->weight_param().value;
+        const WeightRestoreGuard guard_j(w_j);
+        const auto stage_j = static_cast<std::size_t>(ref_j.stage);
+        // Input to stage s_j of the i-perturbed network: the recorded tail
+        // when s_j > s_i; the clean prefix when both layers share a stage.
+        const Tensor& input =
+            stage_j > stage_i ? tail[stage_j] : model.net->cached_input(stage_j);
+
+        for (std::int64_t nn = 0; nn < bits; ++nn) {
+          w_j = quantized_[static_cast<std::size_t>(j)][static_cast<std::size_t>(nn)];
+          const double pair_loss = eval_loss(model, stats, stage_j, input, nullptr);
+          const double loss_j =
+              single_losses_[static_cast<std::size_t>(j)][static_cast<std::size_t>(nn)];
+          // Eq. (13): Ω_ij = L_pair + L(w) − L_i − L_j.
+          const double omega = pair_loss + base_loss_ - loss_i - loss_j;
+          const std::int64_t a = flat_index(i, m, bits);
+          const std::int64_t b = flat_index(j, nn, bits);
+          g[a * n + b] = static_cast<float>(omega);
+          g[b * n + a] = static_cast<float>(omega);
+        }
+        report(bits);
+      }
+    }
+  }
+}
+
 Tensor SensitivityEngine::full_matrix(
-    const std::function<void(std::int64_t, std::int64_t)>& progress) {
+    const std::function<void(std::int64_t, std::int64_t)>& progress, int num_threads) {
   ensure_single_losses();
   const auto t0 = Clock::now();
   const std::int64_t layers = model_.num_quant_layers();
@@ -121,54 +183,67 @@ Tensor SensitivityEngine::full_matrix(
   }
 
   const std::int64_t total_pairs = layers * (layers - 1) / 2 * bits * bits;
-  std::int64_t done_pairs = 0;
+  std::atomic<std::int64_t> next_row{0};
 
-  // Off-diagonal: for each (i, m), perturb layer i, record the activation
-  // tail once, then sweep all (j > i, n) re-running only stages >= s_j.
-  std::vector<Tensor> tail;
-  for (std::int64_t i = 0; i < layers; ++i) {
-    auto& ref_i = model_.quant_layers[static_cast<std::size_t>(i)];
-    auto& w_i = ref_i.layer->weight_param().value;
-    const Tensor original_i = w_i;
-    const auto stage_i = static_cast<std::size_t>(ref_i.stage);
+  const std::int64_t resolved =
+      num_threads > 0 ? num_threads : clado::tensor::ThreadPool::global().num_threads();
+  const auto workers = static_cast<int>(std::min<std::int64_t>(resolved, layers));
 
-    for (std::int64_t m = 0; m < bits; ++m) {
-      w_i = quantized_[static_cast<std::size_t>(i)][static_cast<std::size_t>(m)];
-      // Tail pass (also re-measures L_i; the measurement is the cache build).
-      loss_from(stage_i, model_.net->cached_input(stage_i), &tail);
-      const double loss_i =
-          single_losses_[static_cast<std::size_t>(i)][static_cast<std::size_t>(m)];
-
-      for (std::int64_t j = i + 1; j < layers; ++j) {
-        auto& ref_j = model_.quant_layers[static_cast<std::size_t>(j)];
-        auto& w_j = ref_j.layer->weight_param().value;
-        const Tensor original_j = w_j;
-        const auto stage_j = static_cast<std::size_t>(ref_j.stage);
-        // Input to stage s_j of the i-perturbed network: the recorded tail
-        // when s_j > s_i; the clean prefix when both layers share a stage.
-        const Tensor& input =
-            stage_j > stage_i ? tail[stage_j] : model_.net->cached_input(stage_j);
-
-        for (std::int64_t nn = 0; nn < bits; ++nn) {
-          w_j = quantized_[static_cast<std::size_t>(j)][static_cast<std::size_t>(nn)];
-          const double pair_loss = loss_from(stage_j, input, nullptr);
-          const double loss_j =
-              single_losses_[static_cast<std::size_t>(j)][static_cast<std::size_t>(nn)];
-          // Eq. (13): Ω_ij = L_pair + L(w) − L_i − L_j.
-          const double omega = pair_loss + base_loss_ - loss_i - loss_j;
-          const std::int64_t a = flat_index(i, m, bits);
-          const std::int64_t b = flat_index(j, nn, bits);
-          g_matrix.data()[a * n + b] = static_cast<float>(omega);
-          g_matrix.data()[b * n + a] = static_cast<float>(omega);
-          ++done_pairs;
-        }
-        w_j = original_j;
-        if (progress && (done_pairs % 256 == 0 || done_pairs == total_pairs)) {
-          progress(done_pairs, total_pairs);
-        }
+  if (workers <= 1) {
+    // Serial sweep on the primary model.
+    std::int64_t done_pairs = 0;
+    std::int64_t since_report = 0;
+    const auto report = [&](std::int64_t finished) {
+      done_pairs += finished;
+      since_report += finished;
+      if (progress && (since_report >= kProgressStride || done_pairs == total_pairs)) {
+        progress(done_pairs, total_pairs);
+        since_report = 0;
       }
+    };
+    stashes_clean_ = false;
+    sweep_rows(model_, stats_, g_matrix.data(), n, next_row, report);
+  } else {
+    // Parallel sweep: one model replica per worker, each claiming whole
+    // rows i. A replica carries a deep copy of the weights AND the clean
+    // activation cache, so no additional clean pass is needed and
+    // per-entry arithmetic is identical to the serial sweep. The primary
+    // model is never touched.
+    std::vector<Model> replicas;
+    replicas.reserve(static_cast<std::size_t>(workers));
+    for (int t = 0; t < workers; ++t) replicas.push_back(model_.clone());
+    std::vector<SensitivityStats> worker_stats(static_cast<std::size_t>(workers));
+
+    std::atomic<std::int64_t> done_pairs{0};
+    std::mutex progress_mutex;
+    std::int64_t since_report = 0;    // guarded by progress_mutex
+    std::int64_t last_reported = -1;  // guarded by progress_mutex
+    const auto report = [&](std::int64_t finished) {
+      done_pairs.fetch_add(finished, std::memory_order_relaxed);
+      if (!progress) return;
+      const std::lock_guard<std::mutex> lock(progress_mutex);
+      since_report += finished;
+      const std::int64_t done = done_pairs.load();
+      if (since_report >= kProgressStride || done == total_pairs) {
+        if (done != last_reported) {
+          progress(done, total_pairs);
+          last_reported = done;
+        }
+        since_report = 0;
+      }
+    };
+
+    clado::tensor::ThreadPool pool(workers);
+    pool.parallel_for(0, workers, 1, [&](std::int64_t t, std::int64_t) {
+      sweep_rows(replicas[static_cast<std::size_t>(t)],
+                 worker_stats[static_cast<std::size_t>(t)], g_matrix.data(), n, next_row,
+                 report);
+    });
+    for (const auto& ws : worker_stats) {
+      stats_.forward_measurements += ws.forward_measurements;
+      stats_.stage_executions += ws.stage_executions;
+      stats_.stage_executions_naive += ws.stage_executions_naive;
     }
-    w_i = original_i;
   }
   stats_.seconds += seconds_since(t0);
   return g_matrix;
@@ -178,12 +253,16 @@ std::vector<std::vector<double>> SensitivityEngine::mpqco_proxy() {
   const auto t0 = Clock::now();
   const std::int64_t layers = model_.num_quant_layers();
   const std::int64_t bits = num_bits();
-  // One clean forward so each layer stashes its input (already done for the
-  // cached pass in the constructor, but be defensive: run again).
-  model_.net->forward(batch_.images);
-  ++stats_.forward_measurements;
-  stats_.stage_executions += static_cast<std::int64_t>(model_.net->size());
-  stats_.stage_executions_naive += static_cast<std::int64_t>(model_.net->size());
+  // The constructor's clean pass already stashed each layer's input;
+  // re-run only if a sweep has since perturbed the stashes. The rebuild is
+  // a cache refresh, not a loss evaluation, so it counts stage executions
+  // but no forward measurement (Table 2 compares measurement costs).
+  if (!stashes_clean_) {
+    model_.net->forward(batch_.images);
+    stats_.stage_executions += static_cast<std::int64_t>(model_.net->size());
+    stats_.stage_executions_naive += static_cast<std::int64_t>(model_.net->size());
+    stashes_clean_ = true;
+  }
 
   const auto batch_n = static_cast<double>(batch_.images.size(0));
   std::vector<std::vector<double>> proxy(static_cast<std::size_t>(layers),

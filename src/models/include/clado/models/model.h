@@ -42,6 +42,13 @@ struct Model {
   /// and never after mutating the module tree.
   void finalize();
 
+  /// Deep copy: clones the module tree (weights, buffers, activation-quant
+  /// calibration, and cached activations included) and re-derives
+  /// quant_layers / act_quants against the copy, preserving layer order.
+  /// The parallel sensitivity sweep runs one clone per worker so replicas
+  /// can mutate weights and caches independently.
+  Model clone() const;
+
   /// Mean loss of the network on a batch (eval mode, no caching).
   double loss(const Batch& batch);
 

@@ -1,6 +1,7 @@
 #include "clado/models/model.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "clado/nn/loss.h"
 #include "clado/quant/qat.h"
@@ -17,6 +18,32 @@ void Model::finalize() {
       quant_layers.push_back(q);
     }
   }
+}
+
+Model Model::clone() const {
+  Model copy;
+  copy.name = name;
+  copy.scheme = scheme;
+  copy.candidate_bits = candidate_bits;
+  copy.num_classes = num_classes;
+  copy.image_size = image_size;
+  copy.channels = channels;
+  copy.net = std::make_unique<clado::nn::Sequential>(*net);
+  copy.finalize();
+  if (copy.quant_layers.size() != quant_layers.size()) {
+    throw std::logic_error("Model::clone: quant layer count diverged");
+  }
+  // Activation fake-quants are registered by the builders as top-level
+  // stages, so a stage scan recovers the handles in registration order.
+  for (std::size_t stage = 0; stage < copy.net->size(); ++stage) {
+    if (auto* aq = dynamic_cast<clado::quant::ActFakeQuant*>(&copy.net->child(stage))) {
+      copy.act_quants.push_back(aq);
+    }
+  }
+  if (copy.act_quants.size() != act_quants.size()) {
+    throw std::logic_error("Model::clone: act-quant handle count diverged");
+  }
+  return copy;
 }
 
 double Model::loss(const Batch& batch) {

@@ -22,6 +22,21 @@ MultiHeadSelfAttention::MultiHeadSelfAttention(std::int64_t embed_dim, std::int6
   out_proj_ = std::make_unique<Linear>(embed_dim, embed_dim);
 }
 
+MultiHeadSelfAttention::MultiHeadSelfAttention(const MultiHeadSelfAttention& other)
+    : Module(other),
+      embed_dim_(other.embed_dim_),
+      num_heads_(other.num_heads_),
+      head_dim_(other.head_dim_),
+      query_(std::make_unique<Linear>(*other.query_)),
+      key_(std::make_unique<Linear>(*other.key_)),
+      value_(std::make_unique<Linear>(*other.value_)),
+      out_proj_(std::make_unique<Linear>(*other.out_proj_)),
+      q_(other.q_),
+      k_(other.k_),
+      v_(other.v_),
+      probs_(other.probs_),
+      input_shape_(other.input_shape_) {}
+
 void MultiHeadSelfAttention::init(clado::tensor::Rng& rng) {
   query_->init(rng);
   key_->init(rng);

@@ -15,6 +15,13 @@ ResidualBlock::ResidualBlock(std::unique_ptr<Sequential> main,
   if (!main_) throw std::invalid_argument("ResidualBlock: main path required");
 }
 
+ResidualBlock::ResidualBlock(const ResidualBlock& other)
+    : Module(other),
+      main_(std::make_unique<Sequential>(*other.main_)),
+      shortcut_(other.shortcut_ ? std::make_unique<Sequential>(*other.shortcut_) : nullptr),
+      final_relu_(other.final_relu_),
+      pre_act_(other.pre_act_) {}
+
 Tensor ResidualBlock::forward(const Tensor& input) {
   Tensor y = main_->forward(input);
   if (shortcut_) {
@@ -73,6 +80,17 @@ SEBlock::SEBlock(std::int64_t channels, std::int64_t reduced) : channels_(channe
   fc1_ = std::make_unique<Linear>(channels, reduced);
   fc2_ = std::make_unique<Linear>(reduced, channels);
 }
+
+SEBlock::SEBlock(const SEBlock& other)
+    : Module(other),
+      channels_(other.channels_),
+      pool_(other.pool_),
+      fc1_(std::make_unique<Linear>(*other.fc1_)),
+      fc2_(std::make_unique<Linear>(*other.fc2_)),
+      relu_(other.relu_),
+      hsig_(other.hsig_),
+      input_(other.input_),
+      gate_(other.gate_) {}
 
 void SEBlock::init(clado::tensor::Rng& rng) {
   fc1_->init(rng);
@@ -147,6 +165,15 @@ TransformerBlock::TransformerBlock(std::int64_t embed_dim, std::int64_t num_head
   fc1_ = std::make_unique<Linear>(embed_dim, mlp_dim);
   fc2_ = std::make_unique<Linear>(mlp_dim, embed_dim);
 }
+
+TransformerBlock::TransformerBlock(const TransformerBlock& other)
+    : Module(other),
+      ln1_(other.ln1_),
+      ln2_(other.ln2_),
+      attn_(other.attn_),
+      fc1_(std::make_unique<Linear>(*other.fc1_)),
+      fc2_(std::make_unique<Linear>(*other.fc2_)),
+      gelu_(other.gelu_) {}
 
 void TransformerBlock::init(clado::tensor::Rng& rng) {
   attn_.init(rng);

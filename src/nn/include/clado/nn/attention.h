@@ -25,6 +25,10 @@ class MultiHeadSelfAttention : public Module {
   void collect_params(const std::string& prefix, std::vector<ParamRef>& out) override;
   void collect_quant_layers(const std::string& prefix, std::vector<QuantLayerRef>& out) override;
   std::string type_name() const override { return "MultiHeadSelfAttention"; }
+  MultiHeadSelfAttention(const MultiHeadSelfAttention& other);
+  std::unique_ptr<Module> clone() const override {
+    return std::make_unique<MultiHeadSelfAttention>(*this);
+  }
 
   void init(clado::tensor::Rng& rng);
 

@@ -27,6 +27,10 @@ class ResidualBlock : public Module {
   void collect_quant_layers(const std::string& prefix, std::vector<QuantLayerRef>& out) override;
   void set_training(bool training) override;
   std::string type_name() const override { return "ResidualBlock"; }
+  ResidualBlock(const ResidualBlock& other);
+  std::unique_ptr<Module> clone() const override {
+    return std::make_unique<ResidualBlock>(*this);
+  }
 
   /// Sub-graph access for graph transforms (BatchNorm folding).
   Sequential& main_path() { return *main_; }
@@ -50,6 +54,8 @@ class SEBlock : public Module {
   void collect_params(const std::string& prefix, std::vector<ParamRef>& out) override;
   void collect_quant_layers(const std::string& prefix, std::vector<QuantLayerRef>& out) override;
   std::string type_name() const override { return "SEBlock"; }
+  SEBlock(const SEBlock& other);
+  std::unique_ptr<Module> clone() const override { return std::make_unique<SEBlock>(*this); }
 
   void init(clado::tensor::Rng& rng);
 
@@ -76,6 +82,10 @@ class TransformerBlock : public Module {
   void collect_quant_layers(const std::string& prefix, std::vector<QuantLayerRef>& out) override;
   void set_training(bool training) override;
   std::string type_name() const override { return "TransformerBlock"; }
+  TransformerBlock(const TransformerBlock& other);
+  std::unique_ptr<Module> clone() const override {
+    return std::make_unique<TransformerBlock>(*this);
+  }
 
   void init(clado::tensor::Rng& rng);
 
@@ -101,6 +111,7 @@ class PatchEmbed : public Module {
   void collect_params(const std::string& prefix, std::vector<ParamRef>& out) override;
   void set_training(bool training) override;
   std::string type_name() const override { return "PatchEmbed"; }
+  std::unique_ptr<Module> clone() const override { return std::make_unique<PatchEmbed>(*this); }
 
   void init(clado::tensor::Rng& rng);
 
@@ -122,6 +133,7 @@ class TakeToken : public Module {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string type_name() const override { return "TakeToken"; }
+  std::unique_ptr<Module> clone() const override { return std::make_unique<TakeToken>(*this); }
 
  private:
   std::int64_t index_;

@@ -27,6 +27,7 @@ class Conv2d : public Module, public QuantizableLayer {
   void collect_params(const std::string& prefix, std::vector<ParamRef>& out) override;
   void collect_quant_layers(const std::string& prefix, std::vector<QuantLayerRef>& out) override;
   std::string type_name() const override { return "Conv2d"; }
+  std::unique_ptr<Module> clone() const override { return std::make_unique<Conv2d>(*this); }
 
   // QuantizableLayer
   Parameter& weight_param() override { return weight_; }
@@ -76,6 +77,7 @@ class Linear : public Module, public QuantizableLayer {
   void collect_params(const std::string& prefix, std::vector<ParamRef>& out) override;
   void collect_quant_layers(const std::string& prefix, std::vector<QuantLayerRef>& out) override;
   std::string type_name() const override { return "Linear"; }
+  std::unique_ptr<Module> clone() const override { return std::make_unique<Linear>(*this); }
 
   // QuantizableLayer
   Parameter& weight_param() override { return weight_; }
@@ -114,6 +116,7 @@ class BatchNorm2d : public Module {
   Tensor backward(const Tensor& grad_output) override;
   void collect_params(const std::string& prefix, std::vector<ParamRef>& out) override;
   std::string type_name() const override { return "BatchNorm2d"; }
+  std::unique_ptr<Module> clone() const override { return std::make_unique<BatchNorm2d>(*this); }
 
   // Read access for BatchNorm folding (eval-mode affine form).
   std::int64_t channels() const { return channels_; }
@@ -145,6 +148,7 @@ class LayerNorm : public Module {
   Tensor backward(const Tensor& grad_output) override;
   void collect_params(const std::string& prefix, std::vector<ParamRef>& out) override;
   std::string type_name() const override { return "LayerNorm"; }
+  std::unique_ptr<Module> clone() const override { return std::make_unique<LayerNorm>(*this); }
 
  private:
   std::int64_t features_;
@@ -169,6 +173,7 @@ class Activation : public Module {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string type_name() const override { return act_name(kind_); }
+  std::unique_ptr<Module> clone() const override { return std::make_unique<Activation>(*this); }
 
  private:
   Act kind_;
@@ -183,6 +188,7 @@ class MaxPool2d : public Module {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string type_name() const override { return "MaxPool2d"; }
+  std::unique_ptr<Module> clone() const override { return std::make_unique<MaxPool2d>(*this); }
 
  private:
   std::int64_t kernel_, stride_, pad_;
@@ -196,6 +202,7 @@ class GlobalAvgPool : public Module {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string type_name() const override { return "GlobalAvgPool"; }
+  std::unique_ptr<Module> clone() const override { return std::make_unique<GlobalAvgPool>(*this); }
 
  private:
   Shape input_shape_;
@@ -208,6 +215,7 @@ class Identity : public Module {
   Tensor forward(const Tensor& input) override { return input; }
   Tensor backward(const Tensor& grad_output) override { return grad_output; }
   std::string type_name() const override { return "Identity"; }
+  std::unique_ptr<Module> clone() const override { return std::make_unique<Identity>(*this); }
 };
 
 /// Flattens all axes after the first: [N, ...] -> [N, rest].
@@ -216,6 +224,7 @@ class Flatten : public Module {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string type_name() const override { return "Flatten"; }
+  std::unique_ptr<Module> clone() const override { return std::make_unique<Flatten>(*this); }
 
  private:
   Shape input_shape_;

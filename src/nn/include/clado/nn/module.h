@@ -54,6 +54,9 @@ struct ParamRef {
 class QuantizableLayer {
  public:
   virtual ~QuantizableLayer() = default;
+  QuantizableLayer() = default;
+  QuantizableLayer(const QuantizableLayer&) = default;
+  QuantizableLayer& operator=(const QuantizableLayer&) = default;
 
   /// The flattened-weight parameter the MPQ problem assigns a bit-width to.
   virtual Parameter& weight_param() = 0;
@@ -86,12 +89,17 @@ struct QuantLayerRef {
 class Module {
  public:
   virtual ~Module() = default;
-  Module(const Module&) = delete;
   Module& operator=(const Module&) = delete;
   Module() = default;
 
   virtual Tensor forward(const Tensor& input) = 0;
   virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Deep copy of this module including parameters, buffers, and stashed
+  /// forward state — the clone is immediately usable wherever the original
+  /// is (the parallel sensitivity sweep runs one replica per worker). The
+  /// default throws std::logic_error; every concrete module overrides it.
+  virtual std::unique_ptr<Module> clone() const;
 
   /// Appends (name, parameter) pairs; `prefix` carries the hierarchical path.
   virtual void collect_params(const std::string& prefix, std::vector<ParamRef>& out);
@@ -107,6 +115,11 @@ class Module {
   virtual std::string type_name() const = 0;
 
  protected:
+  /// Subclasses copy member-wise (containers clone their children); the
+  /// base copy is protected so Module values can only be copied as part of
+  /// a concrete subclass, never sliced through the public API.
+  Module(const Module&) = default;
+
   bool training_ = false;
 };
 

@@ -19,6 +19,13 @@ class Sequential : public Module {
  public:
   Sequential() = default;
 
+  /// Deep copy: clones every child and copies the activation cache, so a
+  /// copied container can serve forward_from / cached_input immediately
+  /// (the parallel sensitivity sweep clones an already-cached model).
+  Sequential(const Sequential& other);
+
+  std::unique_ptr<Module> clone() const override { return std::make_unique<Sequential>(*this); }
+
   /// Appends a child; returns a raw observer pointer for wiring.
   template <typename M, typename... Args>
   M* emplace(Args&&... args) {

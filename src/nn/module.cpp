@@ -8,6 +8,10 @@ void Module::collect_params(const std::string&, std::vector<ParamRef>&) {}
 
 void Module::collect_quant_layers(const std::string&, std::vector<QuantLayerRef>&) {}
 
+std::unique_ptr<Module> Module::clone() const {
+  throw std::logic_error("Module::clone: not implemented for " + type_name());
+}
+
 std::string join_name(const std::string& prefix, const std::string& leaf) {
   if (prefix.empty()) return leaf;
   if (leaf.empty()) return prefix;

@@ -4,6 +4,12 @@
 
 namespace clado::nn {
 
+Sequential::Sequential(const Sequential& other)
+    : Module(other), names_(other.names_), cache_(other.cache_) {
+  children_.reserve(other.children_.size());
+  for (const auto& child : other.children_) children_.push_back(child->clone());
+}
+
 void Sequential::push_back(std::unique_ptr<Module> child, std::string name) {
   children_.push_back(std::move(child));
   names_.push_back(std::move(name));

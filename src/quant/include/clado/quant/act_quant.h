@@ -43,6 +43,7 @@ class ActFakeQuant : public Module {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string type_name() const override { return "ActFakeQuant"; }
+  std::unique_ptr<Module> clone() const override { return std::make_unique<ActFakeQuant>(*this); }
 
   void set_mode(ActQuantMode mode) { mode_ = mode; }
   ActQuantMode mode() const { return mode_; }

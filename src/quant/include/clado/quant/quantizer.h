@@ -24,6 +24,22 @@ enum class WeightScheme {
 
 const char* scheme_name(WeightScheme s);
 
+/// Affine quantization parameters derived from a clipping range [lo, hi].
+/// The range is first nudged to contain zero and the zero-point clamped to
+/// the integer grid [0, 2^b − 1] so it is exactly representable — an
+/// all-positive or all-negative range otherwise yields a zero-point outside
+/// the grid, which integer hardware cannot realize (same nudge the
+/// activation quantizer applies in ActFakeQuant::freeze_from_observed).
+/// `lo` / `hi` in the result are recomputed from the clamped grid.
+struct AffineQParams {
+  float scale = 1.0F;
+  float zero_point = 0.0F;  ///< integer value in [0, 2^b − 1]
+  float lo = 0.0F;          ///< representable minimum: (0 − zp) · scale
+  float hi = 0.0F;          ///< representable maximum: (2^b − 1 − zp) · scale
+};
+
+AffineQParams affine_qparams(float lo, float hi, int bits);
+
 /// Fake-quantizes `w` to `bits` with the given symmetric scale.
 Tensor quantize_symmetric(const Tensor& w, int bits, float scale);
 

@@ -58,14 +58,12 @@ double mse_of_symmetric(const float* w, std::int64_t n, int bits, float scale) {
 double fake_quant_affine_range(const float* w, std::int64_t n, int bits, float lo, float hi,
                                float* out) {
   const float levels = std::ldexp(1.0F, bits) - 1.0F;  // 2^b − 1
-  float scale = (hi - lo) / levels;
-  if (scale <= 0.0F) scale = 1e-8F;
-  const float zp = std::nearbyint(-lo / scale);
+  const AffineQParams p = affine_qparams(lo, hi, bits);
   double mse = 0.0;
   for (std::int64_t i = 0; i < n; ++i) {
-    float q = std::nearbyint(w[i] / scale) + zp;
+    float q = std::nearbyint(w[i] / p.scale) + p.zero_point;
     q = std::clamp(q, 0.0F, levels);
-    const float deq = (q - zp) * scale;
+    const float deq = (q - p.zero_point) * p.scale;
     if (out != nullptr) out[i] = deq;
     const double d = static_cast<double>(deq) - w[i];
     mse += d * d;
@@ -74,6 +72,23 @@ double fake_quant_affine_range(const float* w, std::int64_t n, int bits, float l
 }
 
 }  // namespace
+
+AffineQParams affine_qparams(float lo, float hi, int bits) {
+  check_bits(bits);
+  const float levels = std::ldexp(1.0F, bits) - 1.0F;  // 2^b − 1
+  // Nudge the range to contain zero: with e.g. an all-positive [lo, hi],
+  // zp = round(−lo / scale) would land below 0 and survive unclamped —
+  // dequantized values the integer grid cannot represent.
+  lo = std::min(lo, 0.0F);
+  hi = std::max(hi, 0.0F);
+  AffineQParams p;
+  p.scale = (hi - lo) / levels;
+  if (p.scale <= 0.0F) p.scale = 1e-8F;
+  p.zero_point = std::clamp(std::nearbyint(-lo / p.scale), 0.0F, levels);
+  p.lo = (0.0F - p.zero_point) * p.scale;
+  p.hi = (levels - p.zero_point) * p.scale;
+  return p;
+}
 
 Tensor quantize_symmetric(const Tensor& w, int bits, float scale) {
   check_bits(bits);

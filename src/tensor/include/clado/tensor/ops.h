@@ -1,8 +1,11 @@
 // Compute kernels shared by the NN engine and the solvers.
 //
 // All kernels operate on contiguous row-major buffers. GEMM is a blocked,
-// register-tiled single-thread implementation — on the small models used in
-// this reproduction it is the only kernel that matters for wall clock.
+// register-tiled implementation — on the small models used in this
+// reproduction it is the only kernel that matters for wall clock. Large
+// products split row blocks across ThreadPool::global(); per-row
+// accumulation order is unchanged, so the parallel path is bit-identical
+// to the serial one.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +20,12 @@ namespace clado::tensor {
 /// if trans_b), C is [M,N].
 void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n, std::int64_t k,
           float alpha, const float* a, const float* b, float beta, float* c);
+
+/// Single-threaded reference GEMM running the exact blocked schedule gemm()
+/// parallelizes over row blocks; gemm() must match it bit-for-bit at any
+/// thread count (exercised by thread_pool_test).
+void gemm_serial(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n, std::int64_t k,
+                 float alpha, const float* a, const float* b, float beta, float* c);
 
 /// out = A(MxK) * B(KxN); both 2-d tensors.
 Tensor matmul(const Tensor& a, const Tensor& b);

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "clado/tensor/thread_pool.h"
+
 namespace clado::tensor {
 
 namespace {
@@ -14,6 +16,10 @@ namespace {
 constexpr std::int64_t kBlockM = 64;
 constexpr std::int64_t kBlockN = 128;
 constexpr std::int64_t kBlockK = 128;
+
+// Flop threshold below which splitting across threads costs more than it
+// saves (queueing + cold packing buffers per worker).
+constexpr std::int64_t kParallelFlops = std::int64_t{1} << 22;
 
 // Packs op(A) block [mb x kb] into row-major contiguous storage.
 void pack_a(bool trans_a, const float* a, std::int64_t lda, std::int64_t m0, std::int64_t k0,
@@ -49,56 +55,24 @@ void pack_b(bool trans_b, const float* b, std::int64_t ldb, std::int64_t k0, std
   }
 }
 
-}  // namespace
-
-void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n, std::int64_t k,
-          float alpha, const float* a, const float* b, float beta, float* c) {
-  if (m <= 0 || n <= 0) return;
-  // Scale C by beta first so the accumulation loop is pure +=.
-  if (beta == 0.0F) {
-    std::fill(c, c + m * n, 0.0F);
-  } else if (beta != 1.0F) {
-    for (std::int64_t i = 0; i < m * n; ++i) c[i] *= beta;
-  }
-  if (k <= 0 || alpha == 0.0F) return;
-
-  const std::int64_t lda = trans_a ? m : k;
-  const std::int64_t ldb = trans_b ? k : n;
-
-  // Small-problem fast path: depthwise convolutions and attention heads
-  // issue huge numbers of tiny GEMMs where packing (and especially scratch
-  // allocation) would dominate.
-  if (m * n * k <= 16 * 1024) {
-    for (std::int64_t i = 0; i < m; ++i) {
-      for (std::int64_t p = 0; p < k; ++p) {
-        const float av = alpha * (trans_a ? a[p * m + i] : a[i * k + p]);
-        if (av == 0.0F) continue;
-        float* crow = c + i * n;
-        if (!trans_b) {
-          const float* brow = b + p * n;
-          for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-        } else {
-          for (std::int64_t j = 0; j < n; ++j) crow[j] += av * b[j * k + p];
-        }
-      }
-    }
-    return;
-  }
-
-  // Packing scratch persists across calls; the engine is single-threaded
-  // per GEMM, so thread_local is purely an allocation-avoidance measure.
-  static thread_local std::vector<float> pa;
-  static thread_local std::vector<float> pb;
-  pa.resize(static_cast<std::size_t>(kBlockM * kBlockK));
-  pb.resize(static_cast<std::size_t>(kBlockK * kBlockN));
+// Blocked accumulation over rows [m_begin, m_end) of C; both bounds must be
+// multiples of kBlockM (or m_end == m) so block boundaries match the serial
+// schedule exactly. Packing scratch is per call: each parallel row-range
+// worker owns its own buffers, so there is no shared mutable state (the old
+// thread_local scratch raced on resize once GEMMs could overlap).
+void gemm_row_range(bool trans_a, bool trans_b, std::int64_t m_begin, std::int64_t m_end,
+                    std::int64_t n, std::int64_t k, float alpha, const float* a, const float* b,
+                    float* c, std::int64_t lda, std::int64_t ldb) {
+  std::vector<float> pa(static_cast<std::size_t>(kBlockM * kBlockK));
+  std::vector<float> pb(static_cast<std::size_t>(kBlockK * kBlockN));
 
   for (std::int64_t k0 = 0; k0 < k; k0 += kBlockK) {
     const std::int64_t kb = std::min(kBlockK, k - k0);
     for (std::int64_t n0 = 0; n0 < n; n0 += kBlockN) {
       const std::int64_t nb = std::min(kBlockN, n - n0);
       pack_b(trans_b, b, ldb, k0, n0, kb, nb, pb.data());
-      for (std::int64_t m0 = 0; m0 < m; m0 += kBlockM) {
-        const std::int64_t mb = std::min(kBlockM, m - m0);
+      for (std::int64_t m0 = m_begin; m0 < m_end; m0 += kBlockM) {
+        const std::int64_t mb = std::min(kBlockM, m_end - m0);
         pack_a(trans_a, a, lda, m0, k0, mb, kb, pa.data());
         // Micro-kernel: 2 rows of A at a time, full nb columns; the inner
         // loop vectorizes under -O3.
@@ -130,6 +104,76 @@ void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n, std::int64
       }
     }
   }
+}
+
+// Beta-scaling plus the small-problem fast path. Returns true when the
+// product is fully handled (degenerate sizes or the serial tiny kernel).
+bool gemm_prologue(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n, std::int64_t k,
+                   float alpha, const float* a, const float* b, float beta, float* c) {
+  if (m <= 0 || n <= 0) return true;
+  // Scale C by beta first so the accumulation loop is pure +=.
+  if (beta == 0.0F) {
+    std::fill(c, c + m * n, 0.0F);
+  } else if (beta != 1.0F) {
+    for (std::int64_t i = 0; i < m * n; ++i) c[i] *= beta;
+  }
+  if (k <= 0 || alpha == 0.0F) return true;
+
+  // Small-problem fast path: depthwise convolutions and attention heads
+  // issue huge numbers of tiny GEMMs where packing (and especially scratch
+  // allocation) would dominate.
+  if (m * n * k <= 16 * 1024) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      for (std::int64_t p = 0; p < k; ++p) {
+        const float av = alpha * (trans_a ? a[p * m + i] : a[i * k + p]);
+        if (av == 0.0F) continue;
+        float* crow = c + i * n;
+        if (!trans_b) {
+          const float* brow = b + p * n;
+          for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        } else {
+          for (std::int64_t j = 0; j < n; ++j) crow[j] += av * b[j * k + p];
+        }
+      }
+    }
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void gemm_serial(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n, std::int64_t k,
+                 float alpha, const float* a, const float* b, float beta, float* c) {
+  if (gemm_prologue(trans_a, trans_b, m, n, k, alpha, a, b, beta, c)) return;
+  const std::int64_t lda = trans_a ? m : k;
+  const std::int64_t ldb = trans_b ? k : n;
+  gemm_row_range(trans_a, trans_b, 0, m, n, k, alpha, a, b, c, lda, ldb);
+}
+
+void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n, std::int64_t k,
+          float alpha, const float* a, const float* b, float beta, float* c) {
+  if (gemm_prologue(trans_a, trans_b, m, n, k, alpha, a, b, beta, c)) return;
+  const std::int64_t lda = trans_a ? m : k;
+  const std::int64_t ldb = trans_b ? k : n;
+
+  ThreadPool& pool = ThreadPool::global();
+  const std::int64_t num_row_blocks = (m + kBlockM - 1) / kBlockM;
+  if (pool.num_threads() > 1 && num_row_blocks > 1 && m * n * k >= kParallelFlops) {
+    // Each chunk covers contiguous row blocks; rows accumulate in the same
+    // k0 -> n0 -> p order as the serial schedule, and distinct chunks write
+    // disjoint C rows, so the result is bit-identical to gemm_serial.
+    const std::int64_t chunk_blocks = std::max<std::int64_t>(
+        1, (num_row_blocks + 2 * pool.num_threads() - 1) / (2 * pool.num_threads()));
+    pool.parallel_for(0, num_row_blocks, chunk_blocks,
+                      [&](std::int64_t block_begin, std::int64_t block_end) {
+                        gemm_row_range(trans_a, trans_b, block_begin * kBlockM,
+                                       std::min(m, block_end * kBlockM), n, k, alpha, a, b, c,
+                                       lda, ldb);
+                      });
+    return;
+  }
+  gemm_row_range(trans_a, trans_b, 0, m, n, k, alpha, a, b, c, lda, ldb);
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {

@@ -1,0 +1,158 @@
+#include "clado/tensor/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+
+namespace clado::tensor {
+
+// Bookkeeping shared by all runners of one parallel_for call. Held through
+// a shared_ptr by every queued runner so a runner popped after the call has
+// already completed (all chunks claimed by other threads) still sees live
+// state and exits cleanly.
+struct ThreadPool::ForState {
+  std::function<void(std::int64_t, std::int64_t)> body;
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+  std::int64_t grain = 1;
+  std::int64_t num_chunks = 0;
+
+  std::atomic<std::int64_t> next_chunk{0};
+  std::atomic<std::int64_t> done_chunks{0};
+
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  std::int64_t error_chunk = -1;
+
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  // Claims and runs chunks until none remain. Exceptions are recorded,
+  // keeping the lowest chunk index so the rethrow is deterministic.
+  void run_chunks() {
+    for (;;) {
+      const std::int64_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      const std::int64_t cb = begin + c * grain;
+      const std::int64_t ce = std::min(end, cb + grain);
+      try {
+        body(cb, ce);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (error_chunk < 0 || c < error_chunk) {
+          error_chunk = c;
+          error = std::current_exception();
+        }
+      }
+      if (done_chunks.fetch_add(1) + 1 == num_chunks) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(resolve_threads(num_threads)) {
+  const int spawn = num_threads_ - 1;
+  workers_.reserve(static_cast<std::size_t>(spawn));
+  for (int t = 0; t < spawn; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  worker_ids_.reserve(workers_.size());
+  for (const auto& w : workers_) worker_ids_.push_back(w.get_id());
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+bool ThreadPool::on_worker_thread() const {
+  const auto id = std::this_thread::get_id();
+  return std::find(worker_ids_.begin(), worker_ids_.end(), id) != worker_ids_.end();
+}
+
+void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                              const std::function<void(std::int64_t, std::int64_t)>& body) {
+  if (end <= begin) return;
+  if (grain < 1) grain = 1;
+  const std::int64_t num_chunks = (end - begin + grain - 1) / grain;
+
+  // Serial / nested fast path: a single chunk, one thread of parallelism,
+  // or re-entry from a worker of this pool (running inline avoids deadlock
+  // when all workers would otherwise block waiting on each other).
+  if (num_chunks == 1 || num_threads_ <= 1 || on_worker_thread()) {
+    for (std::int64_t c = 0; c < num_chunks; ++c) {
+      const std::int64_t cb = begin + c * grain;
+      body(cb, std::min(end, cb + grain));
+    }
+    return;
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->body = body;
+  state->begin = begin;
+  state->end = end;
+  state->grain = grain;
+  state->num_chunks = num_chunks;
+
+  const auto helpers = std::min<std::int64_t>(static_cast<std::int64_t>(workers_.size()),
+                                              num_chunks - 1);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::int64_t t = 0; t < helpers; ++t) {
+      queue_.emplace_back([state] { state->run_chunks(); });
+    }
+  }
+  if (helpers == 1) {
+    cv_.notify_one();
+  } else {
+    cv_.notify_all();
+  }
+
+  // The caller works too, then waits for straggler chunks on workers.
+  state->run_chunks();
+  {
+    std::unique_lock<std::mutex> lock(state->done_mutex);
+    state->done_cv.wait(lock, [&] { return state->done_chunks.load() == num_chunks; });
+  }
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(0);
+  return pool;
+}
+
+int ThreadPool::resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("CLADO_NUM_THREADS")) {
+    char* tail = nullptr;
+    const long v = std::strtol(env, &tail, 10);
+    if (tail != env && *tail == '\0' && v >= 1 && v <= 1024) return static_cast<int>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace clado::tensor

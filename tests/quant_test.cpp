@@ -171,6 +171,49 @@ TEST(PerTensorAffine, ConstantTensorIsExact) {
   for (float v : q.flat()) EXPECT_FLOAT_EQ(v, 1.25F);
 }
 
+TEST(AffineQParams, ZeroPointStaysOnIntegerGrid) {
+  const float levels = 7.0F;  // 3-bit
+  // All-positive range: without the zero-nudge, zp = round(-2/scale) < 0
+  // would escape the grid.
+  const AffineQParams pos = affine_qparams(2.0F, 3.0F, 3);
+  EXPECT_EQ(pos.zero_point, 0.0F);
+  EXPECT_EQ(pos.lo, 0.0F);
+  EXPECT_GE(pos.hi, 3.0F);
+  // All-negative range: zp must clamp to the top of the grid.
+  const AffineQParams neg = affine_qparams(-3.0F, -2.0F, 3);
+  EXPECT_EQ(neg.zero_point, levels);
+  EXPECT_EQ(neg.hi, 0.0F);
+  EXPECT_LE(neg.lo, -3.0F);
+  // Straddling range: zp lands strictly inside the grid.
+  const AffineQParams mid = affine_qparams(-1.0F, 1.0F, 3);
+  EXPECT_GE(mid.zero_point, 0.0F);
+  EXPECT_LE(mid.zero_point, levels);
+  EXPECT_EQ(mid.zero_point, std::nearbyint(mid.zero_point));
+  // Representable endpoints are consistent with (q - zp) * scale.
+  EXPECT_FLOAT_EQ(mid.lo, (0.0F - mid.zero_point) * mid.scale);
+  EXPECT_FLOAT_EQ(mid.hi, (levels - mid.zero_point) * mid.scale);
+}
+
+TEST(PerChannelAffine, AllPositiveChannelIsCovered) {
+  // Regression: the affine fake-quant used an unclamped zero-point, so an
+  // all-positive channel dequantized onto a grid shifted off the data —
+  // every value came back with error about the size of the range.
+  Rng rng(24);
+  Tensor w({2, 512});
+  for (std::int64_t i = 0; i < 512; ++i) {
+    w.data()[i] = static_cast<float>(rng.uniform(2.0, 5.0));  // channel 0: positive
+    w.data()[512 + i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  const Tensor q = quantize_per_channel_affine_mse(w, 3);
+  float max_err = 0.0F;
+  for (std::int64_t i = 0; i < 512; ++i) {
+    max_err = std::max(max_err, std::abs(q[i] - w[i]));
+  }
+  // The zero-nudged 3-bit grid over [0, 5] has step 5/7 ~ 0.71; the broken
+  // unclamped grid left errors around the full range (~2).
+  EXPECT_LT(max_err, 0.6F);
+}
+
 class AllSchemesTest : public ::testing::TestWithParam<WeightScheme> {};
 
 TEST_P(AllSchemesTest, DispatchesAndReducesErrorWithBits) {
