@@ -7,7 +7,12 @@
 #include "clado/linalg/eigen.h"
 #include "clado/linalg/matrix.h"
 #include "clado/nn/hvp.h"
+#include "clado/quant/qat.h"
+#include "clado/quant/quantizer.h"
 #include "clado/solver/mckp.h"
+#include "clado/tensor/rng.h"
+#include "clado/tensor/serialize.h"
+#include "clado/tensor/tensor.h"
 
 namespace clado::core {
 
@@ -30,8 +35,10 @@ const Tensor& MpqPipeline::clado_matrix_raw() {
     std::function<void(std::int64_t, std::int64_t)> progress;
     if (options_.verbose) {
       progress = [](std::int64_t done, std::int64_t total) {
+        // clado-lint: allow(no-stdio) -- opt-in verbose progress meter on stderr
         std::fprintf(stderr, "\r[sensitivity] %lld / %lld pair measurements",
                      static_cast<long long>(done), static_cast<long long>(total));
+        // clado-lint: allow(no-stdio) -- opt-in verbose progress meter on stderr
         if (done == total) std::fprintf(stderr, "\n");
       };
     }

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <numeric>
 
+#include "clado/data/synthcv.h"
 #include "clado/nn/hvp.h"
 #include "clado/nn/optimizer.h"
 #include "clado/quant/qat.h"
+#include "clado/tensor/rng.h"
+#include "clado/tensor/serialize.h"
 
 namespace clado::core {
 

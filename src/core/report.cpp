@@ -42,6 +42,7 @@ std::string AsciiTable::to_string() const {
   return os.str();
 }
 
+// clado-lint: allow(no-stdio) -- print() is the table's console sink by contract
 void AsciiTable::print() const { std::fputs(to_string().c_str(), stdout); }
 
 std::string AsciiTable::num(double v, int digits) {

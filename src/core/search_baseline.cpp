@@ -5,8 +5,12 @@
 #include <limits>
 #include <stdexcept>
 
+#include "clado/data/synthcv.h"
+#include "clado/models/model.h"
 #include "clado/nn/loss.h"
 #include "clado/quant/quantizer.h"
+#include "clado/tensor/rng.h"
+#include "clado/tensor/tensor.h"
 
 namespace clado::core {
 

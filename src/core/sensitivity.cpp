@@ -1,12 +1,14 @@
 #include "clado/core/sensitivity.h"
 
 #include <chrono>
+#include <cmath>
 #include <mutex>
 #include <stdexcept>
 #include <utility>
 
 #include "clado/nn/loss.h"
 #include "clado/quant/quantizer.h"
+#include "clado/tensor/check.h"
 #include "clado/tensor/thread_pool.h"
 
 namespace clado::core {
@@ -69,7 +71,11 @@ double SensitivityEngine::eval_loss(Model& model, SensitivityStats& stats, std::
   ++stats.forward_measurements;
   stats.stage_executions += static_cast<std::int64_t>(model.net->size() - stage);
   stats.stage_executions_naive += static_cast<std::int64_t>(model.net->size());
-  return criterion.forward(logits, batch_.labels);
+  const double loss = criterion.forward(logits, batch_.labels);
+  // A NaN loss here silently corrupts the whole sensitivity matrix and only
+  // surfaces much later as solver nonsense; fail at the measurement.
+  CLADO_CHECK(std::isfinite(loss), "sensitivity: measured loss must be finite");
+  return loss;
 }
 
 double SensitivityEngine::loss_from(std::size_t stage, const Tensor& input,

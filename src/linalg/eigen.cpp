@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "clado/linalg/matrix.h"
+#include "clado/tensor/check.h"
 
 namespace clado::linalg {
 
@@ -99,6 +100,10 @@ EigenResult sym_eigen(const Tensor& a, double tol, int max_sweeps) {
 Tensor psd_projection(const Tensor& a, double floor) {
   const EigenResult eig = sym_eigen(a);
   const std::int64_t n = a.size(0);
+  // Jacobi rotations never converge on non-finite input; the eigenvalues
+  // would already be NaN here and the projection below would hide that.
+  CLADO_CHECK(n == 0 || std::isfinite(eig.eigenvalues[0]),
+              "psd_projection: eigendecomposition produced non-finite eigenvalues");
   // A_psd = V * diag(max(e, floor)) * Vᵀ, assembled in double.
   std::vector<double> out(static_cast<std::size_t>(n * n), 0.0);
   for (std::int64_t k = 0; k < n; ++k) {

@@ -5,6 +5,7 @@
 
 #include "clado/nn/blocks.h"
 #include "clado/nn/layers.h"
+#include "clado/quant/act_quant.h"
 
 namespace clado::models {
 

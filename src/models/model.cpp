@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "clado/data/synthcv.h"
 #include "clado/nn/loss.h"
 #include "clado/quant/qat.h"
 

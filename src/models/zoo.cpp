@@ -6,9 +6,11 @@
 #include <filesystem>
 #include <numeric>
 
+#include "clado/data/synthcv.h"
 #include "clado/models/builders.h"
 #include "clado/nn/hvp.h"
 #include "clado/nn/optimizer.h"
+#include "clado/quant/act_quant.h"
 #include "clado/tensor/serialize.h"
 
 namespace clado::models {
@@ -85,6 +87,7 @@ double train_model(Model& model, const clado::data::SynthCvDataset& train_set,
     }
     if (config.verbose) {
       const double val_acc = model.accuracy_on(val_set, std::min<std::int64_t>(256, config.val_size));
+      // clado-lint: allow(no-stdio) -- opt-in verbose training progress on stdout
       std::printf("[zoo] %s epoch %2d/%d  loss %.4f  val@256 %.3f\n", model.name.c_str(),
                   epoch + 1, epochs, epoch_loss / static_cast<double>(batches), val_acc);
       std::fflush(stdout);

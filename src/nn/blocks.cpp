@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "clado/tensor/rng.h"
+
 namespace clado::nn {
 
 // ---------------------------------------------------------------------------

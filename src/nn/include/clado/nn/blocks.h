@@ -12,6 +12,7 @@
 #include "clado/nn/layers.h"
 #include "clado/nn/module.h"
 #include "clado/nn/sequential.h"
+#include "clado/tensor/rng.h"
 
 namespace clado::nn {
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "clado/nn/module.h"
+#include "clado/tensor/rng.h"
 
 namespace clado::nn {
 

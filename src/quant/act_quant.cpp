@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "clado/tensor/rng.h"
+
 namespace clado::quant {
 
 namespace {

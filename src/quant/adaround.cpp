@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "clado/nn/module.h"
 #include "clado/quant/quantizer.h"
 
 namespace clado::quant {

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "clado/nn/module.h"
+
 namespace clado::quant {
 
 WeightSnapshot::WeightSnapshot(const std::vector<QuantLayerRef>& layers) : layers_(layers) {

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "clado/tensor/check.h"
+
 namespace clado::quant {
 
 const char* scheme_name(WeightScheme s) {
@@ -87,6 +89,10 @@ AffineQParams affine_qparams(float lo, float hi, int bits) {
   p.zero_point = std::clamp(std::nearbyint(-lo / p.scale), 0.0F, levels);
   p.lo = (0.0F - p.zero_point) * p.scale;
   p.hi = (levels - p.zero_point) * p.scale;
+  CLADO_CHECK(std::isfinite(p.scale) && p.scale > 0.0F,
+              "affine_qparams: quantizer scale must be a positive finite value");
+  CLADO_CHECK(p.zero_point >= 0.0F && p.zero_point <= levels,
+              "affine_qparams: zero point must lie on the integer grid");
   return p;
 }
 
@@ -106,6 +112,7 @@ double quant_mse_symmetric(const Tensor& w, int bits, float scale) {
 float mse_optimal_scale_symmetric(const Tensor& w, int bits, int grid_points) {
   check_bits(bits);
   const float amax = max_abs(w.data(), w.numel());
+  CLADO_CHECK(std::isfinite(amax), "mse_optimal_scale_symmetric: weights must be finite");
   const float qmax = std::ldexp(1.0F, bits - 1) - 1.0F;
   if (amax == 0.0F) return 1e-8F;
   const float s_full = amax / qmax;  // scale that just covers the full range

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "clado/tensor/check.h"
+
 namespace clado::solver {
 
 std::int64_t QuadraticProblem::total_choices() const {
@@ -28,6 +30,19 @@ void QuadraticProblem::validate() const {
     if (g.empty()) throw std::invalid_argument("QuadraticProblem: empty group");
   }
   if (budget < 0.0) throw std::invalid_argument("QuadraticProblem: negative budget");
+  CLADO_CHECK(std::isfinite(budget), "QuadraticProblem: budget must be finite");
+#if defined(CLADO_ENABLE_CHECKS) || !defined(NDEBUG)
+  // A NaN/Inf entry in the sensitivity matrix poisons every bound and move
+  // delta downstream; catch it at the solver boundary where it is cheap to
+  // name. O(n^2) but compiled out in plain Release.
+  for (std::int64_t i = 0; i < n * n; ++i) {
+    CLADO_CHECK(std::isfinite(G.data()[i]),
+                "QuadraticProblem: objective matrix G must be finite");
+  }
+  for (const auto& g : cost) {
+    for (double c : g) CLADO_CHECK(std::isfinite(c), "QuadraticProblem: costs must be finite");
+  }
+#endif
 }
 
 double QuadraticProblem::integer_objective(const std::vector<int>& choice) const {

@@ -1,0 +1,14 @@
+#include "clado/tensor/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace clado::tensor {
+
+void check_failed(const char* cond, const char* msg, const char* file, int line) {
+  // clado-lint: allow(no-stdio) -- assertion failures must reach stderr before abort()
+  std::fprintf(stderr, "%s:%d: CLADO_CHECK failed: %s (%s)\n", file, line, cond, msg);
+  std::abort();
+}
+
+}  // namespace clado::tensor

@@ -1,0 +1,33 @@
+// CLADO_CHECK — runtime assertion for internal invariants at subsystem
+// boundaries (tensor shapes, quantizer ranges, solver inputs).
+//
+// Policy:
+//   * CLADO_CHECK guards *internal invariants* — conditions that are
+//     supposed to hold by construction. Violations indicate a bug in this
+//     repo, so the failure aborts (it is not an exception the caller could
+//     meaningfully handle).
+//   * User-facing argument validation keeps throwing std::invalid_argument;
+//     CLADO_CHECK never replaces those checks.
+//   * Enabled in Debug builds and in all sanitizer builds
+//     (CLADO_TSAN/ASAN/UBSAN define CLADO_ENABLE_CHECKS); compiled out to
+//     nothing in plain Release so hot paths pay zero cost.
+//
+// The condition expression must be side-effect free: it is not evaluated at
+// all when checks are compiled out.
+#pragma once
+
+namespace clado::tensor {
+
+/// Prints "file:line: CLADO_CHECK failed: cond (msg)" to stderr and aborts.
+[[noreturn]] void check_failed(const char* cond, const char* msg, const char* file, int line);
+
+}  // namespace clado::tensor
+
+#if defined(CLADO_ENABLE_CHECKS) || !defined(NDEBUG)
+#define CLADO_CHECK(cond, msg)                                                  \
+  (static_cast<bool>(cond)                                                      \
+       ? static_cast<void>(0)                                                   \
+       : ::clado::tensor::check_failed(#cond, (msg), __FILE__, __LINE__))
+#else
+#define CLADO_CHECK(cond, msg) static_cast<void>(0)
+#endif

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "clado/tensor/check.h"
 #include "clado/tensor/thread_pool.h"
 
 namespace clado::tensor {
@@ -63,6 +64,10 @@ void pack_b(bool trans_b, const float* b, std::int64_t ldb, std::int64_t k0, std
 void gemm_row_range(bool trans_a, bool trans_b, std::int64_t m_begin, std::int64_t m_end,
                     std::int64_t n, std::int64_t k, float alpha, const float* a, const float* b,
                     float* c, std::int64_t lda, std::int64_t ldb) {
+  // Bit-identical parallel/serial results rely on chunks starting on block
+  // boundaries; a misaligned chunk would also double-accumulate rows.
+  CLADO_CHECK(m_begin % kBlockM == 0 && m_begin <= m_end,
+              "gemm_row_range: row chunk must start on a kBlockM boundary");
   std::vector<float> pa(static_cast<std::size_t>(kBlockM * kBlockK));
   std::vector<float> pb(static_cast<std::size_t>(kBlockK * kBlockN));
 

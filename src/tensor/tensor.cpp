@@ -1,11 +1,12 @@
 #include "clado/tensor/tensor.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
+
+#include "clado/tensor/check.h"
 
 namespace clado::tensor {
 
@@ -69,11 +70,11 @@ std::int64_t Tensor::size(std::int64_t axis) const {
 namespace {
 
 std::int64_t flat_offset(const Shape& shape, std::initializer_list<std::int64_t> idx) {
-  assert(idx.size() == shape.size());
+  CLADO_CHECK(idx.size() == shape.size(), "Tensor::at: index rank must match tensor rank");
   std::int64_t offset = 0;
   std::size_t axis = 0;
   for (std::int64_t i : idx) {
-    assert(i >= 0 && i < shape[axis]);
+    CLADO_CHECK(i >= 0 && i < shape[axis], "Tensor::at: index out of bounds");
     offset = offset * shape[axis] + i;
     ++axis;
   }

@@ -1,0 +1,279 @@
+// Feeds synthetic source snippets through clado_lint's rule engine via the
+// binary's --stdin fixture mode and asserts each rule fires on a violating
+// snippet and stays quiet on a conforming one, including suppressions.
+//
+// The binary path comes from CMake as CLADO_LINT_BIN; the repo root (for the
+// end-to-end self-check) as CLADO_LINT_SOURCE_ROOT.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include <sys/wait.h>
+
+namespace {
+
+struct LintResult {
+  int exit_code = -1;
+  std::string output;
+
+  bool flags(const std::string& rule) const {
+    return output.find(" " + rule + " ") != std::string::npos;
+  }
+};
+
+// Runs `clado_lint --stdin <virtual_path>` with `source` on stdin.
+LintResult run_lint(const std::string& virtual_path, const std::string& source) {
+  const std::string snippet_path = std::string(::testing::TempDir()) + "clado_lint_snippet.cpp";
+  {
+    std::ofstream out(snippet_path, std::ios::trunc | std::ios::binary);
+    out << source;
+  }
+  const std::string cmd = std::string(CLADO_LINT_BIN) + " --stdin '" + virtual_path + "' < '" +
+                          snippet_path + "' 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << "popen failed for: " << cmd;
+  LintResult result;
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buf{};
+  std::size_t got = 0;
+  while ((got = fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    result.output.append(buf.data(), got);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+TEST(CladoLintTest, CleanSnippetPasses) {
+  const LintResult r = run_lint("src/tensor/example.cpp",
+                                "#include \"clado/tensor/tensor.h\"\n"
+                                "namespace clado::tensor {\n"
+                                "int add(int a, int b) { return a + b; }\n"
+                                "}  // namespace clado::tensor\n");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_TRUE(r.output.empty()) << r.output;
+}
+
+TEST(CladoLintTest, PragmaOnceFiresOnHeaderWithoutIt) {
+  const LintResult r = run_lint("src/tensor/include/clado/tensor/example.h",
+                                "namespace clado::tensor {}\n");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_TRUE(r.flags("pragma-once")) << r.output;
+}
+
+TEST(CladoLintTest, PragmaOncePassesWhenPresent) {
+  const LintResult r = run_lint("src/tensor/include/clado/tensor/example.h",
+                                "#pragma once\nnamespace clado::tensor {}\n");
+  EXPECT_FALSE(r.flags("pragma-once")) << r.output;
+}
+
+TEST(CladoLintTest, DirNamespaceFiresOnForeignNamespace) {
+  const LintResult r =
+      run_lint("src/tensor/example.cpp", "namespace clado::quant {\nint x;\n}\n");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_TRUE(r.flags("dir-namespace")) << r.output;
+}
+
+TEST(CladoLintTest, DirNamespaceAllowsOwnAnonymousAndUsing) {
+  const LintResult r = run_lint("src/quant/example.cpp",
+                                "namespace clado::quant {\n"
+                                "namespace {\nint helper;\n}\n"
+                                "using namespace clado::tensor;\n"
+                                "}\n");
+  EXPECT_FALSE(r.flags("dir-namespace")) << r.output;
+}
+
+TEST(CladoLintTest, NoRandFiresOnRandAndSrand) {
+  const LintResult r = run_lint("src/data/example.cpp",
+                                "#include <cstdlib>\n"
+                                "int f() { srand(42); return rand(); }\n");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_TRUE(r.flags("no-rand")) << r.output;
+}
+
+TEST(CladoLintTest, NoRandIgnoresSubstringsCommentsAndStrings) {
+  const LintResult r = run_lint("src/data/example.cpp",
+                                "int strand(int x);\n"
+                                "int operand(int x);\n"
+                                "// rand() in a comment\n"
+                                "const char* s = \"rand()\";\n"
+                                "int g() { return strand(1) + operand(2); }\n");
+  EXPECT_FALSE(r.flags("no-rand")) << r.output;
+}
+
+TEST(CladoLintTest, NoRandomDeviceFiresOutsideTests) {
+  const LintResult r = run_lint("src/data/example.cpp",
+                                "#include <random>\nstd::random_device rd;\n");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_TRUE(r.flags("no-random-device")) << r.output;
+}
+
+TEST(CladoLintTest, NoRandomDeviceAllowedInTests) {
+  const LintResult r = run_lint("tests/example_test.cpp",
+                                "#include <random>\nstd::random_device rd;\n");
+  EXPECT_FALSE(r.flags("no-random-device")) << r.output;
+}
+
+TEST(CladoLintTest, NoStdioFiresInLibraryCode) {
+  const LintResult r = run_lint("src/core/example.cpp",
+                                "#include <cstdio>\n#include <iostream>\n"
+                                "void f() { printf(\"x\"); std::cout << 1; }\n");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_TRUE(r.flags("no-stdio")) << r.output;
+}
+
+TEST(CladoLintTest, NoStdioAllowsSnprintfAndNonSrcDirs) {
+  const LintResult in_src = run_lint("src/core/example.cpp",
+                                     "#include <cstdio>\n"
+                                     "void f(char* b) { snprintf(b, 4, \"x\"); }\n");
+  EXPECT_FALSE(in_src.flags("no-stdio")) << in_src.output;
+  const LintResult in_bench = run_lint("bench/example.cpp",
+                                       "#include <cstdio>\nvoid f() { printf(\"x\"); }\n");
+  EXPECT_FALSE(in_bench.flags("no-stdio")) << in_bench.output;
+}
+
+TEST(CladoLintTest, NoNakedNewFiresOnNewAndDelete) {
+  const LintResult r = run_lint("src/nn/example.cpp",
+                                "struct T {};\n"
+                                "T* make() { return new T(); }\n"
+                                "void drop(T* t) { delete t; }\n");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_TRUE(r.flags("no-naked-new")) << r.output;
+}
+
+TEST(CladoLintTest, NoNakedNewAllowsDeletedMembersAndIdentifiers) {
+  const LintResult r = run_lint("src/nn/example.cpp",
+                                "struct T {\n"
+                                "  T(const T&) = delete;\n"
+                                "  T& operator=(const T&) =delete;\n"
+                                "};\n"
+                                "int new_shape = 3;\n");
+  EXPECT_FALSE(r.flags("no-naked-new")) << r.output;
+}
+
+TEST(CladoLintTest, NoThreadLocalFiresInSrc) {
+  const LintResult r = run_lint("src/tensor/example.cpp",
+                                "static thread_local int scratch = 0;\n");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_TRUE(r.flags("no-thread-local")) << r.output;
+}
+
+TEST(CladoLintTest, MissingOverrideFiresOnRedeclaredVirtual) {
+  const LintResult r = run_lint("src/nn/example.h",
+                                "#pragma once\n"
+                                "namespace clado::nn {\n"
+                                "class Base {\n"
+                                " public:\n"
+                                "  virtual ~Base() = default;\n"
+                                "  virtual int forward(int x);\n"
+                                "};\n"
+                                "class Derived : public Base {\n"
+                                " public:\n"
+                                "  int forward(int x);\n"
+                                "};\n"
+                                "}\n");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_TRUE(r.flags("missing-override")) << r.output;
+}
+
+TEST(CladoLintTest, MissingOverridePassesWithOverrideAndOnCalls) {
+  const LintResult r = run_lint("src/nn/example.h",
+                                "#pragma once\n"
+                                "namespace clado::nn {\n"
+                                "class Base {\n"
+                                " public:\n"
+                                "  virtual ~Base() = default;\n"
+                                "  virtual int forward(int x);\n"
+                                "};\n"
+                                "class Derived : public Base {\n"
+                                " public:\n"
+                                "  int forward(int x) override;\n"
+                                "  int twice(int x) { return forward(x) + forward(x); }\n"
+                                "};\n"
+                                "}\n");
+  EXPECT_FALSE(r.flags("missing-override")) << r.output;
+}
+
+TEST(CladoLintTest, MissingIncludeFiresOnForeignSubsystemUse) {
+  const LintResult r = run_lint("src/nn/example.cpp",
+                                "namespace clado::nn {\n"
+                                "int f() { return clado::tensor::some_fn(); }\n"
+                                "}\n");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_TRUE(r.flags("missing-include")) << r.output;
+}
+
+TEST(CladoLintTest, MissingIncludePassesWithDirectInclude) {
+  const LintResult r = run_lint("src/nn/example.cpp",
+                                "#include \"clado/tensor/ops.h\"\n"
+                                "namespace clado::nn {\n"
+                                "int f() { return clado::tensor::some_fn(); }\n"
+                                "}\n");
+  EXPECT_FALSE(r.flags("missing-include")) << r.output;
+}
+
+TEST(CladoLintTest, SuppressionWithJustificationHolds) {
+  const LintResult same_line = run_lint(
+      "src/core/example.cpp",
+      "void f() { printf(\"x\"); }  // clado-lint: allow(no-stdio) -- demo sink\n");
+  EXPECT_EQ(same_line.exit_code, 0) << same_line.output;
+  const LintResult prev_line = run_lint("src/core/example.cpp",
+                                        "// clado-lint: allow(no-stdio) -- demo sink\n"
+                                        "void f() { printf(\"x\"); }\n");
+  EXPECT_EQ(prev_line.exit_code, 0) << prev_line.output;
+}
+
+TEST(CladoLintTest, SuppressionOnlyCoversItsRule) {
+  const LintResult r = run_lint(
+      "src/core/example.cpp",
+      "// clado-lint: allow(no-rand) -- wrong rule for this violation\n"
+      "void f() { printf(\"x\"); }\n");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_TRUE(r.flags("no-stdio")) << r.output;
+}
+
+TEST(CladoLintTest, SuppressionWithoutJustificationIsRejected) {
+  const LintResult r = run_lint(
+      "src/core/example.cpp",
+      "void f() { printf(\"x\"); }  // clado-lint: allow(no-stdio)\n");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_TRUE(r.flags("bad-suppression")) << r.output;
+}
+
+TEST(CladoLintTest, SuppressionOfUnknownRuleIsRejected) {
+  const LintResult r = run_lint(
+      "src/core/example.cpp",
+      "int x;  // clado-lint: allow(no-such-rule) -- justification present\n");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_TRUE(r.flags("bad-suppression")) << r.output;
+}
+
+TEST(CladoLintTest, DiagnosticFormatIsFileLineRule) {
+  const LintResult r = run_lint("src/tensor/example.cpp",
+                                "int a;\nint b;\nvoid f() { printf(\"x\"); }\n");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("src/tensor/example.cpp:3: no-stdio"), std::string::npos) << r.output;
+}
+
+// End-to-end: the repo itself must lint clean (same invocation as the
+// clado_lint_self_check ctest entry).
+TEST(CladoLintTest, RepoSelfCheckIsClean) {
+  const std::string cmd =
+      std::string(CLADO_LINT_BIN) + " --root '" + CLADO_LINT_SOURCE_ROOT + "' 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  std::string output;
+  std::array<char, 4096> buf{};
+  std::size_t got = 0;
+  while ((got = fread(buf.data(), 1, buf.size(), pipe)) > 0) output.append(buf.data(), got);
+  const int status = pclose(pipe);
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0) << output;
+}
+
+}  // namespace

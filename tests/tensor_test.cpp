@@ -5,10 +5,25 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "clado/tensor/check.h"
 #include "clado/tensor/ops.h"
 
 namespace clado::tensor {
 namespace {
+
+// CLADO_CHECK is compiled out in plain Release; the abort-on-violation
+// contract is only testable when checks are live (Debug / sanitizer builds).
+#if defined(CLADO_ENABLE_CHECKS) || !defined(NDEBUG)
+TEST(TensorCheckDeathTest, AtOutOfBoundsAborts) {
+  Tensor t({2, 2});
+  EXPECT_DEATH((void)t.at({2, 0}), "CLADO_CHECK failed");
+}
+
+TEST(TensorCheckDeathTest, AtRankMismatchAborts) {
+  Tensor t({2, 2});
+  EXPECT_DEATH((void)t.at({0}), "CLADO_CHECK failed");
+}
+#endif
 
 TEST(Tensor, ConstructionAndShape) {
   Tensor t({2, 3, 4});

@@ -1,0 +1,754 @@
+// clado-lint — dependency-free static-analysis pass enforcing project
+// invariants over src/, tests/, bench/ and tools/.
+//
+// Rules (rule-id — what it enforces):
+//   pragma-once       every header carries #pragma once
+//   dir-namespace     src/<sub>/ declares only namespace clado::<sub>
+//   no-rand           rand()/srand() banned everywhere we scan (use tensor::Rng)
+//   no-random-device  std::random_device banned outside tests/ (breaks
+//                     reproducibility; tensor::Rng is the seeded source)
+//   no-stdio          printf/fprintf/puts/std::cout|cerr|clog banned in src/
+//                     (library code must not write to the console)
+//   no-naked-new      naked new/delete banned in src/ (use containers /
+//                     smart pointers; "= delete" declarations are fine)
+//   no-thread-local   thread_local banned in src/ — static thread_local
+//                     mutable scratch is the exact pattern behind the PR 1
+//                     GEMM data race
+//   missing-override  member redeclaring an inherited virtual must say
+//                     override (name-based, repo-wide virtual-name set)
+//   include-cycle     the "clado/..." include graph must be acyclic
+//   missing-include   a src/ file naming clado::<other>:: must directly
+//                     include a clado/<other>/ header (IWYU-lite)
+//   bad-suppression   allow() must name a known rule and give a justification
+//
+// Suppressions: a violation on line L is suppressed by an allow comment
+//     // clado-lint: allow(no-stdio) -- progress output is intentional
+// (with the relevant rule id) on line L itself or on line L-1. The
+// justification after ')' is mandatory.
+//
+// Diagnostics are "file:line: rule-id message", one per line, sorted; the
+// process exits 1 if any unsuppressed violation remains, 0 when clean, 2 on
+// usage or I/O errors.
+//
+// Modes:
+//   clado_lint [--root DIR]         scan DIR (default .) recursively
+//   clado_lint --stdin VIRTUAL_PATH lint stdin as if it were VIRTUAL_PATH
+//                                   (single-file rules only; used by tests)
+//   clado_lint --list-rules         print every rule id
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+const std::vector<std::string> kAllRules = {
+    "pragma-once",    "dir-namespace",    "no-rand",         "no-random-device",
+    "no-stdio",       "no-naked-new",     "no-thread-local", "missing-override",
+    "include-cycle",  "missing-include",  "bad-suppression",
+};
+
+const std::vector<std::string> kSubsystems = {"tensor", "linalg", "nn",     "quant",
+                                              "data",   "models", "solver", "core"};
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  bool operator<(const Diagnostic& o) const {
+    if (file != o.file) return file < o.file;
+    if (line != o.line) return line < o.line;
+    if (rule != o.rule) return rule < o.rule;
+    return message < o.message;
+  }
+};
+
+struct SourceFile {
+  std::string path;      // repo-relative, '/'-separated
+  std::string content;   // raw bytes
+  std::string code;      // comments + string/char literals blanked to spaces
+  std::string comments;  // the complement: only comment text kept
+  std::vector<std::size_t> line_starts;        // offset of each line in content
+  std::map<int, std::set<std::string>> allow;  // line -> suppressed rule ids
+  std::vector<Diagnostic> suppression_errors;  // bad-suppression diags
+
+  std::string top_dir() const {  // "src", "tests", "bench", "tools", ...
+    const auto slash = path.find('/');
+    return slash == std::string::npos ? std::string() : path.substr(0, slash);
+  }
+  // Subsystem for src/<sub>/..., empty otherwise.
+  std::string subsystem() const {
+    if (top_dir() != "src") return {};
+    const auto first = path.find('/');
+    const auto second = path.find('/', first + 1);
+    if (second == std::string::npos) return {};
+    return path.substr(first + 1, second - first - 1);
+  }
+  bool is_header() const { return path.size() > 2 && path.ends_with(".h"); }
+
+  int line_of(std::size_t offset) const {
+    auto it = std::upper_bound(line_starts.begin(), line_starts.end(), offset);
+    return static_cast<int>(it - line_starts.begin());
+  }
+};
+
+bool is_word_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_'; }
+
+struct StrippedViews {
+  std::string code;      // comments and string/char literals blanked
+  std::string comments;  // only comment text kept, everything else blanked
+};
+
+// Splits a source into a code view and a comment view (newlines preserved in
+// both) so rule matching never fires inside text and suppression comments are
+// only honored inside real comments. Handles //, /* */, "...", '...' and
+// R"delim(...)delim" raw strings.
+StrippedViews strip_comments_and_strings(const std::string& src) {
+  std::string out = src;
+  std::string comments(src.size(), ' ');
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    if (src[i] == '\n') comments[i] = '\n';
+  }
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_terminator;  // )delim" for the active raw string
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = ' ';
+        } else if (c == '"') {
+          // R"delim( opens a raw string when R starts an identifier token.
+          if (i >= 1 && src[i - 1] == 'R' && (i < 2 || !is_word_char(src[i - 2]))) {
+            const std::size_t paren = src.find('(', i + 1);
+            if (paren != std::string::npos && paren - i - 1 <= 16) {
+              raw_terminator = ")" + src.substr(i + 1, paren - i - 1) + "\"";
+              state = State::kRawString;
+              break;
+            }
+          }
+          state = State::kString;
+        } else if (c == '\'') {
+          // Keep digit separators (1'000'000) as code.
+          if (!(i >= 1 && is_word_char(src[i - 1]) && is_word_char(next))) state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+          comments[i] = c;
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+          comments[i] = c;
+        }
+        break;
+      case State::kString:
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if ((state == State::kString && c == '"') || (state == State::kChar && c == '\'')) {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kRawString:
+        if (src.compare(i, raw_terminator.size(), raw_terminator) == 0) {
+          for (std::size_t j = 0; j < raw_terminator.size(); ++j) out[i + j] = ' ';
+          i += raw_terminator.size() - 1;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return {std::move(out), std::move(comments)};
+}
+
+// Offsets where `word` occurs as a whole identifier in `code`.
+std::vector<std::size_t> find_word(const std::string& code, const std::string& word,
+                                   std::size_t from = 0) {
+  std::vector<std::size_t> hits;
+  for (std::size_t pos = code.find(word, from); pos != std::string::npos;
+       pos = code.find(word, pos + 1)) {
+    const bool left_ok = pos == 0 || !is_word_char(code[pos - 1]);
+    const std::size_t end = pos + word.size();
+    const bool right_ok = end >= code.size() || !is_word_char(code[end]);
+    if (left_ok && right_ok) hits.push_back(pos);
+  }
+  return hits;
+}
+
+std::size_t skip_ws(const std::string& s, std::size_t pos) {
+  while (pos < s.size() && std::isspace(static_cast<unsigned char>(s[pos])) != 0) ++pos;
+  return pos;
+}
+
+// Last non-whitespace character strictly before `pos`, or '\0'.
+char prev_nonspace(const std::string& s, std::size_t pos) {
+  while (pos > 0) {
+    --pos;
+    if (std::isspace(static_cast<unsigned char>(s[pos])) == 0) return s[pos];
+  }
+  return '\0';
+}
+
+// Identifier (possibly qualified, e.g. clado::tensor) starting at pos.
+std::string read_qualified_id(const std::string& s, std::size_t pos) {
+  std::string id;
+  while (pos < s.size()) {
+    if (is_word_char(s[pos])) {
+      id += s[pos++];
+    } else if (s[pos] == ':' && pos + 1 < s.size() && s[pos + 1] == ':') {
+      id += "::";
+      pos += 2;
+    } else {
+      break;
+    }
+  }
+  return id;
+}
+
+void parse_suppressions(SourceFile& f) {
+  std::istringstream in(f.comments);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t tag = line.find("clado-lint:");
+    if (tag == std::string::npos) continue;
+    const std::size_t open = line.find("allow(", tag);
+    const std::size_t close = open == std::string::npos ? std::string::npos
+                                                        : line.find(')', open);
+    if (open == std::string::npos || close == std::string::npos) {
+      f.suppression_errors.push_back(
+          {f.path, lineno, "bad-suppression", "malformed suppression; expected allow(rule-id)"});
+      continue;
+    }
+    const std::string rule = line.substr(open + 6, close - open - 6);
+    if (std::find(kAllRules.begin(), kAllRules.end(), rule) == kAllRules.end()) {
+      f.suppression_errors.push_back(
+          {f.path, lineno, "bad-suppression", "unknown rule '" + rule + "' in allow()"});
+      continue;
+    }
+    std::string justification = line.substr(close + 1);
+    justification.erase(0, justification.find_first_not_of(" \t-"));
+    if (justification.size() < 3) {
+      f.suppression_errors.push_back({f.path, lineno, "bad-suppression",
+                                      "suppression of '" + rule +
+                                          "' needs a justification, e.g. allow(" + rule +
+                                          ") -- why this is safe"});
+      continue;
+    }
+    f.allow[lineno].insert(rule);
+  }
+}
+
+class Linter {
+ public:
+  void add_file(std::string path, std::string content) {
+    SourceFile f;
+    f.path = std::move(path);
+    f.content = std::move(content);
+    StrippedViews views = strip_comments_and_strings(f.content);
+    f.code = std::move(views.code);
+    f.comments = std::move(views.comments);
+    f.line_starts.push_back(0);
+    for (std::size_t i = 0; i < f.content.size(); ++i) {
+      if (f.content[i] == '\n') f.line_starts.push_back(i + 1);
+    }
+    parse_suppressions(f);
+    files_.push_back(std::move(f));
+  }
+
+  // Runs every rule; returns the surviving (unsuppressed) diagnostics, sorted.
+  std::vector<Diagnostic> run(bool cross_file_rules) {
+    collect_virtual_names();
+    for (const SourceFile& f : files_) {
+      for (const Diagnostic& d : f.suppression_errors) diags_.push_back(d);
+      rule_pragma_once(f);
+      rule_dir_namespace(f);
+      rule_banned_calls(f);
+      rule_naked_new(f);
+      rule_thread_local(f);
+      rule_missing_override(f);
+      rule_missing_include(f);
+    }
+    if (cross_file_rules) rule_include_cycles();
+
+    std::vector<Diagnostic> out;
+    for (const Diagnostic& d : diags_) {
+      if (!is_suppressed(d)) out.push_back(d);
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end(),
+                          [](const Diagnostic& a, const Diagnostic& b) {
+                            return a.file == b.file && a.line == b.line && a.rule == b.rule &&
+                                   a.message == b.message;
+                          }),
+              out.end());
+    return out;
+  }
+
+ private:
+  std::vector<SourceFile> files_;
+  std::vector<Diagnostic> diags_;
+  std::set<std::string> virtual_names_;
+
+  void report(const SourceFile& f, std::size_t offset, std::string rule, std::string message) {
+    diags_.push_back({f.path, f.line_of(offset), std::move(rule), std::move(message)});
+  }
+
+  bool is_suppressed(const Diagnostic& d) const {
+    if (d.rule == "bad-suppression") return false;
+    for (const SourceFile& f : files_) {
+      if (f.path != d.file) continue;
+      for (int line : {d.line, d.line - 1}) {
+        auto it = f.allow.find(line);
+        if (it != f.allow.end() && it->second.count(d.rule) != 0) return true;
+      }
+    }
+    return false;
+  }
+
+  // ---- pragma-once ---------------------------------------------------------
+  void rule_pragma_once(const SourceFile& f) {
+    if (!f.is_header()) return;
+    if (f.code.find("#pragma once") == std::string::npos) {
+      report(f, 0, "pragma-once", "header is missing #pragma once");
+    }
+  }
+
+  // ---- dir-namespace -------------------------------------------------------
+  void rule_dir_namespace(const SourceFile& f) {
+    const std::string sub = f.subsystem();
+    if (sub.empty()) return;
+    const std::string expected = "clado::" + sub;
+    for (std::size_t pos : find_word(f.code, "namespace")) {
+      // `using namespace ...` is a usage, not a declaration.
+      {
+        std::size_t p = pos;
+        while (p > 0 && std::isspace(static_cast<unsigned char>(f.code[p - 1])) != 0) --p;
+        std::size_t e = p;
+        while (p > 0 && is_word_char(f.code[p - 1])) --p;
+        if (f.code.compare(p, e - p, "using") == 0 && e - p == 5) continue;
+      }
+      const std::size_t id_pos = skip_ws(f.code, pos + 9);
+      const std::string id = read_qualified_id(f.code, id_pos);
+      // Anonymous and non-clado helper namespaces are fine.
+      if (id != "clado" && id.compare(0, 7, "clado::") != 0) continue;
+      if (id != expected) {
+        report(f, pos, "dir-namespace",
+               "namespace " + id + " declared in src/" + sub + "/ (expected " + expected + ")");
+      }
+    }
+  }
+
+  // ---- no-rand / no-random-device / no-stdio -------------------------------
+  void rule_banned_calls(const SourceFile& f) {
+    const std::string top = f.top_dir();
+    const bool in_src = top == "src";
+    const bool in_tests = top == "tests";
+
+    auto flag_calls = [&](const std::string& name, const std::string& rule,
+                          const std::string& msg) {
+      for (std::size_t pos : find_word(f.code, name)) {
+        const std::size_t after = skip_ws(f.code, pos + name.size());
+        if (after < f.code.size() && f.code[after] == '(') report(f, pos, rule, msg);
+      }
+    };
+
+    flag_calls("rand", "no-rand", "rand() is banned; use clado::tensor::Rng");
+    flag_calls("srand", "no-rand", "srand() is banned; use clado::tensor::Rng");
+    if (!in_tests) {
+      for (std::size_t pos : find_word(f.code, "random_device")) {
+        report(f, pos, "no-random-device",
+               "std::random_device is banned outside tests/ (non-reproducible seeding; "
+               "use clado::tensor::Rng)");
+      }
+    }
+    if (in_src) {
+      for (const char* name : {"printf", "fprintf", "vfprintf", "puts", "fputs", "putchar"}) {
+        flag_calls(name, "no-stdio",
+                   std::string(name) + "() writes to the console from library code; return "
+                   "strings or take an output callback instead");
+      }
+      for (const char* stream : {"cout", "cerr", "clog"}) {
+        for (std::size_t pos : find_word(f.code, stream)) {
+          if (pos >= 2 && f.code[pos - 1] == ':' && f.code[pos - 2] == ':') {
+            report(f, pos, "no-stdio",
+                   std::string("std::") + stream + " write in library code; return strings or "
+                   "take an output callback instead");
+          }
+        }
+      }
+    }
+  }
+
+  // ---- no-naked-new --------------------------------------------------------
+  void rule_naked_new(const SourceFile& f) {
+    if (f.top_dir() != "src") return;
+    for (std::size_t pos : find_word(f.code, "new")) {
+      report(f, pos, "no-naked-new",
+             "naked new in library code; use std::make_unique / containers");
+    }
+    for (std::size_t pos : find_word(f.code, "delete")) {
+      if (prev_nonspace(f.code, pos) == '=') continue;  // deleted special member
+      report(f, pos, "no-naked-new",
+             "naked delete in library code; use std::unique_ptr / containers");
+    }
+  }
+
+  // ---- no-thread-local -----------------------------------------------------
+  void rule_thread_local(const SourceFile& f) {
+    if (f.top_dir() != "src") return;
+    for (std::size_t pos : find_word(f.code, "thread_local")) {
+      report(f, pos, "no-thread-local",
+             "thread_local mutable scratch races once call sites overlap across a pool "
+             "(the PR 1 GEMM bug); allocate per call or pass scratch explicitly");
+    }
+  }
+
+  // ---- missing-override ----------------------------------------------------
+  // Pass 1: every method name declared `virtual` anywhere in the scanned set.
+  void collect_virtual_names() {
+    for (const SourceFile& f : files_) {
+      for (std::size_t pos : find_word(f.code, "virtual")) {
+        // Identifier immediately before the next '(' is the method name.
+        const std::size_t paren = f.code.find('(', pos);
+        if (paren == std::string::npos) continue;
+        std::size_t end = paren;
+        while (end > pos && std::isspace(static_cast<unsigned char>(f.code[end - 1])) != 0) --end;
+        std::size_t begin = end;
+        while (begin > pos && is_word_char(f.code[begin - 1])) --begin;
+        if (begin == end) continue;
+        if (begin > 0 && f.code[begin - 1] == '~') continue;  // destructor
+        const std::string name = f.code.substr(begin, end - begin);
+        if (name == "operator") continue;
+        virtual_names_.insert(name);
+      }
+    }
+  }
+
+  // Pass 2: inside a class that names a base, a member-depth declaration of a
+  // known virtual name must carry override/final (or be the `virtual`
+  // introduction itself).
+  void rule_missing_override(const SourceFile& f) {
+    struct OpenClass {
+      int body_depth;   // brace depth of the class body
+      bool has_base;
+      std::string name;
+    };
+    std::vector<OpenClass> stack;
+    struct Pending {
+      std::string name;
+      bool has_base;
+    };
+    std::optional<Pending> pending;
+    int depth = 0;
+    std::string stmt;             // statement accumulated at member depth
+    std::size_t stmt_start = 0;   // offset of first char of stmt
+
+    auto check_stmt = [&]() {
+      if (stmt.empty()) return;
+      if (stack.empty() || !stack.back().has_base || depth != stack.back().body_depth) {
+        stmt.clear();
+        return;
+      }
+      const bool exempt = stmt.find("override") != std::string::npos ||
+                          stmt.find("final") != std::string::npos ||
+                          find_word(stmt, "virtual").size() > 0 ||
+                          find_word(stmt, "static").size() > 0 ||
+                          find_word(stmt, "friend").size() > 0 ||
+                          find_word(stmt, "using").size() > 0;
+      if (!exempt) {
+        for (const std::string& name : virtual_names_) {
+          if (name == stack.back().name) continue;  // constructor
+          for (std::size_t p : find_word(stmt, name)) {
+            const std::size_t after = skip_ws(stmt, p + name.size());
+            if (after < stmt.size() && stmt[after] == '(' &&
+                (p == 0 || stmt[p - 1] != '~')) {
+              report(f, stmt_start + p, "missing-override",
+                     "'" + name + "' redeclares a virtual of a base of '" + stack.back().name +
+                         "' without override");
+            }
+          }
+        }
+      }
+      stmt.clear();
+    };
+
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+      const char c = f.code[i];
+      if (c == '{') {
+        check_stmt();
+        ++depth;
+        if (pending) {
+          stack.push_back({depth, pending->has_base, pending->name});
+          pending.reset();
+        }
+        continue;
+      }
+      if (c == '}') {
+        check_stmt();
+        if (!stack.empty() && stack.back().body_depth == depth) stack.pop_back();
+        --depth;
+        continue;
+      }
+      if (c == ';') {
+        check_stmt();
+        pending.reset();  // forward declaration
+        continue;
+      }
+      // Class/struct head detection (skip `enum class` / `enum struct`).
+      if ((c == 'c' || c == 's') && (i == 0 || !is_word_char(f.code[i - 1]))) {
+        std::string kw;
+        if (f.code.compare(i, 5, "class") == 0 && !is_word_char(f.code[i + 5])) kw = "class";
+        if (f.code.compare(i, 6, "struct") == 0 && !is_word_char(f.code[i + 6])) kw = "struct";
+        if (!kw.empty()) {
+          std::string prev;
+          {
+            std::size_t p = i;
+            while (p > 0 && std::isspace(static_cast<unsigned char>(f.code[p - 1])) != 0) --p;
+            std::size_t e = p;
+            while (p > 0 && is_word_char(f.code[p - 1])) --p;
+            prev = f.code.substr(p, e - p);
+          }
+          if (prev != "enum") {
+            const std::size_t name_pos = skip_ws(f.code, i + kw.size());
+            const std::string name = read_qualified_id(f.code, name_pos);
+            // Head runs to the body brace; a base clause shows as a single ':'.
+            std::size_t j = name_pos + name.size();
+            bool has_base = false;
+            while (j < f.code.size() && f.code[j] != '{' && f.code[j] != ';' &&
+                   f.code[j] != '(' && f.code[j] != '}') {
+              if (f.code[j] == ':' && (j + 1 >= f.code.size() || f.code[j + 1] != ':') &&
+                  (j == 0 || f.code[j - 1] != ':')) {
+                has_base = true;
+              }
+              ++j;
+            }
+            if (!name.empty() && j < f.code.size() && f.code[j] == '{') {
+              pending = Pending{name, has_base};
+              stmt += f.code.substr(i, j - i);
+              i = j - 1;  // the '{' is handled on the next iteration
+              continue;
+            }
+          }
+        }
+      }
+      if (stmt.empty()) stmt_start = i;
+      stmt += c;
+    }
+  }
+
+  // ---- missing-include (IWYU-lite) -----------------------------------------
+  // Direct includes of "clado/<sub>/..." headers, per file.
+  static std::set<std::string> included_subsystems(const SourceFile& f) {
+    std::set<std::string> subs;
+    std::istringstream in(f.content);
+    std::string line;
+    while (std::getline(in, line)) {
+      const std::size_t inc = line.find("#include \"clado/");
+      if (inc == std::string::npos) continue;
+      const std::size_t start = inc + 16;
+      const std::size_t slash = line.find('/', start);
+      if (slash != std::string::npos) subs.insert(line.substr(start, slash - start));
+    }
+    return subs;
+  }
+
+  void rule_missing_include(const SourceFile& f) {
+    if (f.top_dir() != "src") return;
+    const std::string own = f.subsystem();
+    const std::set<std::string> included = included_subsystems(f);
+    std::set<std::string> flagged;
+    for (std::size_t pos : find_word(f.code, "clado")) {
+      const std::string id = read_qualified_id(f.code, pos);  // clado::X...
+      if (id.size() < 8 || id.compare(0, 7, "clado::") != 0) continue;
+      const std::size_t end = id.find("::", 7);
+      const std::string sub = id.substr(7, end == std::string::npos ? std::string::npos : end - 7);
+      if (sub == own || flagged.count(sub) != 0) continue;
+      if (std::find(kSubsystems.begin(), kSubsystems.end(), sub) == kSubsystems.end()) continue;
+      if (included.count(sub) != 0) continue;
+      flagged.insert(sub);
+      report(f, pos, "missing-include",
+             "uses clado::" + sub + " but includes no clado/" + sub +
+                 "/ header directly (relies on transitive includes)");
+    }
+  }
+
+  // ---- include-cycle -------------------------------------------------------
+  void rule_include_cycles() {
+    std::map<std::string, const SourceFile*> by_path;
+    for (const SourceFile& f : files_) by_path[f.path] = &f;
+
+    // Edges among scanned files; remember the line of each edge's #include.
+    std::map<std::string, std::vector<std::string>> graph;
+    std::map<std::pair<std::string, std::string>, int> edge_line;
+    for (const SourceFile& f : files_) {
+      std::istringstream in(f.content);
+      std::string line;
+      int lineno = 0;
+      while (std::getline(in, line)) {
+        ++lineno;
+        const std::size_t inc = line.find("#include \"");
+        if (inc == std::string::npos) continue;
+        const std::size_t start = inc + 10;
+        const std::size_t close = line.find('"', start);
+        if (close == std::string::npos) continue;
+        const std::string target = line.substr(start, close - start);
+        std::string resolved;
+        if (target.compare(0, 6, "clado/") == 0) {
+          const std::size_t slash = target.find('/', 6);
+          if (slash != std::string::npos) {
+            resolved = "src/" + target.substr(6, slash - 6) + "/include/" + target;
+          }
+        } else {
+          const std::size_t dir = f.path.rfind('/');
+          resolved = (dir == std::string::npos ? target : f.path.substr(0, dir + 1) + target);
+        }
+        if (by_path.count(resolved) != 0) {
+          graph[f.path].push_back(resolved);
+          edge_line[{f.path, resolved}] = lineno;
+        }
+      }
+    }
+
+    // Iterative DFS with colors; report the first back edge of each cycle.
+    std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+    std::vector<std::string> chain;
+    std::set<std::string> reported;
+
+    std::function<void(const std::string&)> visit = [&](const std::string& node) {
+      color[node] = 1;
+      chain.push_back(node);
+      for (const std::string& next : graph[node]) {
+        if (color[next] == 1) {
+          std::string cycle = next;
+          for (auto it = std::find(chain.begin(), chain.end(), next); it != chain.end(); ++it) {
+            if (*it != next) cycle += " -> " + *it;
+          }
+          cycle += " -> " + next;
+          if (reported.insert(cycle).second) {
+            diags_.push_back({node, edge_line[{node, next}], "include-cycle",
+                              "include cycle: " + cycle});
+          }
+        } else if (color[next] == 0) {
+          visit(next);
+        }
+      }
+      chain.pop_back();
+      color[node] = 2;
+    };
+    for (const SourceFile& f : files_) {
+      if (color[f.path] == 0) visit(f.path);
+    }
+  }
+};
+
+bool should_scan(const fs::path& rel) {
+  const std::string first = rel.begin()->string();
+  if (first != "src" && first != "tests" && first != "bench" && first != "tools") return false;
+  const std::string ext = rel.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+}
+
+int run_on_tree(const fs::path& root) {
+  if (!fs::is_directory(root)) {
+    std::cerr << "clado_lint: not a directory: " << root << "\n";
+    return 2;
+  }
+  Linter linter;
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    const fs::path rel = fs::relative(entry.path(), root);
+    if (should_scan(rel)) paths.push_back(rel);
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const fs::path& rel : paths) {
+    std::ifstream in(root / rel, std::ios::binary);
+    if (!in) {
+      std::cerr << "clado_lint: cannot read " << (root / rel) << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    linter.add_file(rel.generic_string(), buf.str());
+  }
+  const std::vector<Diagnostic> diags = linter.run(/*cross_file_rules=*/true);
+  for (const Diagnostic& d : diags) {
+    std::cout << d.file << ":" << d.line << ": " << d.rule << " " << d.message << "\n";
+  }
+  if (!diags.empty()) {
+    std::cout << diags.size() << " violation(s)\n";
+    return 1;
+  }
+  return 0;
+}
+
+int run_on_stdin(const std::string& virtual_path) {
+  std::ostringstream buf;
+  buf << std::cin.rdbuf();
+  Linter linter;
+  linter.add_file(virtual_path, buf.str());
+  const std::vector<Diagnostic> diags = linter.run(/*cross_file_rules=*/false);
+  for (const Diagnostic& d : diags) {
+    std::cout << d.file << ":" << d.line << ": " << d.rule << " " << d.message << "\n";
+  }
+  return diags.empty() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--stdin" && i + 1 < argc) {
+      return run_on_stdin(argv[++i]);
+    } else if (arg == "--list-rules") {
+      for (const std::string& rule : kAllRules) std::cout << rule << "\n";
+      return 0;
+    } else {
+      std::cerr << "usage: clado_lint [--root DIR] [--stdin VIRTUAL_PATH] [--list-rules]\n";
+      return 2;
+    }
+  }
+  return run_on_tree(root);
+}
