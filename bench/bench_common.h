@@ -6,10 +6,17 @@
 //   CLADO_ARTIFACTS_DIR   weight-cache directory (default: ./artifacts)
 //   CLADO_BENCH_SCALE     multiplies sensitivity-set counts/sizes for the
 //                         statistical benches (default 1; paper-scale ~3)
+//   CLADO_TRACE           write a Chrome trace-event JSON file at exit
+//   CLADO_METRICS         write the obs metrics dump to a file at exit
+//
+// Every bench binary that includes this header also appends the clado::obs
+// metrics dump (phase-span timings, solver/sweep/pool counters) to its
+// report output when the process exits — see ObsReportAtExit below.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <string>
 #include <vector>
 
@@ -17,6 +24,8 @@
 #include "clado/core/report.h"
 #include "clado/data/synthcv.h"
 #include "clado/models/zoo.h"
+#include "clado/obs/obs.h"
+#include "clado/tensor/env.h"
 
 namespace clado::bench {
 
@@ -25,16 +34,47 @@ using clado::core::MpqPipeline;
 using clado::models::TrainedModel;
 
 inline int bench_scale() {
-  if (const char* env = std::getenv("CLADO_BENCH_SCALE"); env != nullptr) {
-    const int s = std::atoi(env);
-    if (s >= 1) return s;
+  // Strict: CLADO_BENCH_SCALE=garbage used to silently run at scale 1 —
+  // i.e. a different experiment than the one asked for. Fail loudly.
+  try {
+    if (const auto s = clado::tensor::env_int_strict("CLADO_BENCH_SCALE", 1, 1024)) {
+      return static_cast<int>(*s);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench: %s\n", e.what());
+    std::exit(2);
   }
   return 1;
 }
 
+namespace detail {
+
+/// Prints the obs metrics dump when the bench exits. Goes to stderr so
+/// bench stdout (the paper tables, compared byte-for-byte across thread
+/// counts) stays free of run-dependent timings. The constructor touches
+/// the obs registry so the registry is constructed first and therefore
+/// destroyed last — the metrics read in our destructor and the registry's
+/// own CLADO_TRACE/CLADO_METRICS file writes both stay valid.
+struct ObsReportAtExit {
+  ObsReportAtExit() { clado::obs::touch(); }
+  ~ObsReportAtExit() {
+    const std::string text = clado::obs::metrics_text();
+    if (!text.empty()) {
+      std::fprintf(stderr,
+                   "\n=== observability (spans / counters; CLADO_TRACE=<path> for a timeline) "
+                   "===\n%s",
+                   text.c_str());
+    }
+  }
+};
+inline const ObsReportAtExit obs_report_at_exit{};
+
+}  // namespace detail
+
 /// Loads (or trains on first use) a zoo model and calibrates its 8-bit
 /// activation quantizers, mirroring the paper's common PTQ setup.
 inline TrainedModel load_calibrated(const std::string& name, bool announce = true) {
+  const clado::obs::Span span("bench/load_calibrated");
   clado::models::ZooConfig cfg;
   if (announce) {
     std::printf("# loading %s (trains on first run; cached in %s)\n", name.c_str(),
@@ -72,6 +112,7 @@ inline std::vector<double> table1_fractions(const std::string& model_name) {
 inline double ptq_accuracy(TrainedModel& tm, MpqPipeline& pipe,
                            const clado::core::Assignment& assignment,
                            std::int64_t val_count = 1024) {
+  const clado::obs::Span span("bench/ptq_eval");
   auto snapshot = pipe.apply_ptq(assignment);
   const double acc = tm.model.accuracy_on(tm.val_set, val_count);
   snapshot->restore();

@@ -13,6 +13,7 @@
 #include <chrono>
 
 #include "bench_common.h"
+#include "clado/obs/obs.h"
 #include "clado/tensor/thread_pool.h"
 
 int main(int argc, char** argv) {
@@ -91,9 +92,25 @@ int main(int argc, char** argv) {
     pipe.mpqco_values();
     add("MPQCO proxy", -1, B * I, secs(t0));
 
+    const std::int64_t nodes_before = clado::obs::counter("solver.iqp.nodes").value();
+    const std::int64_t pruned_before = clado::obs::counter("solver.iqp.pruned").value();
+    const std::int64_t oracle_before = clado::obs::counter("solver.iqp.oracle_calls").value();
+    const std::int64_t incumbents_before =
+        clado::obs::counter("solver.iqp.incumbent_updates").value();
     t0 = Clock::now();
     const auto a1 = pipe.assign(Algorithm::kClado, int8_bytes * 0.375);
     add("IQP solve (cold)", -1, a1.solver_nodes, secs(t0));
+    std::printf(
+        "  %s: iqp nodes=%lld pruned=%lld oracle_calls=%lld incumbent_updates=%lld "
+        "bound_gap=%.3g\n",
+        name.c_str(),
+        static_cast<long long>(clado::obs::counter("solver.iqp.nodes").value() - nodes_before),
+        static_cast<long long>(clado::obs::counter("solver.iqp.pruned").value() - pruned_before),
+        static_cast<long long>(clado::obs::counter("solver.iqp.oracle_calls").value() -
+                               oracle_before),
+        static_cast<long long>(clado::obs::counter("solver.iqp.incumbent_updates").value() -
+                               incumbents_before),
+        clado::obs::gauge("solver.iqp.bound_gap").value());
 
     t0 = Clock::now();
     pipe.assign(Algorithm::kClado, int8_bytes * 0.5);

@@ -46,6 +46,11 @@ class WeightRestoreGuard {
   Tensor original_;
 };
 
+/// Per-engine measurement accounting (Table 2 compares these across
+/// engines, so they stay engine-local). Phase wall time is measured by the
+/// clado::obs spans "sensitivity/clean_pass" / "sensitivity/singles" /
+/// "sensitivity/sweep" / "sensitivity/mpqco_proxy"; `seconds` is the sum of
+/// this engine's span durations.
 struct SensitivityStats {
   std::int64_t forward_measurements = 0;  ///< loss evaluations performed
   std::int64_t stage_executions = 0;      ///< top-level stages actually run

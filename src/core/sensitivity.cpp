@@ -1,12 +1,12 @@
 #include "clado/core/sensitivity.h"
 
-#include <chrono>
 #include <cmath>
 #include <mutex>
 #include <stdexcept>
 #include <utility>
 
 #include "clado/nn/loss.h"
+#include "clado/obs/obs.h"
 #include "clado/quant/quantizer.h"
 #include "clado/tensor/check.h"
 #include "clado/tensor/thread_pool.h"
@@ -15,12 +15,6 @@ namespace clado::core {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point t0) {
-  return std::chrono::duration<double>(Clock::now() - t0).count();
-}
-
 // Pair-measurement count between progress callbacks.
 constexpr std::int64_t kProgressStride = 256;
 
@@ -28,7 +22,7 @@ constexpr std::int64_t kProgressStride = 256;
 
 SensitivityEngine::SensitivityEngine(Model& model, Batch batch)
     : model_(model), batch_(std::move(batch)) {
-  const auto t0 = Clock::now();
+  clado::obs::Span span("sensitivity/clean_pass");
   model_.net->set_training(false);
 
   // Precompute quantized weights and deltas for every (layer, bit).
@@ -57,7 +51,7 @@ SensitivityEngine::SensitivityEngine(Model& model, Batch batch)
   stats_.stage_executions += static_cast<std::int64_t>(model_.net->size());
   stats_.stage_executions_naive += static_cast<std::int64_t>(model_.net->size());
   stashes_clean_ = true;
-  stats_.seconds += seconds_since(t0);
+  stats_.seconds += span.close();
 }
 
 const Tensor& SensitivityEngine::delta(std::int64_t layer, std::int64_t bit_index) const {
@@ -71,6 +65,9 @@ double SensitivityEngine::eval_loss(Model& model, SensitivityStats& stats, std::
   ++stats.forward_measurements;
   stats.stage_executions += static_cast<std::int64_t>(model.net->size() - stage);
   stats.stage_executions_naive += static_cast<std::int64_t>(model.net->size());
+  clado::obs::counter("sensitivity.forward_measurements").add();
+  clado::obs::counter("sensitivity.stage_executions")
+      .add(static_cast<std::int64_t>(model.net->size() - stage));
   const double loss = criterion.forward(logits, batch_.labels);
   // A NaN loss here silently corrupts the whole sensitivity matrix and only
   // surfaces much later as solver nonsense; fail at the measurement.
@@ -86,7 +83,7 @@ double SensitivityEngine::loss_from(std::size_t stage, const Tensor& input,
 
 void SensitivityEngine::ensure_single_losses() {
   if (singles_done_) return;
-  const auto t0 = Clock::now();
+  clado::obs::Span span("sensitivity/singles");
   const std::int64_t layers = model_.num_quant_layers();
   const std::int64_t bits = num_bits();
   single_losses_.assign(static_cast<std::size_t>(layers),
@@ -103,7 +100,7 @@ void SensitivityEngine::ensure_single_losses() {
     }
   }
   singles_done_ = true;
-  stats_.seconds += seconds_since(t0);
+  stats_.seconds += span.close();
 }
 
 const std::vector<std::vector<double>>& SensitivityEngine::single_losses() {
@@ -172,7 +169,7 @@ void SensitivityEngine::sweep_rows(Model& model, SensitivityStats& stats, float*
 Tensor SensitivityEngine::full_matrix(
     const std::function<void(std::int64_t, std::int64_t)>& progress, int num_threads) {
   ensure_single_losses();
-  const auto t0 = Clock::now();
+  clado::obs::Span sweep_span("sensitivity/sweep");
   const std::int64_t layers = model_.num_quant_layers();
   const std::int64_t bits = num_bits();
   const std::int64_t n = layers * bits;
@@ -208,6 +205,7 @@ Tensor SensitivityEngine::full_matrix(
       }
     };
     stashes_clean_ = false;
+    const clado::obs::Span worker_span("sensitivity/sweep_worker");
     sweep_rows(model_, stats_, g_matrix.data(), n, next_row, report);
   } else {
     // Parallel sweep: one model replica per worker, each claiming whole
@@ -241,6 +239,7 @@ Tensor SensitivityEngine::full_matrix(
 
     clado::tensor::ThreadPool pool(workers);
     pool.parallel_for(0, workers, 1, [&](std::int64_t t, std::int64_t) {
+      const clado::obs::Span worker_span("sensitivity/sweep_worker");
       sweep_rows(replicas[static_cast<std::size_t>(t)],
                  worker_stats[static_cast<std::size_t>(t)], g_matrix.data(), n, next_row,
                  report);
@@ -251,12 +250,13 @@ Tensor SensitivityEngine::full_matrix(
       stats_.stage_executions_naive += ws.stage_executions_naive;
     }
   }
-  stats_.seconds += seconds_since(t0);
+  clado::obs::counter("sensitivity.pairs").add(total_pairs);
+  stats_.seconds += sweep_span.close();
   return g_matrix;
 }
 
 std::vector<std::vector<double>> SensitivityEngine::mpqco_proxy() {
-  const auto t0 = Clock::now();
+  clado::obs::Span span("sensitivity/mpqco_proxy");
   const std::int64_t layers = model_.num_quant_layers();
   const std::int64_t bits = num_bits();
   // The constructor's clean pass already stashed each layer's input;
@@ -282,7 +282,7 @@ std::vector<std::vector<double>> SensitivityEngine::mpqco_proxy() {
           static_cast<double>(out_diff.sq_norm()) / batch_n;
     }
   }
-  stats_.seconds += seconds_since(t0);
+  stats_.seconds += span.close();
   return proxy;
 }
 

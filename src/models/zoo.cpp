@@ -10,6 +10,7 @@
 #include "clado/models/builders.h"
 #include "clado/nn/hvp.h"
 #include "clado/nn/optimizer.h"
+#include "clado/obs/obs.h"
 #include "clado/quant/act_quant.h"
 #include "clado/tensor/serialize.h"
 
@@ -50,6 +51,7 @@ std::string resolve_artifacts_dir(const ZooConfig& config) {
 double train_model(Model& model, const clado::data::SynthCvDataset& train_set,
                    const clado::data::SynthCvDataset& val_set, const ZooConfig& config,
                    int epochs, float base_lr) {
+  const clado::obs::Span span("zoo/train");
   clado::nn::SgdConfig sgd_cfg;
   sgd_cfg.lr = base_lr;
   clado::nn::Sgd opt(*model.net, sgd_cfg);
@@ -66,6 +68,7 @@ double train_model(Model& model, const clado::data::SynthCvDataset& train_set,
 
   model.set_act_quant_mode(clado::quant::ActQuantMode::kBypass);
   for (int epoch = 0; epoch < epochs; ++epoch) {
+    const clado::obs::Span epoch_span("zoo/epoch");
     // Fisher-Yates shuffle with the deterministic RNG.
     for (std::size_t i = order.size(); i > 1; --i) {
       std::swap(order[i - 1], order[shuffle_rng.uniform_int(i)]);
@@ -85,6 +88,7 @@ double train_model(Model& model, const clado::data::SynthCvDataset& train_set,
       ++step;
       ++batches;
     }
+    clado::obs::counter("zoo.train_steps").add(batches);
     if (config.verbose) {
       const double val_acc = model.accuracy_on(val_set, std::min<std::int64_t>(256, config.val_size));
       // clado-lint: allow(no-stdio) -- opt-in verbose training progress on stdout
@@ -111,6 +115,7 @@ TrainedModel get_or_train(const std::string& name, const ZooConfig& config) {
   const std::string path = dir + "/" + name + ".bin";
 
   if (clado::tensor::state_dict_exists(path)) {
+    const clado::obs::Span span("zoo/load");
     clado::nn::load_state(*out.model.net, clado::tensor::load_state_dict(path));
     out.model.net->set_training(false);
     out.val_accuracy = out.model.accuracy_on(out.val_set, config.val_size);

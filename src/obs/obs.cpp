@@ -1,0 +1,339 @@
+#include "clado/obs/obs.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace clado::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Hard cap on buffered trace events; a runaway instrumented loop degrades
+/// to a counted drop instead of unbounded memory growth.
+constexpr std::size_t kMaxTraceEvents = 1U << 20U;
+
+/// Registry lifecycle: 0 = not yet constructed, 1 = alive, 2 = destroyed.
+/// Entry points consult this so instrumentation in late static destructors
+/// degrades to a no-op instead of reviving or touching a dead registry.
+std::atomic<int> g_state{0};
+
+/// Mirrors Registry's tracing flag so Span construction can skip all work
+/// with one relaxed load when tracing is off and the span name is unused.
+std::atomic<bool> g_tracing{false};
+
+struct TraceEvent {
+  std::string name;
+  std::int64_t ts_us = 0;
+  std::int64_t dur_us = 0;
+  std::uint32_t tid = 0;
+};
+
+std::uint32_t current_tid() {
+  return static_cast<std::uint32_t>(std::hash<std::thread::id>{}(std::this_thread::get_id()));
+}
+
+void json_escape(const std::string& in, std::string& out) {
+  for (char c : in) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr const char* kHex = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(static_cast<unsigned char>(c) >> 4U) & 0xFU];
+          out += kHex[static_cast<unsigned char>(c) & 0xFU];
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+class Registry {
+ public:
+  Registry() : epoch_(Clock::now()) {
+    if (const char* env = std::getenv("CLADO_TRACE"); env != nullptr && env[0] != '\0') {
+      trace_path_ = env;
+    }
+    if (const char* env = std::getenv("CLADO_METRICS"); env != nullptr && env[0] != '\0') {
+      metrics_path_ = env;
+    }
+    g_tracing.store(!trace_path_.empty(), std::memory_order_relaxed);
+    g_state.store(1, std::memory_order_release);
+  }
+
+  ~Registry() {
+    if (!trace_path_.empty()) write_trace_file(trace_path_);
+    if (!metrics_path_.empty()) write_metrics_file(metrics_path_);
+    g_tracing.store(false, std::memory_order_relaxed);
+    g_state.store(2, std::memory_order_release);
+  }
+
+  static Registry& instance() {
+    static Registry registry;
+    return registry;
+  }
+
+  std::int64_t now_us() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - epoch_).count();
+  }
+
+  Counter& counter_slot(std::string_view name) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return counters_[std::string(name)];
+  }
+
+  Gauge& gauge_slot(std::string_view name) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return gauges_[std::string(name)];
+  }
+
+  void record_span(const std::string& name, std::int64_t start_us, std::int64_t end_us) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    SpanStat& stat = spans_[name];
+    ++stat.count;
+    stat.total_seconds += static_cast<double>(end_us - start_us) * 1e-6;
+    if (!trace_path_.empty()) {
+      if (events_.size() < kMaxTraceEvents) {
+        events_.push_back({name, start_us, end_us - start_us, current_tid()});
+      } else {
+        ++dropped_events_;
+      }
+    }
+  }
+
+  SpanStat span_stat(std::string_view name) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = spans_.find(std::string(name));
+    return it == spans_.end() ? SpanStat{} : it->second;
+  }
+
+  void set_trace_path(std::string path) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    trace_path_ = std::move(path);
+    g_tracing.store(!trace_path_.empty(), std::memory_order_relaxed);
+  }
+
+  void set_metrics_path(std::string path) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    metrics_path_ = std::move(path);
+  }
+
+  std::string metrics_text() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (counters_.empty() && gauges_.empty() && spans_.empty()) return {};
+    std::ostringstream out;
+    out << "# clado::obs metrics\n";
+    for (const auto& [name, c] : counters_) {
+      out << "counter " << name << " " << c.value() << "\n";
+    }
+    for (const auto& [name, g] : gauges_) {
+      out << "gauge " << name << " last " << g.value() << " max " << g.max() << "\n";
+    }
+    for (const auto& [name, s] : spans_) {
+      const double mean_ms = s.count > 0 ? s.total_seconds * 1e3 / static_cast<double>(s.count)
+                                         : 0.0;
+      out << "span " << name << " count " << s.count << " total_s " << s.total_seconds
+          << " mean_ms " << mean_ms << "\n";
+    }
+    if (dropped_events_ > 0) out << "counter obs.dropped_trace_events " << dropped_events_ << "\n";
+    return out.str();
+  }
+
+  std::string metrics_json() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::string out = "{\"counters\":{";
+    bool first = true;
+    for (const auto& [name, c] : counters_) {
+      if (!first) out += ",";
+      first = false;
+      out += "\"";
+      json_escape(name, out);
+      out += "\":" + std::to_string(c.value());
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    std::ostringstream num;
+    for (const auto& [name, g] : gauges_) {
+      if (!first) out += ",";
+      first = false;
+      out += "\"";
+      json_escape(name, out);
+      num.str({});
+      num << "{\"last\":" << g.value() << ",\"max\":" << g.max() << "}";
+      out += "\":" + num.str();
+    }
+    out += "},\"spans\":{";
+    first = true;
+    for (const auto& [name, s] : spans_) {
+      if (!first) out += ",";
+      first = false;
+      out += "\"";
+      json_escape(name, out);
+      num.str({});
+      num << "{\"count\":" << s.count << ",\"total_seconds\":" << s.total_seconds << "}";
+      out += "\":" + num.str();
+    }
+    out += "}}";
+    return out;
+  }
+
+  bool write_trace_file(const std::string& path) {
+    std::vector<TraceEvent> events;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      events = events_;
+    }
+    std::ofstream out(path);
+    if (!out) return false;
+    out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    std::string name;
+    for (const auto& e : events) {
+      if (!first) out << ",";
+      first = false;
+      name.clear();
+      json_escape(e.name, name);
+      out << "\n{\"name\":\"" << name << "\",\"cat\":\"clado\",\"ph\":\"X\",\"ts\":" << e.ts_us
+          << ",\"dur\":" << e.dur_us << ",\"pid\":1,\"tid\":" << e.tid << "}";
+    }
+    out << "\n]}\n";
+    return static_cast<bool>(out);
+  }
+
+  bool write_metrics_file(const std::string& path) {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << (path.ends_with(".json") ? metrics_json() : metrics_text());
+    if (!path.ends_with(".json")) out << "\n";
+    return static_cast<bool>(out);
+  }
+
+  void reset() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    // Zero counters/gauges in place: callers may hold interned references,
+    // so the map nodes (and their addresses) must survive the reset.
+    for (auto& [name, c] : counters_) c.reset_for_testing();
+    for (auto& [name, g] : gauges_) g.reset_for_testing();
+    spans_.clear();
+    events_.clear();
+    dropped_events_ = 0;
+  }
+
+ private:
+  const Clock::time_point epoch_;
+  std::mutex mutex_;
+  // Node-based maps: element addresses are stable across inserts, which is
+  // what makes returning long-lived Counter&/Gauge& handles sound.
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, SpanStat, std::less<>> spans_;
+  std::vector<TraceEvent> events_;
+  std::int64_t dropped_events_ = 0;
+  std::string trace_path_;
+  std::string metrics_path_;
+};
+
+/// Inert post-teardown fallbacks. Both types are trivially destructible,
+/// so writing to them after "destruction" of statics is well-defined.
+constinit Counter g_dead_counter;
+constinit Gauge g_dead_gauge;
+
+bool registry_dead() { return g_state.load(std::memory_order_acquire) == 2; }
+
+}  // namespace
+
+void Gauge::set(double v) noexcept {
+  last_.store(v, std::memory_order_relaxed);
+  double prev = max_.load(std::memory_order_relaxed);
+  while (v > prev && !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+  }
+}
+
+Counter& counter(std::string_view name) {
+  if (registry_dead()) return g_dead_counter;
+  return Registry::instance().counter_slot(name);
+}
+
+Gauge& gauge(std::string_view name) {
+  if (registry_dead()) return g_dead_gauge;
+  return Registry::instance().gauge_slot(name);
+}
+
+Span::Span(std::string_view name) {
+  if (registry_dead()) return;
+  name_ = name;
+  start_us_ = Registry::instance().now_us();
+  open_ = true;
+}
+
+double Span::close() noexcept {
+  if (!open_) return 0.0;
+  open_ = false;
+  if (registry_dead()) return 0.0;
+  Registry& reg = Registry::instance();
+  const std::int64_t end_us = reg.now_us();
+  reg.record_span(name_, start_us_, end_us);
+  return static_cast<double>(end_us - start_us_) * 1e-6;
+}
+
+SpanStat span_stat(std::string_view name) {
+  if (registry_dead()) return {};
+  return Registry::instance().span_stat(name);
+}
+
+bool trace_enabled() { return g_tracing.load(std::memory_order_relaxed); }
+
+void set_trace_path(std::string path) {
+  if (registry_dead()) return;
+  Registry::instance().set_trace_path(std::move(path));
+}
+
+void set_metrics_path(std::string path) {
+  if (registry_dead()) return;
+  Registry::instance().set_metrics_path(std::move(path));
+}
+
+std::string metrics_text() {
+  if (registry_dead()) return {};
+  return Registry::instance().metrics_text();
+}
+
+std::string metrics_json() {
+  if (registry_dead()) return "{\"counters\":{},\"gauges\":{},\"spans\":{}}";
+  return Registry::instance().metrics_json();
+}
+
+bool write_trace(const std::string& path) {
+  if (registry_dead()) return false;
+  return Registry::instance().write_trace_file(path);
+}
+
+bool write_metrics(const std::string& path) {
+  if (registry_dead()) return false;
+  return Registry::instance().write_metrics_file(path);
+}
+
+void touch() {
+  if (registry_dead()) return;
+  Registry::instance();
+}
+
+void reset_for_testing() {
+  if (registry_dead()) return;
+  Registry::instance().reset();
+}
+
+}  // namespace clado::obs

@@ -30,10 +30,18 @@ struct IqpResult {
   double objective = 0.0;
   double best_bound = 0.0;      ///< global lower bound at termination
   std::int64_t nodes = 0;
+  std::int64_t pruned = 0;            ///< subtrees cut by parent/relaxation bounds
+  std::int64_t incumbent_updates = 0; ///< times rounding improved the incumbent
+  std::int64_t oracle_calls = 0;      ///< MCKP LP/greedy oracle invocations
   bool feasible = false;
   bool proven_optimal = false;
   bool hit_limit = false;       ///< node or time limit reached
   double seconds = 0.0;
+
+  /// Absolute optimality gap at termination (0 when proven optimal).
+  double gap() const {
+    return feasible ? objective - best_bound : 0.0;
+  }
 };
 
 IqpResult solve_iqp(const QuadraticProblem& problem, const IqpOptions& options = {});

@@ -6,6 +6,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "clado/obs/obs.h"
+
 namespace clado::solver {
 
 namespace {
@@ -158,6 +160,7 @@ bool round_to_incumbent(const QuadraticProblem& p, const std::vector<double>& x,
 
 IqpResult solve_iqp(const QuadraticProblem& problem, const IqpOptions& options) {
   problem.validate();
+  clado::obs::Span solve_span("solver/iqp");
   const auto t_start = std::chrono::steady_clock::now();
   auto elapsed = [&]() {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start).count();
@@ -182,20 +185,29 @@ IqpResult solve_iqp(const QuadraticProblem& problem, const IqpOptions& options) 
     ++result.nodes;
 
     if (options.objective_convex && node.parent_bound >= incumbent - options.abs_tol) {
-      continue;  // parent bound already prunes this subtree
+      ++result.pruned;  // parent bound already prunes this subtree
+      continue;
     }
 
     const FwResult relax = frank_wolfe(problem, options.fw, node.allowed);
+    // Oracle accounting: frank_wolfe makes one greedy warm-start call plus
+    // one LP call per iteration; rounding below adds one more greedy call.
+    result.oracle_calls += 1 + relax.iterations;
     if (!relax.feasible) continue;
     const double bound = options.objective_convex ? relax.lower_bound : -kInf;
-    if (bound >= incumbent - options.abs_tol) continue;
+    if (bound >= incumbent - options.abs_tol) {
+      ++result.pruned;
+      continue;
+    }
 
     std::vector<int> cand;
     double cand_obj = 0.0;
+    ++result.oracle_calls;
     if (round_to_incumbent(problem, relax.x, node.allowed, cand, cand_obj)) {
       if (cand_obj < incumbent) {
         incumbent = cand_obj;
         incumbent_choice = cand;
+        ++result.incumbent_updates;
       }
     }
 
@@ -248,6 +260,14 @@ IqpResult solve_iqp(const QuadraticProblem& problem, const IqpOptions& options) 
     result.best_bound = result.hit_limit ? std::min(open_bound_min, incumbent) : incumbent;
     result.proven_optimal = !result.hit_limit && options.objective_convex;
   }
+  // Bulk-publish the search statistics; per-node atomic traffic would cost
+  // in the hot loop, a single add per solve does not.
+  clado::obs::counter("solver.iqp.solves").add();
+  clado::obs::counter("solver.iqp.nodes").add(result.nodes);
+  clado::obs::counter("solver.iqp.pruned").add(result.pruned);
+  clado::obs::counter("solver.iqp.incumbent_updates").add(result.incumbent_updates);
+  clado::obs::counter("solver.iqp.oracle_calls").add(result.oracle_calls);
+  clado::obs::gauge("solver.iqp.bound_gap").set(result.gap());
   return result;
 }
 

@@ -21,10 +21,24 @@ void validate(const std::vector<ChoiceGroup>& groups) {
     if (g.value.size() != g.cost.size() || g.value.empty()) {
       throw std::invalid_argument("mckp: group value/cost size mismatch or empty group");
     }
+    // NaN values/costs would reach the efficiency sort comparators in
+    // solve_mckp_lp / solve_mckp_greedy, where a comparator that answers
+    // false both ways violates strict weak ordering (UB in std::sort).
+    for (double v : g.value) {
+      if (!std::isfinite(v)) throw std::invalid_argument("mckp: non-finite value");
+    }
     for (double c : g.cost) {
+      if (!std::isfinite(c)) throw std::invalid_argument("mckp: non-finite cost");
       if (c < 0.0) throw std::invalid_argument("mckp: negative cost");
     }
   }
+}
+
+/// A NaN budget poisons every feasibility comparison below (all compares
+/// answer false), so reject it up front. +inf is fine: it means
+/// "unconstrained" and every comparison behaves.
+void validate_budget(double budget) {
+  if (std::isnan(budget)) throw std::invalid_argument("mckp: budget is NaN");
 }
 
 /// Hull point: a surviving choice of one group after dominance filtering.
@@ -88,9 +102,33 @@ struct Step {
 
 MckpSolution solve_mckp_dp(const std::vector<ChoiceGroup>& groups, double budget, int buckets) {
   validate(groups);
+  validate_budget(budget);
   if (buckets < 1) throw std::invalid_argument("mckp: buckets must be >= 1");
   const std::size_t n = groups.size();
   if (n == 0) return {.choice = {}, .value = 0.0, .cost = 0.0, .feasible = true};
+
+  // A non-positive budget would make the cost grid degenerate: cell = 0 and
+  // ceil(c / cell) = inf, whose cast to int is UB. Costs are >= 0, so with
+  // budget < 0 nothing fits, and at budget == 0 only all-zero-cost picks
+  // do — solve that directly (best value among zero-cost choices per group).
+  if (budget <= 0.0) {
+    MckpSolution sol;
+    if (budget < 0.0) return sol;
+    sol.choice.assign(n, -1);
+    for (std::size_t g = 0; g < n; ++g) {
+      for (std::size_t m = 0; m < groups[g].value.size(); ++m) {
+        if (groups[g].cost[m] != 0.0) continue;
+        const int cur = sol.choice[g];
+        if (cur < 0 || groups[g].value[m] < groups[g].value[static_cast<std::size_t>(cur)]) {
+          sol.choice[g] = static_cast<int>(m);
+        }
+      }
+      if (sol.choice[g] < 0) return {};  // group has no zero-cost choice
+      sol.value += groups[g].value[static_cast<std::size_t>(sol.choice[g])];
+    }
+    sol.feasible = true;
+    return sol;
+  }
 
   // Cost grid: round each cost UP to a multiple of budget/buckets so that a
   // DP-feasible solution is feasible in real costs.
@@ -154,6 +192,7 @@ MckpSolution solve_mckp_dp(const std::vector<ChoiceGroup>& groups, double budget
 
 MckpSolution solve_mckp_brute_force(const std::vector<ChoiceGroup>& groups, double budget) {
   validate(groups);
+  validate_budget(budget);
   const std::size_t n = groups.size();
   MckpSolution best;
   std::vector<int> choice(n, 0);
@@ -184,6 +223,7 @@ MckpSolution solve_mckp_brute_force(const std::vector<ChoiceGroup>& groups, doub
 MckpLpSolution solve_mckp_lp(const std::vector<ChoiceGroup>& groups, double budget,
                              const std::vector<std::vector<char>>& allowed) {
   validate(groups);
+  validate_budget(budget);
   const std::size_t n = groups.size();
   MckpLpSolution sol;
   sol.weight.resize(n);
@@ -289,6 +329,7 @@ MckpLpSolution solve_mckp_lp(const std::vector<ChoiceGroup>& groups, double budg
 MckpSolution solve_mckp_greedy(const std::vector<ChoiceGroup>& groups, double budget,
                                const std::vector<std::vector<char>>& allowed) {
   validate(groups);
+  validate_budget(budget);
   const std::size_t n = groups.size();
   MckpSolution sol;
 

@@ -1,0 +1,27 @@
+#include "clado/tensor/env.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace clado::tensor {
+
+std::optional<std::int64_t> env_int_strict(const char* name, std::int64_t min_value,
+                                           std::int64_t max_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return std::nullopt;
+
+  errno = 0;
+  char* tail = nullptr;
+  const long long v = std::strtoll(raw, &tail, 10);
+  const bool parsed = tail != raw && *tail == '\0' && errno != ERANGE;
+  if (!parsed || v < min_value || v > max_value) {
+    throw std::invalid_argument(std::string(name) + "=\"" + raw +
+                                "\" is not an integer in [" + std::to_string(min_value) + ", " +
+                                std::to_string(max_value) + "]; unset it to use the default");
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+}  // namespace clado::tensor

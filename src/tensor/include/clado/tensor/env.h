@@ -1,0 +1,24 @@
+// Strict environment-variable parsing shared by every CLADO_* integer knob
+// (CLADO_NUM_THREADS, CLADO_BENCH_SCALE, ...).
+//
+// Policy: an unset or empty variable means "use the default" and returns
+// nullopt; anything else must parse completely as a base-10 integer inside
+// the caller's range, or the function throws. Silent fallback on garbage
+// (the old std::atoi pattern) hid typos like CLADO_BENCH_SCALE=3x, which
+// quietly ran a different experiment than the one asked for.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace clado::tensor {
+
+/// Reads env var `name` as a strict base-10 integer in
+/// [min_value, max_value]. Unset or empty → nullopt. A value that does not
+/// parse completely, overflows, or falls outside the range →
+/// std::invalid_argument naming the variable, the offending text, and the
+/// accepted range.
+std::optional<std::int64_t> env_int_strict(const char* name, std::int64_t min_value,
+                                           std::int64_t max_value);
+
+}  // namespace clado::tensor

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cstdlib>
 #include <exception>
 #include <memory>
+
+#include "clado/obs/obs.h"
+#include "clado/tensor/env.h"
 
 namespace clado::tensor {
 
@@ -100,14 +102,21 @@ void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end, std::int64_t
 
   // Serial / nested fast path: a single chunk, one thread of parallelism,
   // or re-entry from a worker of this pool (running inline avoids deadlock
-  // when all workers would otherwise block waiting on each other).
+  // when all workers would otherwise block waiting on each other). Counted
+  // but not spanned: nested GEMM calls dominate this path and a span per
+  // call would both bloat traces and serialize workers on the obs mutex.
   if (num_chunks == 1 || num_threads_ <= 1 || on_worker_thread()) {
+    clado::obs::counter("pool.parallel_for.inline").add();
     for (std::int64_t c = 0; c < num_chunks; ++c) {
       const std::int64_t cb = begin + c * grain;
       body(cb, std::min(end, cb + grain));
     }
     return;
   }
+
+  clado::obs::Span dispatch_span("pool/parallel_for");
+  clado::obs::counter("pool.parallel_for.dispatch").add();
+  clado::obs::counter("pool.chunks").add(num_chunks);
 
   auto state = std::make_shared<ForState>();
   state->body = body;
@@ -121,8 +130,12 @@ void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end, std::int64_t
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (std::int64_t t = 0; t < helpers; ++t) {
-      queue_.emplace_back([state] { state->run_chunks(); });
+      queue_.emplace_back([state] {
+        clado::obs::Span task_span("pool/task");
+        state->run_chunks();
+      });
     }
+    clado::obs::gauge("pool.queue_depth").set(static_cast<double>(queue_.size()));
   }
   if (helpers == 1) {
     cv_.notify_one();
@@ -146,10 +159,11 @@ ThreadPool& ThreadPool::global() {
 
 int ThreadPool::resolve_threads(int requested) {
   if (requested > 0) return requested;
-  if (const char* env = std::getenv("CLADO_NUM_THREADS")) {
-    char* tail = nullptr;
-    const long v = std::strtol(env, &tail, 10);
-    if (tail != env && *tail == '\0' && v >= 1 && v <= 1024) return static_cast<int>(v);
+  // Strict: a set-but-malformed CLADO_NUM_THREADS is a configuration error,
+  // not a cue to silently use hardware_concurrency (the old behavior made
+  // e.g. CLADO_NUM_THREADS=1O run 8-wide without a word).
+  if (const auto v = env_int_strict("CLADO_NUM_THREADS", 1, 1024)) {
+    return static_cast<int>(*v);
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);

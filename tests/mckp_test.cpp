@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "clado/tensor/rng.h"
 
@@ -184,6 +185,114 @@ TEST(Mckp, ValidationErrors) {
   EXPECT_THROW(solve_mckp_dp({{{1.0}, {}}}, 1.0), std::invalid_argument);
   EXPECT_THROW(solve_mckp_dp({{{1.0}, {-0.5}}}, 1.0), std::invalid_argument);
   EXPECT_THROW(solve_mckp_dp({{{1.0}, {0.5}}}, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Mckp, NonFiniteValuesAndCostsRejected) {
+  // A NaN value breaks the strict weak ordering the hull sort relies on
+  // (UB in std::sort); validate() must reject it in every solver.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<ChoiceGroup> nan_value = {{{nan, 1.0}, {1.0, 2.0}}};
+  const std::vector<ChoiceGroup> inf_value = {{{inf, 1.0}, {1.0, 2.0}}};
+  const std::vector<ChoiceGroup> nan_cost = {{{1.0, 2.0}, {nan, 1.0}}};
+  const std::vector<ChoiceGroup> inf_cost = {{{1.0, 2.0}, {inf, 1.0}}};
+  for (const auto& groups : {nan_value, inf_value, nan_cost, inf_cost}) {
+    EXPECT_THROW(solve_mckp_dp(groups, 10.0), std::invalid_argument);
+    EXPECT_THROW(solve_mckp_brute_force(groups, 10.0), std::invalid_argument);
+    EXPECT_THROW(solve_mckp_lp(groups, 10.0), std::invalid_argument);
+    EXPECT_THROW(solve_mckp_greedy(groups, 10.0), std::invalid_argument);
+  }
+}
+
+TEST(Mckp, NanBudgetRejected) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<ChoiceGroup> groups = {{{1.0, 2.0}, {1.0, 2.0}}};
+  EXPECT_THROW(solve_mckp_dp(groups, nan), std::invalid_argument);
+  EXPECT_THROW(solve_mckp_brute_force(groups, nan), std::invalid_argument);
+  EXPECT_THROW(solve_mckp_lp(groups, nan), std::invalid_argument);
+  EXPECT_THROW(solve_mckp_greedy(groups, nan), std::invalid_argument);
+}
+
+TEST(MckpDp, ZeroBudgetWithoutZeroCostChoicesIsInfeasible) {
+  // Used to divide by budget when sizing the DP grid: budget = 0 made the
+  // cell size 0, ceil(cost / 0) = inf, and the int cast of inf is UB.
+  const std::vector<ChoiceGroup> groups = {{{1.0, 2.0}, {0.5, 1.0}}};
+  EXPECT_FALSE(solve_mckp_dp(groups, 0.0).feasible);
+  EXPECT_FALSE(solve_mckp_dp(groups, -3.0).feasible);
+}
+
+TEST(MckpDp, ZeroBudgetPicksBestZeroCostChoices) {
+  const std::vector<ChoiceGroup> groups = {
+      {{4.0, 1.0, 2.0}, {0.0, 0.0, 1.0}},  // two free choices: best is index 1
+      {{7.0, 3.0}, {0.0, 0.0}},            // all free: best is index 1
+  };
+  const auto sol = solve_mckp_dp(groups, 0.0);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_EQ(sol.choice[0], 1);
+  EXPECT_EQ(sol.choice[1], 1);
+  EXPECT_DOUBLE_EQ(sol.value, 4.0);
+  EXPECT_DOUBLE_EQ(sol.cost, 0.0);
+  // One group with no free choice makes the whole instance infeasible.
+  auto mixed = groups;
+  mixed.push_back({{1.0}, {0.25}});
+  EXPECT_FALSE(solve_mckp_dp(mixed, 0.0).feasible);
+}
+
+TEST(Mckp, TieCostGroupsAgreeWithBruteForce) {
+  // Equal costs inside a group exercise the hull construction's dominance
+  // tie-breaking: only the best-value choice per cost should survive.
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<ChoiceGroup> groups(5);
+    for (auto& g : groups) {
+      const double c = rng.uniform(0.5, 1.5);
+      for (int m = 0; m < 3; ++m) {
+        g.value.push_back(rng.uniform(-1.0, 1.0));
+        g.cost.push_back(c);  // every choice in the group costs the same
+      }
+    }
+    const double budget = min_total_cost(groups) * rng.uniform(1.0, 1.5);
+    const auto bf = solve_mckp_brute_force(groups, budget);
+    const auto lp = solve_mckp_lp(groups, budget);
+    const auto greedy = solve_mckp_greedy(groups, budget);
+    ASSERT_TRUE(bf.feasible) << "trial " << trial;
+    ASSERT_TRUE(greedy.feasible) << "trial " << trial;
+    // With uniform in-group costs the budget never binds past the base
+    // solution, so every solver should find the exact optimum.
+    EXPECT_LE(lp.value, bf.value + 1e-9) << "trial " << trial;
+    EXPECT_NEAR(greedy.value, bf.value, 1e-9) << "trial " << trial;
+    EXPECT_LE(greedy.cost, budget + 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(Mckp, SingleChoiceGroupsAgreeWithBruteForce) {
+  // Degenerate groups (one choice each) leave no decisions; every solver
+  // must return the same forced assignment or agree it is infeasible.
+  Rng rng(8);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<ChoiceGroup> groups(6);
+    for (auto& g : groups) {
+      g.value.push_back(rng.uniform(-1.0, 1.0));
+      g.cost.push_back(rng.uniform(0.1, 2.0));
+    }
+    // Clearly feasible or clearly infeasible budgets: the narrow band just
+    // above the forced cost is where the DP's conservative cost rounding
+    // may legitimately disagree with brute force on feasibility.
+    const double ratio = (trial % 2 == 0) ? rng.uniform(1.05, 1.3) : rng.uniform(0.5, 0.95);
+    const double budget = min_total_cost(groups) * ratio;
+    const auto bf = solve_mckp_brute_force(groups, budget);
+    const auto dp = solve_mckp_dp(groups, budget, 8192);
+    const auto lp = solve_mckp_lp(groups, budget);
+    const auto greedy = solve_mckp_greedy(groups, budget);
+    EXPECT_EQ(dp.feasible, bf.feasible) << "trial " << trial;
+    EXPECT_EQ(lp.feasible, bf.feasible) << "trial " << trial;
+    EXPECT_EQ(greedy.feasible, bf.feasible) << "trial " << trial;
+    if (bf.feasible) {
+      EXPECT_NEAR(dp.value, bf.value, 1e-9) << "trial " << trial;
+      EXPECT_NEAR(lp.value, bf.value, 1e-9) << "trial " << trial;
+      EXPECT_NEAR(greedy.value, bf.value, 1e-9) << "trial " << trial;
+    }
+  }
 }
 
 TEST(Mckp, EmptyInstanceIsTriviallyFeasible) {

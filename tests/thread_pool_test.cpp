@@ -28,10 +28,18 @@ TEST(ThreadPool, ResolveThreads) {
   EXPECT_EQ(ThreadPool::resolve_threads(3), 3);
   // CLADO_NUM_THREADS=4 set above.
   EXPECT_EQ(ThreadPool::resolve_threads(0), 4);
-  // Invalid values fall through to hardware_concurrency (>= 1).
+  // Invalid values are a hard error now (they used to silently fall back
+  // to hardware_concurrency, hiding typos like CLADO_NUM_THREADS=eight).
   ::setenv("CLADO_NUM_THREADS", "garbage", 1);
-  EXPECT_GE(ThreadPool::resolve_threads(0), 1);
+  EXPECT_THROW(ThreadPool::resolve_threads(0), std::invalid_argument);
   ::setenv("CLADO_NUM_THREADS", "0", 1);
+  EXPECT_THROW(ThreadPool::resolve_threads(0), std::invalid_argument);
+  ::setenv("CLADO_NUM_THREADS", "4x", 1);
+  EXPECT_THROW(ThreadPool::resolve_threads(0), std::invalid_argument);
+  // An explicit thread count never consults the environment.
+  EXPECT_EQ(ThreadPool::resolve_threads(2), 2);
+  // Unset means "use the hardware default".
+  ::unsetenv("CLADO_NUM_THREADS");
   EXPECT_GE(ThreadPool::resolve_threads(0), 1);
   ::setenv("CLADO_NUM_THREADS", "4", 1);
   EXPECT_EQ(ThreadPool::resolve_threads(0), 4);

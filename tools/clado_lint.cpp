@@ -59,8 +59,8 @@ const std::vector<std::string> kAllRules = {
     "include-cycle",  "missing-include",  "bad-suppression",
 };
 
-const std::vector<std::string> kSubsystems = {"tensor", "linalg", "nn",     "quant",
-                                              "data",   "models", "solver", "core"};
+const std::vector<std::string> kSubsystems = {"tensor", "linalg", "nn",   "quant", "data",
+                                              "models", "solver", "core", "obs"};
 
 struct Diagnostic {
   std::string file;
