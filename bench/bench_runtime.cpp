@@ -100,6 +100,12 @@ int main(int argc, char** argv) {
     t0 = Clock::now();
     const auto a1 = pipe.assign(Algorithm::kClado, int8_bytes * 0.375);
     add("IQP solve (cold)", -1, a1.solver_nodes, secs(t0));
+    // Provenance: which tier of the degradation chain served the
+    // assignment (anything but "iqp" means the run silently degraded and
+    // the numbers below describe a fallback, not branch-and-bound).
+    std::printf("  %s: solver source=%s%s\n", name.c_str(),
+                clado::solver::solution_source_name(a1.solver_source),
+                a1.used_fallback ? " (degraded)" : "");
     std::printf(
         "  %s: iqp nodes=%lld pruned=%lld oracle_calls=%lld incumbent_updates=%lld "
         "bound_gap=%.3g\n",

@@ -200,13 +200,19 @@ Assignment MpqPipeline::from_quadratic(Algorithm algorithm, const Tensor& g_matr
 
   clado::solver::IqpOptions iqp = options_.iqp;
   iqp.objective_convex = options_.psd_projection;
-  const auto result = clado::solver::solve_iqp(problem, iqp);
+  // The degradation chain absorbs a thrown or incumbent-starved B&B, so a
+  // solver failure yields a usable (if degraded) assignment with its
+  // provenance recorded instead of an aborted pipeline.
+  const auto result = clado::solver::solve_with_fallback(problem, iqp);
 
   Assignment a;
-  if (result.feasible && (!result.hit_limit || options_.psd_projection)) {
+  const bool iqp_native =
+      result.feasible && result.source == clado::solver::SolutionSource::kIqp;
+  if (iqp_native && (!result.hit_limit || options_.psd_projection)) {
     a = finish(algorithm, result.choice, target_bytes, result.objective);
     a.used_fallback = false;
-  } else if (result.feasible || !options_.psd_projection) {
+    a.solver_source = result.source;
+  } else if (iqp_native || !options_.psd_projection) {
     // Indefinite objective and the B&B degenerated: annealing fallback
     // (this is the regime the PSD ablation demonstrates).
     clado::solver::AnnealOptions anneal;
@@ -218,6 +224,13 @@ Assignment MpqPipeline::from_quadratic(Algorithm algorithm, const Tensor& g_matr
     }
     a = finish(algorithm, heur.choice, target_bytes, heur.objective);
     a.used_fallback = true;
+    a.solver_source = clado::solver::SolutionSource::kAnneal;
+  } else if (result.feasible) {
+    // Convex regime but the B&B itself failed; the chain's degraded tier
+    // already produced a feasible assignment under the true budget.
+    a = finish(algorithm, result.choice, target_bytes, result.objective);
+    a.used_fallback = true;
+    a.solver_source = result.source;
   } else {
     throw std::runtime_error(std::string(algorithm_name(algorithm)) +
                              ": target size infeasible");

@@ -51,7 +51,10 @@ struct Assignment {
   std::int64_t solver_nodes = 0;
   double solver_seconds = 0.0;
   bool proven_optimal = false;
-  bool used_fallback = false;  ///< annealing fallback engaged (PSD ablation)
+  bool used_fallback = false;  ///< a non-B&B tier produced the assignment
+  /// Which solver tier produced `choice` (benches report this so a
+  /// degraded run is visible, not silent).
+  clado::solver::SolutionSource solver_source = clado::solver::SolutionSource::kIqp;
 };
 
 class MpqPipeline {

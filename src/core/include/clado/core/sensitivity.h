@@ -18,6 +18,8 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "clado/data/synthcv.h"
@@ -58,6 +60,18 @@ struct SensitivityStats {
   double seconds = 0.0;
 };
 
+/// Opt-in durability for the off-diagonal sweep (the multi-hour phase on
+/// real models). When `dir` is non-empty, full_matrix persists completed
+/// rows to `<dir>/sweep_<layers>x<bits>.ckpt` (checksummed, written
+/// atomically) and, on a later run, resumes by re-measuring only the rows
+/// the file does not cover — the resumed matrix is bit-identical to an
+/// uninterrupted sweep because rows are committed whole and every Ĝ entry
+/// belongs to exactly one row.
+struct SweepCheckpointConfig {
+  std::string dir;          ///< checkpoint directory; empty disables
+  std::int64_t stride = 1;  ///< save after every `stride` committed rows
+};
+
 class SensitivityEngine {
  public:
   /// The model must already be activation-calibrated if activation
@@ -79,7 +93,8 @@ class SensitivityEngine {
 
   /// Full sensitivity matrix Ĝ (Eq. 10), raw (no PSD projection).
   /// `progress` (optional) is called with (done_pairs, total_pairs) roughly
-  /// every 256 pair measurements and at completion.
+  /// every 256 pair measurements and at completion; after an internally
+  /// retried failure `done` may regress to the last committed row.
   ///
   /// `num_threads` > 1 sweeps disjoint layer rows i concurrently, one
   /// Model::clone() replica per worker; 0 resolves via
@@ -87,8 +102,23 @@ class SensitivityEngine {
   /// written exactly once by the worker owning its row with the same
   /// Eq. (13) arithmetic as the serial sweep, so the result is
   /// bit-identical at any thread count.
+  ///
+  /// Fault tolerance: a non-finite measured loss is re-measured once (the
+  /// forward is deterministic, so a transient corruption disappears and a
+  /// persistent one is a real error); a sweep pass that still fails is
+  /// retried up to two more times, re-measuring only uncommitted rows.
+  /// With checkpointing enabled (set_checkpoint, or the
+  /// CLADO_CHECKPOINT_DIR / CLADO_CHECKPOINT_STRIDE environment
+  /// variables), completed rows additionally survive process death and a
+  /// rerun resumes bit-identically. Exceptions thrown by `progress` are
+  /// treated as cancellation and never retried.
   Tensor full_matrix(const std::function<void(std::int64_t, std::int64_t)>& progress = {},
                      int num_threads = 0);
+
+  /// Overrides checkpointing for this engine. An explicit config wins over
+  /// the environment; an explicit empty `dir` forces checkpointing off
+  /// even when CLADO_CHECKPOINT_DIR is set.
+  void set_checkpoint(SweepCheckpointConfig config) { checkpoint_ = std::move(config); }
 
   /// MPQCO-style Gauss–Newton proxy: per-(layer, bit) mean squared layer
   /// output perturbation ‖X_i Δw‖²/N. Forward-only and much cheaper than
@@ -111,22 +141,28 @@ class SensitivityEngine {
   }
 
  private:
+  /// Collects committed rows into Ĝ and mirrors them to the checkpoint
+  /// file; defined in the .cpp (drags in serialization otherwise).
+  struct SweepSink;
+
   /// Loss of `model` re-run from stage `stage` with the given input,
   /// counting measurements into `stats`. Parameterized over (model, stats)
   /// so parallel workers evaluate on their own replica with their own
-  /// counters; only reads shared state (the batch).
+  /// counters; only reads shared state (the batch). A non-finite loss is
+  /// re-measured once, then reported via std::runtime_error.
   double eval_loss(Model& model, SensitivityStats& stats, std::size_t stage,
                    const Tensor& input, std::vector<Tensor>* record) const;
 
   /// Loss of the primary model (marks its layer stashes dirty).
   double loss_from(std::size_t stage, const Tensor& input, std::vector<Tensor>* record);
 
-  /// Off-diagonal sweep worker: claims rows i from `next_row` and measures
-  /// all pairs (i, j > i) on `model` (the primary, or a per-worker
-  /// replica), writing into the n x n buffer `g`. `report(pairs)` is
-  /// invoked at every j-loop boundary with the pairs finished since the
-  /// previous call.
-  void sweep_rows(Model& model, SensitivityStats& stats, float* g, std::int64_t n,
+  /// Off-diagonal sweep worker: claims rows i from `next_row`, skips rows
+  /// the sink already holds (resume / retry passes), measures all pairs
+  /// (i, j > i) on `model` (the primary, or a per-worker replica) into a
+  /// local buffer, and commits each row atomically to the sink.
+  /// `report(pairs)` is invoked at every j-loop boundary with the pairs
+  /// finished since the previous call.
+  void sweep_rows(Model& model, SensitivityStats& stats, SweepSink& sink,
                   std::atomic<std::int64_t>& next_row,
                   const std::function<void(std::int64_t)>& report);
 
@@ -140,6 +176,7 @@ class SensitivityEngine {
   std::vector<std::vector<double>> single_losses_;
   bool singles_done_ = false;
   bool stashes_clean_ = false;  // layer input stashes match clean weights
+  std::optional<SweepCheckpointConfig> checkpoint_;  // nullopt = use env
   SensitivityStats stats_;
 };
 

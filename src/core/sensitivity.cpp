@@ -1,14 +1,23 @@
 #include "clado/core/sensitivity.h"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdlib>
+#include <exception>
+#include <filesystem>
 #include <mutex>
 #include <stdexcept>
+#include <system_error>
 #include <utility>
 
+#include "clado/fault/fault.h"
 #include "clado/nn/loss.h"
 #include "clado/obs/obs.h"
 #include "clado/quant/quantizer.h"
 #include "clado/tensor/check.h"
+#include "clado/tensor/env.h"
+#include "clado/tensor/serialize.h"
 #include "clado/tensor/thread_pool.h"
 
 namespace clado::core {
@@ -18,7 +27,171 @@ namespace {
 // Pair-measurement count between progress callbacks.
 constexpr std::int64_t kProgressStride = 256;
 
+// Sweep passes before a persistent failure propagates: the original
+// attempt plus two retries over the uncommitted rows.
+constexpr int kMaxSweepPasses = 3;
+
+// Checkpoint fingerprint: shape plus the exact bit pattern of the base
+// loss L(w). Two runs with the same (layers, bits, base_loss) measure the
+// same deterministic forward passes, so their rows are interchangeable; a
+// retrained model or different sensitivity set changes base_loss and
+// invalidates the file. The double is split across two float slots
+// bit-for-bit (the container stores float32 payloads verbatim).
+Tensor encode_ckpt_meta(std::int64_t layers, std::int64_t bits, double base_loss) {
+  Tensor meta({4});
+  const auto bl = std::bit_cast<std::uint64_t>(base_loss);
+  meta.data()[0] = static_cast<float>(layers);
+  meta.data()[1] = static_cast<float>(bits);
+  meta.data()[2] = std::bit_cast<float>(static_cast<std::uint32_t>(bl >> 32));
+  meta.data()[3] = std::bit_cast<float>(static_cast<std::uint32_t>(bl & 0xFFFFFFFFULL));
+  return meta;
+}
+
+bool ckpt_meta_matches(const Tensor& meta, std::int64_t layers, std::int64_t bits,
+                       double base_loss) {
+  if (meta.dim() != 1 || meta.size(0) != 4) return false;
+  if (meta.data()[0] != static_cast<float>(layers) ||
+      meta.data()[1] != static_cast<float>(bits)) {
+    return false;
+  }
+  // Compare bit patterns, not float values: the halves of a double are
+  // arbitrary bits (possibly NaN payloads, where == would always fail).
+  const auto hi = static_cast<std::uint64_t>(std::bit_cast<std::uint32_t>(meta.data()[2]));
+  const auto lo = static_cast<std::uint64_t>(std::bit_cast<std::uint32_t>(meta.data()[3]));
+  return ((hi << 32) | lo) == std::bit_cast<std::uint64_t>(base_loss);
+}
+
 }  // namespace
+
+// Shared endpoint of the off-diagonal sweep. Workers measure a row into a
+// private buffer and commit it here in one locked step, so Ĝ only ever
+// contains whole rows — the invariant that makes both checkpoint files and
+// retry passes safe (a worker dying mid-row leaves no partial data behind,
+// only an unset bit in `row_done`).
+struct SensitivityEngine::SweepSink {
+  float* g = nullptr;     // n x n output matrix (row-major)
+  std::int64_t n = 0;
+  std::int64_t layers = 0;
+  std::int64_t bits = 0;
+  double base_loss = 0.0;
+
+  std::string path;         // checkpoint file; empty = in-memory only
+  std::int64_t stride = 1;  // rows committed between saves
+
+  std::mutex mutex;
+  std::vector<char> row_done;        // guarded by mutex once workers run
+  std::int64_t committed_rows = 0;   // guarded by mutex
+  std::int64_t rows_since_save = 0;  // guarded by mutex
+
+  std::int64_t pairs_of_row(std::int64_t i) const { return (layers - 1 - i) * bits * bits; }
+
+  bool row_pending(std::int64_t i) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    return row_done[static_cast<std::size_t>(i)] == 0;
+  }
+
+  bool complete() {
+    const std::lock_guard<std::mutex> lock(mutex);
+    return committed_rows == layers;
+  }
+
+  std::int64_t committed_pairs() {
+    const std::lock_guard<std::mutex> lock(mutex);
+    std::int64_t pairs = 0;
+    for (std::int64_t i = 0; i < layers; ++i) {
+      if (row_done[static_cast<std::size_t>(i)] != 0) pairs += pairs_of_row(i);
+    }
+    return pairs;
+  }
+
+  // Publishes row i's pair block (layout [m][j>i][nn], matching the sweep
+  // loop order) into both mirror halves of Ĝ and checkpoints when due.
+  void commit_row(std::int64_t i, const std::vector<float>& row_buf) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    std::size_t k = 0;
+    for (std::int64_t m = 0; m < bits; ++m) {
+      for (std::int64_t j = i + 1; j < layers; ++j) {
+        for (std::int64_t nn = 0; nn < bits; ++nn) {
+          const std::int64_t a = flat_index(i, m, bits);
+          const std::int64_t b = flat_index(j, nn, bits);
+          const float v = row_buf[k++];
+          g[a * n + b] = v;
+          g[b * n + a] = v;
+        }
+      }
+    }
+    row_done[static_cast<std::size_t>(i)] = 1;
+    ++committed_rows;
+    ++rows_since_save;
+    if (!path.empty() && (rows_since_save >= stride || committed_rows == layers)) {
+      save_locked();
+      rows_since_save = 0;
+    }
+  }
+
+  void save_now() {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (!path.empty()) save_locked();
+  }
+
+  // Best effort: a failed save costs re-measurement on the next run, never
+  // correctness of the in-memory sweep.
+  void save_locked() {
+    clado::tensor::StateDict ck;
+    ck.emplace("meta", encode_ckpt_meta(layers, bits, base_loss));
+    Tensor rows({layers});
+    for (std::int64_t i = 0; i < layers; ++i) {
+      rows.data()[i] = row_done[static_cast<std::size_t>(i)] != 0 ? 1.0F : 0.0F;
+    }
+    ck.emplace("rows", std::move(rows));
+    Tensor matrix({n, n});
+    std::copy(g, g + n * n, matrix.data());
+    ck.emplace("matrix", std::move(matrix));
+    try {
+      clado::tensor::save_state_dict(ck, path);
+    } catch (const std::exception&) {
+      clado::obs::counter("sensitivity.checkpoint_save_failures").add();
+    }
+  }
+
+  // Loads a prior run's rows before workers start. Anything suspect —
+  // corrupt file, wrong shape, stale fingerprint — is counted, deleted,
+  // and ignored: resuming from a bad checkpoint is strictly worse than
+  // re-measuring.
+  void preload() {
+    auto res = clado::tensor::try_load_state_dict(path);
+    if (res.status == clado::tensor::LoadStatus::kMissing) return;
+    const auto reject = [&] {
+      clado::obs::counter("sensitivity.checkpoint_rejected").add();
+      std::error_code ec;
+      std::filesystem::remove(path, ec);
+    };
+    if (!res.ok()) {
+      reject();
+      return;
+    }
+    const auto meta_it = res.dict.find("meta");
+    const auto rows_it = res.dict.find("rows");
+    const auto matrix_it = res.dict.find("matrix");
+    const bool shape_ok =
+        meta_it != res.dict.end() && rows_it != res.dict.end() &&
+        matrix_it != res.dict.end() && rows_it->second.dim() == 1 &&
+        rows_it->second.size(0) == layers && matrix_it->second.dim() == 2 &&
+        matrix_it->second.size(0) == n && matrix_it->second.size(1) == n;
+    if (!shape_ok || !ckpt_meta_matches(meta_it->second, layers, bits, base_loss)) {
+      reject();
+      return;
+    }
+    std::copy(matrix_it->second.data(), matrix_it->second.data() + n * n, g);
+    for (std::int64_t i = 0; i < layers; ++i) {
+      if (rows_it->second.data()[i] != 0.0F) {
+        row_done[static_cast<std::size_t>(i)] = 1;
+        ++committed_rows;
+      }
+    }
+    clado::obs::counter("sensitivity.checkpoint_rows_resumed").add(committed_rows);
+  }
+};
 
 SensitivityEngine::SensitivityEngine(Model& model, Batch batch)
     : model_(model), batch_(std::move(batch)) {
@@ -61,18 +234,29 @@ const Tensor& SensitivityEngine::delta(std::int64_t layer, std::int64_t bit_inde
 double SensitivityEngine::eval_loss(Model& model, SensitivityStats& stats, std::size_t stage,
                                     const Tensor& input, std::vector<Tensor>* record) const {
   clado::nn::CrossEntropyLoss criterion;
-  const Tensor logits = model.net->forward_span(stage, input, record);
-  ++stats.forward_measurements;
-  stats.stage_executions += static_cast<std::int64_t>(model.net->size() - stage);
-  stats.stage_executions_naive += static_cast<std::int64_t>(model.net->size());
-  clado::obs::counter("sensitivity.forward_measurements").add();
-  clado::obs::counter("sensitivity.stage_executions")
-      .add(static_cast<std::int64_t>(model.net->size() - stage));
-  const double loss = criterion.forward(logits, batch_.labels);
-  // A NaN loss here silently corrupts the whole sensitivity matrix and only
-  // surfaces much later as solver nonsense; fail at the measurement.
-  CLADO_CHECK(std::isfinite(loss), "sensitivity: measured loss must be finite");
-  return loss;
+  for (int attempt = 0;; ++attempt) {
+    // forward_span re-assigns `record` on entry, so a re-measurement
+    // rebuilds the activation tail from scratch.
+    const Tensor logits = model.net->forward_span(stage, input, record);
+    ++stats.forward_measurements;
+    stats.stage_executions += static_cast<std::int64_t>(model.net->size() - stage);
+    stats.stage_executions_naive += static_cast<std::int64_t>(model.net->size());
+    clado::obs::counter("sensitivity.forward_measurements").add();
+    clado::obs::counter("sensitivity.stage_executions")
+        .add(static_cast<std::int64_t>(model.net->size() - stage));
+    const double loss = clado::fault::poison_nan(clado::fault::Site::kNanLoss,
+                                                 criterion.forward(logits, batch_.labels));
+    if (std::isfinite(loss)) return loss;
+    // A non-finite loss silently corrupts the whole sensitivity matrix and
+    // only surfaces much later as solver nonsense. The forward pass is
+    // deterministic, so one re-measurement separates transient corruption
+    // (an injected fault, a flaky accelerator) from a genuinely divergent
+    // model — the latter must fail here, at the measurement.
+    clado::obs::counter("sensitivity.nonfinite_losses").add();
+    if (attempt >= 1) {
+      throw std::runtime_error("sensitivity: measured loss is not finite");
+    }
+  }
 }
 
 double SensitivityEngine::loss_from(std::size_t stage, const Tensor& input,
@@ -117,15 +301,19 @@ std::vector<std::vector<double>> SensitivityEngine::diagonal_sensitivities() {
   return diag;
 }
 
-void SensitivityEngine::sweep_rows(Model& model, SensitivityStats& stats, float* g,
-                                   std::int64_t n, std::atomic<std::int64_t>& next_row,
+void SensitivityEngine::sweep_rows(Model& model, SensitivityStats& stats, SweepSink& sink,
+                                   std::atomic<std::int64_t>& next_row,
                                    const std::function<void(std::int64_t)>& report) {
   const std::int64_t layers = model.num_quant_layers();
   const std::int64_t bits = num_bits();
   std::vector<Tensor> tail;
+  std::vector<float> row_buf;
   for (;;) {
     const std::int64_t i = next_row.fetch_add(1, std::memory_order_relaxed);
     if (i >= layers) return;
+    if (!sink.row_pending(i)) continue;  // resumed from checkpoint / retry pass
+    row_buf.assign(static_cast<std::size_t>(sink.pairs_of_row(i)), 0.0F);
+    std::size_t k = 0;
     auto& ref_i = model.quant_layers[static_cast<std::size_t>(i)];
     auto& w_i = ref_i.layer->weight_param().value;
     const WeightRestoreGuard guard_i(w_i);
@@ -155,14 +343,12 @@ void SensitivityEngine::sweep_rows(Model& model, SensitivityStats& stats, float*
               single_losses_[static_cast<std::size_t>(j)][static_cast<std::size_t>(nn)];
           // Eq. (13): Ω_ij = L_pair + L(w) − L_i − L_j.
           const double omega = pair_loss + base_loss_ - loss_i - loss_j;
-          const std::int64_t a = flat_index(i, m, bits);
-          const std::int64_t b = flat_index(j, nn, bits);
-          g[a * n + b] = static_cast<float>(omega);
-          g[b * n + a] = static_cast<float>(omega);
+          row_buf[k++] = static_cast<float>(omega);
         }
         report(bits);
       }
     }
+    sink.commit_row(i, row_buf);
   }
 }
 
@@ -175,7 +361,39 @@ Tensor SensitivityEngine::full_matrix(
   const std::int64_t n = layers * bits;
   Tensor g_matrix({n, n});
 
-  // Diagonal: Ω_ii = 2 (L(w + Δ) − L(w)).
+  SweepSink sink;
+  sink.g = g_matrix.data();
+  sink.n = n;
+  sink.layers = layers;
+  sink.bits = bits;
+  sink.base_loss = base_loss_;
+  sink.row_done.assign(static_cast<std::size_t>(layers), 0);
+
+  // Checkpoint resolution: an explicit set_checkpoint wins (empty dir =
+  // forced off); otherwise the environment opts in.
+  std::string ckpt_dir;
+  std::int64_t ckpt_stride = 1;
+  if (checkpoint_.has_value()) {
+    ckpt_dir = checkpoint_->dir;
+    ckpt_stride = std::max<std::int64_t>(1, checkpoint_->stride);
+  } else if (const char* dir = std::getenv("CLADO_CHECKPOINT_DIR");
+             dir != nullptr && dir[0] != '\0') {
+    ckpt_dir = dir;
+    ckpt_stride =
+        clado::tensor::env_int_strict("CLADO_CHECKPOINT_STRIDE", 1, 1 << 20).value_or(1);
+  }
+  if (!ckpt_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(ckpt_dir, ec);  // save reports failures
+    sink.path = ckpt_dir + "/sweep_" + std::to_string(layers) + "x" + std::to_string(bits) +
+                ".ckpt";
+    sink.stride = ckpt_stride;
+    sink.preload();
+  }
+
+  // Diagonal: Ω_ii = 2 (L(w + Δ) − L(w)). Recomputed from the cached
+  // singles after preload (a resumed matrix arrives with the same values;
+  // rewriting them keeps the diagonal authoritative either way).
   for (std::int64_t i = 0; i < layers; ++i) {
     for (std::int64_t m = 0; m < bits; ++m) {
       const std::int64_t idx = flat_index(i, m, bits);
@@ -186,69 +404,116 @@ Tensor SensitivityEngine::full_matrix(
   }
 
   const std::int64_t total_pairs = layers * (layers - 1) / 2 * bits * bits;
-  std::atomic<std::int64_t> next_row{0};
 
   const std::int64_t resolved =
       num_threads > 0 ? num_threads : clado::tensor::ThreadPool::global().num_threads();
   const auto workers = static_cast<int>(std::min<std::int64_t>(resolved, layers));
 
-  if (workers <= 1) {
-    // Serial sweep on the primary model.
-    std::int64_t done_pairs = 0;
-    std::int64_t since_report = 0;
-    const auto report = [&](std::int64_t finished) {
-      done_pairs += finished;
-      since_report += finished;
-      if (progress && (since_report >= kProgressStride || done_pairs == total_pairs)) {
-        progress(done_pairs, total_pairs);
-        since_report = 0;
-      }
-    };
-    stashes_clean_ = false;
-    const clado::obs::Span worker_span("sensitivity/sweep_worker");
-    sweep_rows(model_, stats_, g_matrix.data(), n, next_row, report);
-  } else {
-    // Parallel sweep: one model replica per worker, each claiming whole
-    // rows i. A replica carries a deep copy of the weights AND the clean
-    // activation cache, so no additional clean pass is needed and
-    // per-entry arithmetic is identical to the serial sweep. The primary
-    // model is never touched.
-    std::vector<Model> replicas;
-    replicas.reserve(static_cast<std::size_t>(workers));
-    for (int t = 0; t < workers; ++t) replicas.push_back(model_.clone());
-    std::vector<SensitivityStats> worker_stats(static_cast<std::size_t>(workers));
-
-    std::atomic<std::int64_t> done_pairs{0};
-    std::mutex progress_mutex;
-    std::int64_t since_report = 0;    // guarded by progress_mutex
-    std::int64_t last_reported = -1;  // guarded by progress_mutex
-    const auto report = [&](std::int64_t finished) {
-      done_pairs.fetch_add(finished, std::memory_order_relaxed);
-      if (!progress) return;
-      const std::lock_guard<std::mutex> lock(progress_mutex);
-      since_report += finished;
-      const std::int64_t done = done_pairs.load();
-      if (since_report >= kProgressStride || done == total_pairs) {
-        if (done != last_reported) {
+  // Progress shared across passes; used by serial and parallel sweeps
+  // alike (one uncontended lock per j-loop boundary is noise next to a
+  // forward pass).
+  std::atomic<std::int64_t> done_pairs{sink.committed_pairs()};
+  std::atomic<bool> cancelled{false};
+  std::mutex progress_mutex;
+  std::int64_t since_report = 0;    // guarded by progress_mutex
+  std::int64_t last_reported = -1;  // guarded by progress_mutex
+  const auto report = [&](std::int64_t finished) {
+    done_pairs.fetch_add(finished, std::memory_order_relaxed);
+    if (!progress) return;
+    const std::lock_guard<std::mutex> lock(progress_mutex);
+    since_report += finished;
+    const std::int64_t done = done_pairs.load();
+    if (since_report >= kProgressStride || done == total_pairs) {
+      if (done != last_reported) {
+        // A throw out of the callback is the caller cancelling the sweep;
+        // flag it so the retry loop propagates instead of re-measuring.
+        try {
           progress(done, total_pairs);
-          last_reported = done;
+        } catch (...) {
+          cancelled.store(true, std::memory_order_relaxed);
+          throw;
         }
-        since_report = 0;
+        last_reported = done;
       }
-    };
-
-    clado::tensor::ThreadPool pool(workers);
-    pool.parallel_for(0, workers, 1, [&](std::int64_t t, std::int64_t) {
-      const clado::obs::Span worker_span("sensitivity/sweep_worker");
-      sweep_rows(replicas[static_cast<std::size_t>(t)],
-                 worker_stats[static_cast<std::size_t>(t)], g_matrix.data(), n, next_row,
-                 report);
-    });
-    for (const auto& ws : worker_stats) {
-      stats_.forward_measurements += ws.forward_measurements;
-      stats_.stage_executions += ws.stage_executions;
-      stats_.stage_executions_naive += ws.stage_executions_naive;
+      since_report = 0;
     }
+  };
+
+  // Retry loop: a pass can die mid-row (a loss that stays non-finite on
+  // re-measurement, a twice-failing pool chunk). Committed rows survive in
+  // the sink, so later passes re-measure only what is missing; a failure
+  // that persists through kMaxSweepPasses is real and propagates — after a
+  // final checkpoint save so even that run's rows are not lost.
+  for (int pass = 0; !sink.complete(); ++pass) {
+    std::atomic<std::int64_t> next_row{0};
+    try {
+      if (workers <= 1) {
+        // Serial sweep on the primary model.
+        stashes_clean_ = false;
+        const clado::obs::Span worker_span("sensitivity/sweep_worker");
+        sweep_rows(model_, stats_, sink, next_row, report);
+      } else {
+        // Parallel sweep: one model replica per worker, each claiming
+        // whole rows i. A replica carries a deep copy of the weights AND
+        // the clean activation cache, so no additional clean pass is
+        // needed and per-entry arithmetic is identical to the serial
+        // sweep. The primary model is never touched.
+        std::vector<Model> replicas;
+        replicas.reserve(static_cast<std::size_t>(workers));
+        for (int t = 0; t < workers; ++t) replicas.push_back(model_.clone());
+        std::vector<SensitivityStats> worker_stats(static_cast<std::size_t>(workers));
+
+        clado::tensor::ThreadPool pool(workers);
+        std::exception_ptr pass_error;
+        std::mutex body_error_mutex;
+        try {
+          // The worker body catches its own failures instead of throwing
+          // through the pool: the pool's chunk retry would re-enter
+          // sweep_rows, which claims *new* rows from next_row — the
+          // interrupted row would be silently dropped and the pass would
+          // look clean. Catching here also lets the surviving workers
+          // drain every remaining row before the pass fails.
+          pool.parallel_for(0, workers, 1, [&](std::int64_t t, std::int64_t) {
+            const clado::obs::Span worker_span("sensitivity/sweep_worker");
+            try {
+              sweep_rows(replicas[static_cast<std::size_t>(t)],
+                         worker_stats[static_cast<std::size_t>(t)], sink, next_row, report);
+            } catch (...) {
+              const std::lock_guard<std::mutex> lock(body_error_mutex);
+              if (!pass_error) pass_error = std::current_exception();
+            }
+          });
+        } catch (...) {
+          // Only pool-level failures (e.g. a twice-injected pool_task
+          // fault) arrive here; worker failures were recorded above.
+          pass_error = std::current_exception();
+        }
+        // Merge measurement accounting whether or not the pass survived —
+        // the forwards happened either way.
+        for (const auto& ws : worker_stats) {
+          stats_.forward_measurements += ws.forward_measurements;
+          stats_.stage_executions += ws.stage_executions;
+          stats_.stage_executions_naive += ws.stage_executions_naive;
+        }
+        if (pass_error) std::rethrow_exception(pass_error);
+      }
+    } catch (const std::exception&) {
+      if (cancelled.load(std::memory_order_relaxed) || pass + 1 >= kMaxSweepPasses) {
+        sink.save_now();
+        throw;
+      }
+      clado::obs::counter("sensitivity.sweep_retries").add();
+      // Drop in-flight pair counts from the dead rows so progress never
+      // exceeds the truth (it may regress to the last committed row).
+      done_pairs.store(sink.committed_pairs(), std::memory_order_relaxed);
+      continue;
+    }
+    CLADO_CHECK(sink.complete(), "sensitivity: sweep pass ended with rows missing");
+  }
+  if (progress && total_pairs > 0 && done_pairs.load() == total_pairs && last_reported == -1) {
+    // Fully resumed from checkpoint: no worker ever reported; still honor
+    // the "completion is always reported" contract.
+    progress(total_pairs, total_pairs);
   }
   clado::obs::counter("sensitivity.pairs").add(total_pairs);
   stats_.seconds += sweep_span.close();

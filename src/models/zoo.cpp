@@ -1,10 +1,12 @@
 #include "clado/models/zoo.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <numeric>
+#include <system_error>
 
 #include "clado/data/synthcv.h"
 #include "clado/models/builders.h"
@@ -102,7 +104,8 @@ double train_model(Model& model, const clado::data::SynthCvDataset& train_set,
 }
 
 TrainedModel get_or_train(const std::string& name, const ZooConfig& config) {
-  clado::tensor::Rng rng(0xC1AD0 ^ std::hash<std::string>{}(name));
+  const std::uint64_t build_seed = 0xC1AD0 ^ std::hash<std::string>{}(name);
+  clado::tensor::Rng rng(build_seed);
   TrainedModel out{build_by_name(name, rng, config.num_classes),
                    clado::data::SynthCvDataset(dataset_config(config.train_seed,
                                                               config.num_classes)),
@@ -114,18 +117,44 @@ TrainedModel get_or_train(const std::string& name, const ZooConfig& config) {
   std::filesystem::create_directories(dir);
   const std::string path = dir + "/" + name + ".bin";
 
-  if (clado::tensor::state_dict_exists(path)) {
+  // Probe the cache instead of trusting it: a corrupt, truncated, or
+  // future-version artifact is logged, deleted, and retrained — never
+  // crashed on and never half-loaded.
+  auto cached = clado::tensor::try_load_state_dict(path);
+  if (cached.ok()) {
     const clado::obs::Span span("zoo/load");
-    clado::nn::load_state(*out.model.net, clado::tensor::load_state_dict(path));
-    out.model.net->set_training(false);
-    out.val_accuracy = out.model.accuracy_on(out.val_set, config.val_size);
-    return out;
+    try {
+      clado::nn::load_state(*out.model.net, cached.dict);
+      out.model.net->set_training(false);
+      out.val_accuracy = out.model.accuracy_on(out.val_set, config.val_size);
+      return out;
+    } catch (const std::exception&) {
+      // Structurally valid container with the wrong contents (renamed
+      // layers, an architecture change): same recovery as corruption.
+      cached.status = clado::tensor::LoadStatus::kCorrupt;
+    }
+  }
+  if (cached.status != clado::tensor::LoadStatus::kMissing) {
+    clado::obs::counter("zoo.cache_recoveries").add();
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    // load_state may have partially applied weights before throwing;
+    // rebuild from the same seed so the recovered run trains exactly the
+    // network a cache-less run would.
+    clado::tensor::Rng rebuild_rng(build_seed);
+    out.model = build_by_name(name, rebuild_rng, config.num_classes);
   }
 
   const Recipe recipe = recipe_for(name);
   out.val_accuracy = train_model(out.model, out.train_set, out.val_set, config, recipe.epochs,
                                  recipe.lr);
-  clado::tensor::save_state_dict(clado::nn::extract_state(*out.model.net), path);
+  try {
+    clado::tensor::save_state_dict(clado::nn::extract_state(*out.model.net), path);
+  } catch (const std::exception&) {
+    // Best effort: an unsaved cache costs the next run a retrain, nothing
+    // else — the freshly trained model in hand is unaffected.
+    clado::obs::counter("zoo.cache_save_failures").add();
+  }
   return out;
 }
 

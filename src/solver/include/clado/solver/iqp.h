@@ -25,6 +25,34 @@ struct IqpOptions {
   bool objective_convex = true; ///< false disables bound-based pruning
 };
 
+/// Termination classification. The two infeasible-looking outcomes are
+/// deliberately distinct: kInfeasible means the search finished and proved
+/// no assignment fits the budget (no fallback can help), while
+/// kLimitNoIncumbent means the solver ran out of nodes/time before finding
+/// any incumbent — the instance may well be feasible, so a degraded solver
+/// (solve_with_fallback) should take over.
+enum class IqpStatus {
+  kOptimal,           ///< incumbent proven optimal
+  kFeasible,          ///< incumbent found, optimality not proven
+  kInfeasible,        ///< search completed: no feasible assignment exists
+  kLimitNoIncumbent,  ///< node/time limit hit before any incumbent
+};
+
+const char* iqp_status_name(IqpStatus status);
+
+/// Which tier of the degradation chain produced the returned assignment;
+/// benches report this so a silently degraded run is visible.
+enum class SolutionSource {
+  kIqp,         ///< branch-and-bound (optimal or limit-truncated)
+  kMckpDp,      ///< diagonal (separable) MCKP dynamic program
+  kMckpGreedy,  ///< diagonal MCKP greedy repair
+  kUniform,     ///< best feasible uniform bit assignment
+  kAnneal,      ///< simulated annealing (set by the pipeline's indefinite-
+                ///< objective regime, never by solve_with_fallback)
+};
+
+const char* solution_source_name(SolutionSource source);
+
 struct IqpResult {
   std::vector<int> choice;      ///< per-group selected index (empty if infeasible)
   double objective = 0.0;
@@ -36,15 +64,31 @@ struct IqpResult {
   bool feasible = false;
   bool proven_optimal = false;
   bool hit_limit = false;       ///< node or time limit reached
+  IqpStatus status = IqpStatus::kInfeasible;
+  SolutionSource source = SolutionSource::kIqp;
   double seconds = 0.0;
 
   /// Absolute optimality gap at termination (0 when proven optimal).
+  /// +inf for fallback-produced results, whose best_bound is -inf (the
+  /// degraded tiers prove nothing about the quadratic objective).
   double gap() const {
     return feasible ? objective - best_bound : 0.0;
   }
 };
 
 IqpResult solve_iqp(const QuadraticProblem& problem, const IqpOptions& options = {});
+
+/// Degradation chain wrapping solve_iqp: when branch-and-bound throws (an
+/// injected solver fault, a real oracle failure) or stops at its limits
+/// with no incumbent, falls back to the exact separable MCKP DP over
+/// diag(Ĝ), then MCKP greedy, then the best feasible uniform assignment —
+/// so any instance where the cheapest uniform assignment fits the budget
+/// yields a usable result instead of an exception. `source` records the
+/// tier that produced the assignment (the objective is always the true
+/// quadratic objective, whatever the tier optimized); a proven-infeasible
+/// instance is returned unchanged. Fallback results carry
+/// best_bound = -inf: the degraded tiers provide no optimality guarantee.
+IqpResult solve_with_fallback(const QuadraticProblem& problem, const IqpOptions& options = {});
 
 /// 1-opt local search: repeatedly moves single groups to a better feasible
 /// choice until no move improves. Refines `choice` in place; returns the

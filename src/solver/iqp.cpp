@@ -6,6 +6,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "clado/fault/fault.h"
 #include "clado/obs/obs.h"
 
 namespace clado::solver {
@@ -81,6 +82,27 @@ bool allowed_at(const std::vector<std::vector<char>>& allowed, std::size_t g, st
 }
 
 }  // namespace
+
+const char* iqp_status_name(IqpStatus status) {
+  switch (status) {
+    case IqpStatus::kOptimal: return "optimal";
+    case IqpStatus::kFeasible: return "feasible";
+    case IqpStatus::kInfeasible: return "infeasible";
+    case IqpStatus::kLimitNoIncumbent: return "limit_no_incumbent";
+  }
+  return "unknown";
+}
+
+const char* solution_source_name(SolutionSource source) {
+  switch (source) {
+    case SolutionSource::kIqp: return "iqp";
+    case SolutionSource::kMckpDp: return "mckp_dp";
+    case SolutionSource::kMckpGreedy: return "mckp_greedy";
+    case SolutionSource::kUniform: return "uniform";
+    case SolutionSource::kAnneal: return "anneal";
+  }
+  return "unknown";
+}
 
 double local_search_1opt(const QuadraticProblem& problem, std::vector<int>& choice,
                          const std::vector<std::vector<char>>& allowed, int max_passes) {
@@ -183,6 +205,10 @@ IqpResult solve_iqp(const QuadraticProblem& problem, const IqpOptions& options) 
     Node node = std::move(stack.back());
     stack.pop_back();
     ++result.nodes;
+    // Injection seam for the degradation chain: a "solver oracle failure"
+    // surfaces here, where a real relaxation-oracle defect would.
+    clado::fault::maybe_throw(clado::fault::Site::kSolverOracle,
+                              "iqp: branch-and-bound oracle failure");
 
     if (options.objective_convex && node.parent_bound >= incumbent - options.abs_tol) {
       ++result.pruned;  // parent bound already prunes this subtree
@@ -259,6 +285,12 @@ IqpResult solve_iqp(const QuadraticProblem& problem, const IqpOptions& options) 
     result.objective = incumbent;
     result.best_bound = result.hit_limit ? std::min(open_bound_min, incumbent) : incumbent;
     result.proven_optimal = !result.hit_limit && options.objective_convex;
+    result.status = result.proven_optimal ? IqpStatus::kOptimal : IqpStatus::kFeasible;
+  } else {
+    // No incumbent: a completed search proves infeasibility (bounds only
+    // prune against an incumbent, so nothing feasible was cut), while a
+    // limit stop proves nothing — the caller may want a degraded solver.
+    result.status = result.hit_limit ? IqpStatus::kLimitNoIncumbent : IqpStatus::kInfeasible;
   }
   // Bulk-publish the search statistics; per-node atomic traffic would cost
   // in the hot loop, a single add per solve does not.
@@ -298,6 +330,7 @@ IqpResult solve_iqp_brute_force(const QuadraticProblem& problem) {
   result.objective = best;
   result.best_bound = best;
   result.proven_optimal = result.feasible;
+  result.status = result.feasible ? IqpStatus::kOptimal : IqpStatus::kInfeasible;
   return result;
 }
 

@@ -43,9 +43,12 @@ class ThreadPool {
   /// Splits [begin, end) into contiguous chunks of at most `grain` indices
   /// and runs body(chunk_begin, chunk_end) for each, possibly concurrently.
   /// Chunk boundaries depend only on (begin, end, grain) — never on the
-  /// thread count — and every chunk runs exactly once. Blocks until all
-  /// chunks finish. If one or more chunks throw, the exception of the
-  /// lowest-indexed failing chunk is rethrown (the rest still run).
+  /// thread count — and every chunk runs to completion exactly once.
+  /// Blocks until all chunks finish. A chunk that throws is retried once
+  /// (bodies must therefore write deterministically to chunk-disjoint
+  /// output, which every in-repo caller does); if the retry also throws,
+  /// the exception of the lowest-indexed failing chunk is rethrown after
+  /// the remaining chunks drain, and the pool stays usable.
   /// Called from inside a worker of this pool, the whole range runs inline.
   void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
                     const std::function<void(std::int64_t, std::int64_t)>& body);

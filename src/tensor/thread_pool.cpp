@@ -5,6 +5,7 @@
 #include <exception>
 #include <memory>
 
+#include "clado/fault/fault.h"
 #include "clado/obs/obs.h"
 #include "clado/tensor/env.h"
 
@@ -31,21 +32,35 @@ struct ThreadPool::ForState {
   std::mutex done_mutex;
   std::condition_variable done_cv;
 
-  // Claims and runs chunks until none remain. Exceptions are recorded,
-  // keeping the lowest chunk index so the rethrow is deterministic.
+  // Claims and runs chunks until none remain. A chunk that throws is
+  // retried once in place — every in-repo body writes deterministically to
+  // chunk-disjoint output, so re-running it overwrites any partial work and
+  // absorbs transient failures (including injected pool faults) without the
+  // caller ever seeing them. A second failure is recorded, keeping the
+  // lowest chunk index so the rethrow is deterministic.
   void run_chunks() {
     for (;;) {
       const std::int64_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
       if (c >= num_chunks) return;
       const std::int64_t cb = begin + c * grain;
       const std::int64_t ce = std::min(end, cb + grain);
-      try {
-        body(cb, ce);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (error_chunk < 0 || c < error_chunk) {
-          error_chunk = c;
-          error = std::current_exception();
+      for (int attempt = 0; attempt < 2; ++attempt) {
+        try {
+          clado::fault::maybe_throw(clado::fault::Site::kPoolTask,
+                                    "thread pool: injected task failure");
+          body(cb, ce);
+          break;
+        } catch (...) {
+          clado::obs::counter("pool.task_failures").add();
+          if (attempt == 0) {
+            clado::obs::counter("pool.chunk_retries").add();
+            continue;
+          }
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (error_chunk < 0 || c < error_chunk) {
+            error_chunk = c;
+            error = std::current_exception();
+          }
         }
       }
       if (done_chunks.fetch_add(1) + 1 == num_chunks) {

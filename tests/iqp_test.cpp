@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "clado/fault/fault.h"
 #include "clado/solver/anneal.h"
 #include "clado/tensor/ops.h"
 #include "clado/tensor/rng.h"
@@ -235,6 +236,99 @@ TEST(Anneal, InfeasibleInstanceReported) {
   p.cost = {{5.0, 6.0}};
   p.budget = 1.0;
   EXPECT_FALSE(solve_anneal(p).feasible);
+}
+
+TEST(Iqp, StatusDistinguishesProvenInfeasibleFromStarvedSearch) {
+  // Proven infeasible: the search completes without an incumbent because
+  // none exists — pruning only ever cuts against incumbents, so an empty
+  // completed search is a proof.
+  QuadraticProblem p;
+  p.G = Tensor({2, 2});
+  p.cost = {{5.0, 6.0}};
+  p.budget = 1.0;
+  const auto infeasible = solve_iqp(p);
+  EXPECT_FALSE(infeasible.feasible);
+  EXPECT_FALSE(infeasible.hit_limit);
+  EXPECT_EQ(infeasible.status, IqpStatus::kInfeasible);
+
+  // Starved: the node budget expires before any incumbent is found. That
+  // proves nothing about feasibility and the status must say so.
+  Rng rng(11);
+  const auto q = random_problem(6, 3, rng, 1.4);
+  IqpOptions opts;
+  opts.max_nodes = 0;
+  const auto starved = solve_iqp(q, opts);
+  EXPECT_TRUE(starved.hit_limit);
+  EXPECT_FALSE(starved.feasible);
+  EXPECT_EQ(starved.status, IqpStatus::kLimitNoIncumbent);
+
+  // Healthy solve on the same instance: optimal and proven.
+  const auto solved = solve_iqp(q);
+  ASSERT_TRUE(solved.feasible);
+  EXPECT_EQ(solved.status, IqpStatus::kOptimal);
+  EXPECT_EQ(solved.source, SolutionSource::kIqp);
+
+  EXPECT_STREQ(iqp_status_name(IqpStatus::kOptimal), "optimal");
+  EXPECT_STREQ(iqp_status_name(IqpStatus::kLimitNoIncumbent), "limit_no_incumbent");
+  EXPECT_STREQ(solution_source_name(SolutionSource::kMckpDp), "mckp_dp");
+}
+
+TEST(Fallback, MatchesNativeIqpWhenHealthy) {
+  Rng rng(12);
+  const auto p = random_problem(5, 3, rng, 1.5);
+  const auto native = solve_iqp(p);
+  const auto chained = solve_with_fallback(p);
+  ASSERT_TRUE(chained.feasible);
+  EXPECT_EQ(chained.source, SolutionSource::kIqp);
+  EXPECT_EQ(chained.choice, native.choice);
+  EXPECT_DOUBLE_EQ(chained.objective, native.objective);
+}
+
+TEST(Fallback, StarvedSearchDegradesToMckpDp) {
+  Rng rng(13);
+  const auto p = random_problem(6, 3, rng, 1.4);
+  IqpOptions opts;
+  opts.max_nodes = 0;  // B&B finds no incumbent at all
+  const auto res = solve_with_fallback(p, opts);
+  ASSERT_TRUE(res.feasible);
+  EXPECT_EQ(res.status, IqpStatus::kFeasible);
+  EXPECT_EQ(res.source, SolutionSource::kMckpDp);
+  EXPECT_FALSE(res.proven_optimal);
+  EXPECT_LE(p.integer_cost(res.choice), p.budget + 1e-9);
+  // The degraded objective is the true quadratic objective of the served
+  // choice, not the diagonal proxy the DP optimized.
+  EXPECT_NEAR(res.objective, p.integer_objective(res.choice),
+              1e-6 * std::max(1.0, std::abs(res.objective)));
+  // No usable bound survives a failed B&B.
+  EXPECT_TRUE(std::isinf(res.gap()));
+}
+
+TEST(Fallback, AbsorbsInjectedOracleFailure) {
+  Rng rng(14);
+  const auto p = random_problem(5, 3, rng, 1.5);
+
+  clado::fault::arm_from(clado::fault::Site::kSolverOracle, 1);
+  // The raw solver propagates the failure...
+  EXPECT_THROW(solve_iqp(p), clado::fault::FaultInjected);
+  // ...the chain absorbs it and serves a feasible degraded assignment.
+  const auto res = solve_with_fallback(p);
+  clado::fault::disarm_all();
+
+  ASSERT_TRUE(res.feasible);
+  EXPECT_EQ(res.source, SolutionSource::kMckpDp);
+  EXPECT_LE(p.integer_cost(res.choice), p.budget + 1e-9);
+}
+
+TEST(Fallback, ProvenInfeasibilityPassesThroughEveryTier) {
+  // No tier can conjure bytes that do not exist: a budget below the
+  // cheapest assignment stays infeasible with its proof intact.
+  QuadraticProblem p;
+  p.G = Tensor({2, 2});
+  p.cost = {{5.0, 6.0}};
+  p.budget = 1.0;
+  const auto res = solve_with_fallback(p);
+  EXPECT_FALSE(res.feasible);
+  EXPECT_EQ(res.status, IqpStatus::kInfeasible);
 }
 
 TEST(Anneal, DeterministicForFixedSeed) {

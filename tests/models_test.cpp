@@ -4,10 +4,13 @@
 
 #include <cmath>
 #include <filesystem>
+#include <fstream>
 #include <set>
 
 #include "clado/models/zoo.h"
 #include "clado/nn/hvp.h"
+#include "clado/obs/obs.h"
+#include "clado/tensor/serialize.h"
 
 namespace clado::models {
 namespace {
@@ -198,6 +201,71 @@ TEST(Zoo, ArtifactCacheRoundTrip) {
     for (std::int64_t i = 0; i < tensor.numel(); ++i) ASSERT_EQ(tensor[i], other[i]) << name;
   }
   EXPECT_DOUBLE_EQ(first.val_accuracy, second.val_accuracy);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Zoo, CorruptArtifactIsRecoveredByRetraining) {
+  const auto dir = std::filesystem::temp_directory_path() / "clado_zoo_recovery_test";
+  std::filesystem::remove_all(dir);
+  ZooConfig cfg;
+  cfg.artifacts_dir = dir.string();
+  cfg.train_size = 128;
+  cfg.val_size = 128;
+  cfg.num_classes = 8;
+  unsetenv("CLADO_ARTIFACTS_DIR");
+
+  TrainedModel reference = get_or_train("vit_mini", cfg);
+  const auto artifact = dir / "vit_mini.bin";
+  ASSERT_TRUE(std::filesystem::exists(artifact));
+  const auto ref_state = clado::nn::extract_state(*reference.model.net);
+
+  const auto expect_reference_weights = [&](const TrainedModel& tm) {
+    const auto state = clado::nn::extract_state(*tm.model.net);
+    for (const auto& [name, tensor] : ref_state) {
+      const auto it = state.find(name);
+      ASSERT_NE(it, state.end()) << name;
+      for (std::int64_t i = 0; i < tensor.numel(); ++i) {
+        ASSERT_EQ(it->second[i], tensor[i]) << name;
+      }
+    }
+  };
+
+  // Flip one payload byte: the checksum must catch it, and get_or_train
+  // must delete the artifact and retrain. Training restarts from the same
+  // build seed and is deterministic, so the recovered weights are
+  // bit-identical to the reference (the strongest possible check that the
+  // rebuild path reconstructs the exact cache-less run).
+  {
+    std::fstream f(artifact, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekg(40);
+    char c = 0;
+    f.read(&c, 1);
+    c = static_cast<char>(c ^ 0x01);
+    f.seekp(40);
+    f.write(&c, 1);
+  }
+  const std::int64_t recoveries = clado::obs::counter("zoo.cache_recoveries").value();
+  TrainedModel recovered = get_or_train("vit_mini", cfg);
+  EXPECT_EQ(clado::obs::counter("zoo.cache_recoveries").value() - recoveries, 1);
+  expect_reference_weights(recovered);
+  EXPECT_DOUBLE_EQ(recovered.val_accuracy, reference.val_accuracy);
+  // The recovery re-saved a valid artifact.
+  EXPECT_TRUE(clado::tensor::try_load_state_dict(artifact.string()).ok());
+
+  // A future-version artifact (written by a newer build) takes the same
+  // recovery path instead of being half-parsed.
+  {
+    std::ofstream f(artifact, std::ios::binary | std::ios::trunc);
+    const std::uint32_t magic = 0x434C4144;
+    const std::uint32_t version = 99;
+    f.write(reinterpret_cast<const char*>(&magic), 4);
+    f.write(reinterpret_cast<const char*>(&version), 4);
+  }
+  const std::int64_t recoveries2 = clado::obs::counter("zoo.cache_recoveries").value();
+  TrainedModel recovered2 = get_or_train("vit_mini", cfg);
+  EXPECT_EQ(clado::obs::counter("zoo.cache_recoveries").value() - recoveries2, 1);
+  expect_reference_weights(recovered2);
   std::filesystem::remove_all(dir);
 }
 

@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "clado/fault/fault.h"
+#include "clado/obs/obs.h"
 #include "clado/tensor/ops.h"
 #include "clado/tensor/tensor.h"
 
@@ -92,6 +94,45 @@ TEST(ThreadPool, PropagatesLowestChunkException) {
     count.fetch_add(static_cast<int>(e - b));
   });
   EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, ChunkRetryAbsorbsOneInjectedFault) {
+  ThreadPool pool(4);
+  clado::fault::disarm_all();
+  const std::int64_t retries_before = clado::obs::counter("pool.chunk_retries").value();
+
+  clado::fault::arm_one_shot(clado::fault::Site::kPoolTask, 1);
+  constexpr std::int64_t kN = 64;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(0, kN, 4, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  EXPECT_EQ(clado::fault::injected_count(clado::fault::Site::kPoolTask), 1U);
+  clado::fault::disarm_all();
+
+  // The injection fires before the chunk body runs and the retry re-runs
+  // the body, so the caller sees a clean pass with every index done once.
+  for (std::int64_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+  }
+  EXPECT_EQ(clado::obs::counter("pool.chunk_retries").value() - retries_before, 1);
+}
+
+TEST(ThreadPool, PersistentFaultStillPropagates) {
+  ThreadPool pool(4);
+  clado::fault::arm_from(clado::fault::Site::kPoolTask, 1);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.parallel_for(0, 16, 4,
+                                 [&](std::int64_t, std::int64_t) { ran.fetch_add(1); }),
+               clado::fault::FaultInjected);
+  clado::fault::disarm_all();
+
+  // The pool survives the failed batch and runs the next one normally.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 16, 4, [&](std::int64_t b, std::int64_t e) {
+    count.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(count.load(), 16);
 }
 
 TEST(ThreadPool, NestedParallelForRunsInline) {

@@ -60,7 +60,7 @@ const std::vector<std::string> kAllRules = {
 };
 
 const std::vector<std::string> kSubsystems = {"tensor", "linalg", "nn",   "quant", "data",
-                                              "models", "solver", "core", "obs"};
+                                              "models", "solver", "core", "obs",   "fault"};
 
 struct Diagnostic {
   std::string file;
