@@ -44,4 +44,10 @@ double train_model(Model& model, const clado::data::SynthCvDataset& train_set,
 /// Resolved artifacts directory (config value or environment override).
 std::string resolve_artifacts_dir(const ZooConfig& config);
 
+/// The validation split every zoo model is evaluated on. Samples are
+/// procedural and random-access, so a client can regenerate the exact
+/// tensors without touching trained weights — `clado query` uses this to
+/// send the same val images a serving daemon's engine was measured on.
+clado::data::SynthCvDataset zoo_val_set(const ZooConfig& config = {});
+
 }  // namespace clado::models

@@ -43,6 +43,10 @@ clado::data::SynthCvDataset::Config dataset_config(std::uint64_t seed,
 
 }  // namespace
 
+clado::data::SynthCvDataset zoo_val_set(const ZooConfig& config) {
+  return clado::data::SynthCvDataset(dataset_config(config.val_seed, config.num_classes));
+}
+
 std::string resolve_artifacts_dir(const ZooConfig& config) {
   if (const char* env = std::getenv("CLADO_ARTIFACTS_DIR"); env != nullptr && env[0] != '\0') {
     return env;

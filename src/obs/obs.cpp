@@ -1,5 +1,6 @@
 #include "clado/obs/obs.h"
 
+#include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -7,7 +8,9 @@
 #include <map>
 #include <mutex>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace clado::obs {
@@ -16,9 +19,26 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/// Hard cap on buffered trace events; a runaway instrumented loop degrades
-/// to a counted drop instead of unbounded memory growth.
-constexpr std::size_t kMaxTraceEvents = 1U << 20U;
+/// Default capacity of the trace-event ring; override with CLADO_TRACE_CAP.
+constexpr std::size_t kDefaultTraceCapacity = 1U << 20U;
+
+/// Strict local parse of CLADO_TRACE_CAP (obs sits below clado::tensor in
+/// the layering, so it cannot use env_int_strict; the policy is the same:
+/// unset/empty means default, garbage throws instead of silently running
+/// with a different buffer size).
+std::size_t trace_capacity_from_env() {
+  const char* env = std::getenv("CLADO_TRACE_CAP");
+  if (env == nullptr || env[0] == '\0') return kDefaultTraceCapacity;
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(env, &end, 10);
+  if (end == env || *end != '\0' || errno == ERANGE || value < 1 ||
+      value > (1LL << 30U)) {
+    throw std::invalid_argument("CLADO_TRACE_CAP='" + std::string(env) +
+                                "' is not an integer in [1, 2^30]");
+  }
+  return static_cast<std::size_t>(value);
+}
 
 /// Registry lifecycle: 0 = not yet constructed, 1 = alive, 2 = destroyed.
 /// Entry points consult this so instrumentation in late static destructors
@@ -63,7 +83,7 @@ void json_escape(const std::string& in, std::string& out) {
 
 class Registry {
  public:
-  Registry() : epoch_(Clock::now()) {
+  Registry() : epoch_(Clock::now()), trace_capacity_(trace_capacity_from_env()) {
     if (const char* env = std::getenv("CLADO_TRACE"); env != nullptr && env[0] != '\0') {
       trace_path_ = env;
     }
@@ -100,18 +120,33 @@ class Registry {
     return gauges_[std::string(name)];
   }
 
-  void record_span(const std::string& name, std::int64_t start_us, std::int64_t end_us) {
+  void record_span(const std::string& name, std::int64_t start_us, std::int64_t end_us,
+                   bool buffer_event) {
     const std::lock_guard<std::mutex> lock(mutex_);
     SpanStat& stat = spans_[name];
     ++stat.count;
     stat.total_seconds += static_cast<double>(end_us - start_us) * 1e-6;
-    if (!trace_path_.empty()) {
-      if (events_.size() < kMaxTraceEvents) {
-        events_.push_back({name, start_us, end_us - start_us, current_tid()});
-      } else {
-        ++dropped_events_;
-      }
+    if (buffer_event && !trace_path_.empty()) {
+      append_event({name, start_us, end_us - start_us, current_tid()});
     }
+  }
+
+  void set_trace_capacity(std::size_t capacity) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    trace_capacity_ = capacity < 1 ? 1 : capacity;
+    if (events_.size() > trace_capacity_) {
+      // Keep the newest `trace_capacity_` events, chronological order.
+      const std::vector<TraceEvent> ordered = ordered_events();
+      dropped_events_ += static_cast<std::int64_t>(ordered.size() - trace_capacity_);
+      events_.assign(ordered.end() - static_cast<std::ptrdiff_t>(trace_capacity_),
+                     ordered.end());
+      ring_start_ = 0;
+    }
+  }
+
+  std::int64_t trace_dropped() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_events_;
   }
 
   SpanStat span_stat(std::string_view name) {
@@ -148,7 +183,7 @@ class Registry {
       out << "span " << name << " count " << s.count << " total_s " << s.total_seconds
           << " mean_ms " << mean_ms << "\n";
     }
-    if (dropped_events_ > 0) out << "counter obs.dropped_trace_events " << dropped_events_ << "\n";
+    if (dropped_events_ > 0) out << "counter trace.dropped " << dropped_events_ << "\n";
     return out.str();
   }
 
@@ -162,6 +197,10 @@ class Registry {
       out += "\"";
       json_escape(name, out);
       out += "\":" + std::to_string(c.value());
+    }
+    if (dropped_events_ > 0) {
+      if (!first) out += ",";
+      out += "\"trace.dropped\":" + std::to_string(dropped_events_);
     }
     out += "},\"gauges\":{";
     first = true;
@@ -194,7 +233,7 @@ class Registry {
     std::vector<TraceEvent> events;
     {
       const std::lock_guard<std::mutex> lock(mutex_);
-      events = events_;
+      events = ordered_events();
     }
     std::ofstream out(path);
     if (!out) return false;
@@ -229,10 +268,34 @@ class Registry {
     for (auto& [name, g] : gauges_) g.reset_for_testing();
     spans_.clear();
     events_.clear();
+    ring_start_ = 0;
     dropped_events_ = 0;
   }
 
  private:
+  /// Appends into the bounded ring: below capacity the buffer grows; at
+  /// capacity the oldest event is overwritten and counted as dropped, so a
+  /// long-running process keeps the newest window of activity.
+  void append_event(TraceEvent e) {
+    if (events_.size() < trace_capacity_) {
+      events_.push_back(std::move(e));
+      return;
+    }
+    events_[ring_start_] = std::move(e);
+    ring_start_ = (ring_start_ + 1) % events_.size();
+    ++dropped_events_;
+  }
+
+  /// Ring contents oldest-first (callers hold mutex_).
+  std::vector<TraceEvent> ordered_events() const {
+    std::vector<TraceEvent> out;
+    out.reserve(events_.size());
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+      out.push_back(events_[(ring_start_ + i) % events_.size()]);
+    }
+    return out;
+  }
+
   const Clock::time_point epoch_;
   std::mutex mutex_;
   // Node-based maps: element addresses are stable across inserts, which is
@@ -240,7 +303,9 @@ class Registry {
   std::map<std::string, Counter, std::less<>> counters_;
   std::map<std::string, Gauge, std::less<>> gauges_;
   std::map<std::string, SpanStat, std::less<>> spans_;
-  std::vector<TraceEvent> events_;
+  std::vector<TraceEvent> events_;  ///< ring once full; events_[ring_start_] is oldest
+  std::size_t ring_start_ = 0;
+  std::size_t trace_capacity_ = kDefaultTraceCapacity;
   std::int64_t dropped_events_ = 0;
   std::string trace_path_;
   std::string metrics_path_;
@@ -253,7 +318,52 @@ constinit Gauge g_dead_gauge;
 
 bool registry_dead() { return g_state.load(std::memory_order_acquire) == 2; }
 
+// ---- per-thread TraceScope registry ----------------------------------------
+// thread_local is banned in src/ (it is the pattern behind the PR 1 GEMM
+// race), so active scopes live in a mutex-guarded map keyed by thread id.
+// The atomic count lets the common no-scope case skip the lock entirely, so
+// instrumentation pays nothing until a scope actually exists.
+std::atomic<int> g_scope_count{0};
+std::mutex g_scope_mutex;
+std::map<std::thread::id, TraceScope*> g_scopes;
+
+TraceScope* current_scope() {
+  if (g_scope_count.load(std::memory_order_acquire) == 0) return nullptr;
+  const std::lock_guard<std::mutex> lock(g_scope_mutex);
+  const auto it = g_scopes.find(std::this_thread::get_id());
+  return it == g_scopes.end() ? nullptr : it->second;
+}
+
 }  // namespace
+
+TraceScope::TraceScope(std::size_t capacity) : capacity_(capacity < 1 ? 1 : capacity) {
+  events_.reserve(capacity_ < 64 ? capacity_ : 64);
+  const std::lock_guard<std::mutex> lock(g_scope_mutex);
+  TraceScope*& slot = g_scopes[std::this_thread::get_id()];
+  prev_ = slot;
+  slot = this;
+  g_scope_count.fetch_add(1, std::memory_order_release);
+}
+
+TraceScope::~TraceScope() {
+  const std::lock_guard<std::mutex> lock(g_scope_mutex);
+  const auto it = g_scopes.find(std::this_thread::get_id());
+  // Scopes unwind LIFO on their own thread, so this scope is the slot head.
+  if (it != g_scopes.end() && it->second == this) {
+    if (prev_ != nullptr) {
+      it->second = prev_;
+    } else {
+      g_scopes.erase(it);
+    }
+  }
+  g_scope_count.fetch_sub(1, std::memory_order_release);
+}
+
+std::vector<TraceScope::Event> TraceScope::take_events() {
+  std::vector<Event> out;
+  out.swap(events_);
+  return out;
+}
 
 void Gauge::set(double v) noexcept {
   last_.store(v, std::memory_order_relaxed);
@@ -276,6 +386,9 @@ Span::Span(std::string_view name) {
   if (registry_dead()) return;
   name_ = name;
   start_us_ = Registry::instance().now_us();
+  if (TraceScope* scope = current_scope(); scope != nullptr) {
+    depth_ = scope->open_depth_++;  // scope fields are owner-thread-only
+  }
   open_ = true;
 }
 
@@ -285,7 +398,18 @@ double Span::close() noexcept {
   if (registry_dead()) return 0.0;
   Registry& reg = Registry::instance();
   const std::int64_t end_us = reg.now_us();
-  reg.record_span(name_, start_us_, end_us);
+  TraceScope* scope = current_scope();
+  if (scope != nullptr) {
+    if (scope->open_depth_ > 0) --scope->open_depth_;
+    if (scope->events_.size() < scope->capacity_) {
+      scope->events_.push_back({name_, start_us_, end_us - start_us_, depth_});
+    } else {
+      ++scope->dropped_;
+    }
+  }
+  // With a scope active, the event stays out of the process-global ring —
+  // the request owns its timeline; aggregates still update globally.
+  reg.record_span(name_, start_us_, end_us, /*buffer_event=*/scope == nullptr);
   return static_cast<double>(end_us - start_us_) * 1e-6;
 }
 
@@ -304,6 +428,16 @@ void set_trace_path(std::string path) {
 void set_metrics_path(std::string path) {
   if (registry_dead()) return;
   Registry::instance().set_metrics_path(std::move(path));
+}
+
+void set_trace_capacity(std::size_t capacity) {
+  if (registry_dead()) return;
+  Registry::instance().set_trace_capacity(capacity);
+}
+
+std::int64_t trace_dropped() {
+  if (registry_dead()) return 0;
+  return Registry::instance().trace_dropped();
 }
 
 std::string metrics_text() {

@@ -1,0 +1,33 @@
+#include "clado/quant/freeze.h"
+
+#include <stdexcept>
+
+#include "clado/nn/sequential.h"
+#include "clado/obs/obs.h"
+#include "clado/quant/bn_fold.h"
+#include "clado/quant/qat.h"
+
+namespace clado::quant {
+
+FreezeReport freeze_quantized(clado::nn::Sequential& net,
+                              const std::vector<clado::nn::QuantLayerRef>& layers,
+                              const std::vector<int>& bits, WeightScheme scheme) {
+  if (!bits.empty() && bits.size() != layers.size()) {
+    throw std::invalid_argument("freeze_quantized: bits count " + std::to_string(bits.size()) +
+                                " != layer count " + std::to_string(layers.size()));
+  }
+  const clado::obs::Span span("quant/freeze");
+  FreezeReport report;
+  report.batchnorms_folded = fold_batchnorm(net);
+  if (!bits.empty()) {
+    bake_weights(layers, bits, scheme);
+    for (int b : bits) report.layers_quantized += b > 0 ? 1 : 0;
+    report.weight_bytes = assignment_bytes(layers, bits);
+  } else {
+    report.weight_bytes = uniform_bytes(layers, 32);
+  }
+  clado::obs::counter("quant.freezes").add();
+  return report;
+}
+
+}  // namespace clado::quant

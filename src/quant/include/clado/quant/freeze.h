@@ -1,0 +1,42 @@
+// Freezing a network for deployment.
+//
+// The sensitivity pipeline applies quantization reversibly (bake + restore
+// snapshots) because it must keep perturbing the same fp32 weights. A
+// serving engine wants the opposite: apply the deployment transforms once —
+// fold BatchNorm into the preceding convolutions, then overwrite every
+// quantizable layer's weights with Q(w, b_i) for the chosen assignment —
+// and never touch the weights again. freeze_quantized() is that one-shot
+// materialization; clado::serve::Engine calls it at load time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "clado/nn/module.h"
+#include "clado/nn/sequential.h"
+#include "clado/quant/quantizer.h"
+
+namespace clado::quant {
+
+/// What freeze_quantized() did, for logs and size accounting.
+struct FreezeReport {
+  int batchnorms_folded = 0;
+  std::int64_t layers_quantized = 0;  ///< layers with bits[i] > 0
+  double weight_bytes = 0.0;          ///< Σ |w_i| · b_i / 8 (fp32 layers at 32)
+};
+
+/// Materializes a deployable network in place: folds every BatchNorm in
+/// `net` into its preceding convolution, then permanently overwrites each
+/// layer in `layers` with Q(w, bits[i], scheme). bits[i] == 0 leaves layer
+/// i in fp32; an empty `bits` leaves every layer fp32 (a float engine —
+/// BatchNorm is still folded, so fp32 and quantized engines run the same
+/// deployment graph). Throws std::invalid_argument when a non-empty `bits`
+/// does not have exactly one entry per layer.
+///
+/// Folding mutates conv weights in place and swaps BatchNorm children for
+/// Identity, so the QuantLayerRef pointers in `layers` stay valid.
+FreezeReport freeze_quantized(clado::nn::Sequential& net,
+                              const std::vector<clado::nn::QuantLayerRef>& layers,
+                              const std::vector<int>& bits, WeightScheme scheme);
+
+}  // namespace clado::quant

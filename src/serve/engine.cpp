@@ -1,0 +1,84 @@
+#include "clado/serve/engine.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "clado/models/model.h"
+#include "clado/obs/obs.h"
+#include "clado/quant/freeze.h"
+
+namespace clado::serve {
+
+Engine::Engine(clado::models::Model model, EngineSpec spec) : spec_(std::move(spec)) {
+  if (spec_.replicas < 1) {
+    throw std::invalid_argument("Engine: replicas must be >= 1");
+  }
+  const clado::obs::Span span("serve/engine_load");
+  model.net->set_training(false);
+  model.net->clear_cache();
+  const auto report = clado::quant::freeze_quantized(*model.net, model.quant_layers, spec_.bits,
+                                                     model.scheme);
+  weight_bytes_ = report.weight_bytes;
+  batchnorms_folded_ = report.batchnorms_folded;
+  sample_shape_ = {model.channels, model.image_size, model.image_size};
+
+  replicas_.reserve(static_cast<std::size_t>(spec_.replicas));
+  for (int r = 1; r < spec_.replicas; ++r) replicas_.push_back(model.clone());
+  replicas_.push_back(std::move(model));
+  clado::obs::counter("serve.engines_loaded").add();
+}
+
+Tensor Engine::infer(const Tensor& batch, int replica) {
+  if (replica < 0 || replica >= replicas()) {
+    throw std::invalid_argument("Engine::infer: replica " + std::to_string(replica) +
+                                " out of [0, " + std::to_string(replicas()) + ")");
+  }
+  if (batch.dim() != 4 || batch.size(1) != sample_shape_[0] ||
+      batch.size(2) != sample_shape_[1] || batch.size(3) != sample_shape_[2]) {
+    throw std::invalid_argument("Engine::infer: input " + batch.shape_str() +
+                                " does not batch samples of shape [" +
+                                std::to_string(sample_shape_[0]) + ", " +
+                                std::to_string(sample_shape_[1]) + ", " +
+                                std::to_string(sample_shape_[2]) + "]");
+  }
+  const clado::obs::Span span("serve/engine_forward");
+  return replicas_[static_cast<std::size_t>(replica)].net->forward(batch);
+}
+
+std::int64_t Engine::predict(const Tensor& sample) {
+  Tensor batch = sample;
+  if (batch.dim() == 3) {
+    Shape s = batch.shape();
+    s.insert(s.begin(), 1);
+    batch.reshape_inplace(std::move(s));
+  }
+  return infer(batch, 0).argmax();
+}
+
+std::shared_ptr<Engine> EngineRegistry::put(const std::string& key,
+                                            std::shared_ptr<Engine> engine) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  engines_[key] = engine;
+  return engine;
+}
+
+std::shared_ptr<Engine> EngineRegistry::get(const std::string& key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = engines_.find(key);
+  return it == engines_.end() ? nullptr : it->second;
+}
+
+bool EngineRegistry::erase(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return engines_.erase(key) > 0;
+}
+
+std::vector<std::string> EngineRegistry::keys() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(engines_.size());
+  for (const auto& [key, engine] : engines_) out.push_back(key);
+  return out;
+}
+
+}  // namespace clado::serve

@@ -1,0 +1,92 @@
+// clado::serve — serving a CLADO bit-width assignment.
+//
+// An Engine is the deployable form of a trained model plus an MPQ
+// assignment: at load time the network is frozen once (BatchNorm folded,
+// weights overwritten with Q(w, b_i) via clado::quant::freeze_quantized)
+// and then never mutated again. Because the NN engine's forward pass
+// stashes per-layer state, one network object supports only one in-flight
+// forward; the Engine therefore owns `replicas` independent deep copies —
+// server worker w runs batched forwards on replica w, so workers never
+// contend on layer stashes while the heavy GEMMs inside each forward still
+// fan out across the shared tensor::ThreadPool.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "clado/models/model.h"
+#include "clado/tensor/tensor.h"
+
+namespace clado::serve {
+
+using clado::tensor::Shape;
+using clado::tensor::Tensor;
+
+/// How to freeze an Engine's weights at load time.
+struct EngineSpec {
+  /// Per-layer bit-widths (one entry per Model::quant_layers, 0 = keep
+  /// fp32); empty = all-fp32 engine. BatchNorm is folded either way, so
+  /// fp32 and quantized engines run the same deployment graph.
+  std::vector<int> bits;
+  int replicas = 1;   ///< independent forward contexts (>= server workers)
+  std::string label;  ///< display name, e.g. "int8", "mixed-0.375", "fp32"
+};
+
+/// Immutable, pre-quantized inference engine. Thread-safe across distinct
+/// replica ids; calls on the same replica must not overlap.
+class Engine {
+ public:
+  /// Takes ownership of a pretrained (and, for quantized serving,
+  /// activation-calibrated) model and freezes it per `spec`. Throws
+  /// std::invalid_argument on a bits/layer-count mismatch or replicas < 1.
+  Engine(clado::models::Model model, EngineSpec spec);
+
+  const std::string& label() const { return spec_.label; }
+  const std::string& model_name() const { return replicas_.front().name; }
+  int replicas() const { return static_cast<int>(replicas_.size()); }
+  std::int64_t num_classes() const { return replicas_.front().num_classes; }
+  const Shape& sample_shape() const { return sample_shape_; }  ///< [C, H, W]
+  const std::vector<int>& bits() const { return spec_.bits; }
+  /// Frozen weight storage (Σ |w_i| · b_i / 8; fp32 layers at 32 bits).
+  double weight_bytes() const { return weight_bytes_; }
+  int batchnorms_folded() const { return batchnorms_folded_; }
+
+  /// Batched forward: input [N, C, H, W] -> logits [N, num_classes], run
+  /// on replica `replica`. Throws std::invalid_argument on a shape
+  /// mismatch or an out-of-range replica id.
+  Tensor infer(const Tensor& batch, int replica = 0);
+
+  /// Top-1 class of one sample [C, H, W] (or [1, C, H, W]), on replica 0.
+  std::int64_t predict(const Tensor& sample);
+
+ private:
+  EngineSpec spec_;
+  std::vector<clado::models::Model> replicas_;
+  Shape sample_shape_;
+  double weight_bytes_ = 0.0;
+  int batchnorms_folded_ = 0;
+};
+
+/// Named collection of loaded engines — the daemon's model table. Lookup
+/// returns shared ownership so an engine can be hot-swapped (re-registered
+/// under the same key) while in-flight servers keep the version they
+/// started with.
+class EngineRegistry {
+ public:
+  /// Registers (or replaces) `engine` under `key`; returns the engine.
+  std::shared_ptr<Engine> put(const std::string& key, std::shared_ptr<Engine> engine);
+  /// nullptr when `key` is unknown.
+  std::shared_ptr<Engine> get(const std::string& key) const;
+  bool erase(const std::string& key);
+  std::vector<std::string> keys() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<Engine>> engines_;
+};
+
+}  // namespace clado::serve

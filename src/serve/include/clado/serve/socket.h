@@ -1,0 +1,67 @@
+// Unix-domain socket transport for the serve wire protocol.
+//
+// SocketDaemon fronts one serve::Server: run() accepts connections and
+// spawns one handler thread per connection (joined before run() returns),
+// each reading framed WireRequests, forwarding kInfer to Server::submit,
+// and writing framed WireResponses. A kShutdown frame (or stop() from
+// another thread) closes the listen socket, drains the server, and lets
+// run() return — in-flight requests complete, the socket file is removed.
+//
+// The client helpers are one-shot: connect, send one frame, read one
+// frame, close. They throw std::runtime_error on connect/protocol errors
+// (a missing daemon is an error, not a silent default).
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "clado/serve/serve.h"
+#include "clado/serve/wire.h"
+
+namespace clado::serve {
+
+class SocketDaemon {
+ public:
+  /// Binds and listens on `socket_path` (an existing socket file is
+  /// replaced). Throws std::runtime_error on bind/listen failure. The
+  /// server must outlive the daemon.
+  SocketDaemon(Server& server, std::string socket_path);
+  /// Stops the accept loop (if still running) and removes the socket file.
+  ~SocketDaemon();
+  SocketDaemon(const SocketDaemon&) = delete;
+  SocketDaemon& operator=(const SocketDaemon&) = delete;
+
+  /// Blocking accept loop; returns after a kShutdown frame or stop().
+  /// All connection handlers are joined and the server drained on return.
+  void run();
+
+  /// Thread-safe shutdown trigger; wakes a blocked run().
+  void stop();
+
+  const std::string& socket_path() const { return socket_path_; }
+
+ private:
+  void handle_connection(int fd);
+
+  Server& server_;
+  std::string socket_path_;
+  std::atomic<int> listen_fd_{-1};
+  std::atomic<bool> stopping_{false};
+  std::mutex threads_mutex_;
+  std::vector<std::thread> threads_;
+};
+
+/// Sends one sample to a running daemon and returns its decoded response.
+WireResponse query_socket(const std::string& socket_path, const Tensor& sample,
+                          std::int64_t deadline_us = 0);
+
+/// Liveness probe: true iff the daemon answered the ping with kOk.
+bool ping_socket(const std::string& socket_path);
+
+/// Asks the daemon to drain and exit; true iff it acknowledged.
+bool shutdown_socket(const std::string& socket_path);
+
+}  // namespace clado::serve

@@ -1,0 +1,67 @@
+// Length-prefixed binary wire protocol spoken by `clado serve` / `clado
+// query` over a Unix-domain socket.
+//
+// Framing: every message is a little-endian u32 payload length followed by
+// that many payload bytes. Payloads open with a magic ("CLSV") and a
+// version word so a client talking to the wrong socket fails loudly
+// instead of misinterpreting bytes.
+//
+// Request payload:  magic u32 | version u32 | type u32 | deadline_us i64 |
+//                   ndim u32 | dims i64[ndim] | data f32[prod(dims)]
+// Response payload: magic u32 | version u32 | status u32 | predicted i64 |
+//                   queue_us i64 | total_us i64 | nlogits u32 |
+//                   logits f32[nlogits] | error_len u32 | error bytes
+//
+// encode_*/decode_* are pure byte-vector transforms (no I/O, little-endian
+// regardless of host order) so they are unit-testable without a socket;
+// socket.h owns the file descriptors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <span>
+
+#include "clado/serve/serve.h"
+#include "clado/tensor/tensor.h"
+
+namespace clado::serve {
+
+inline constexpr std::uint32_t kWireMagic = 0x434C5356;  // "CLSV"
+inline constexpr std::uint32_t kWireVersion = 1;
+/// Upper bound on a decoded frame; a corrupt length prefix fails here
+/// instead of provoking a multi-gigabyte allocation.
+inline constexpr std::uint32_t kWireMaxFrameBytes = 64u << 20;
+
+enum class MsgType : std::uint32_t {
+  kInfer = 1,     ///< run one sample through the engine
+  kPing = 2,      ///< liveness probe; daemon answers kOk with no logits
+  kShutdown = 3,  ///< daemon drains its server and exits the accept loop
+};
+
+struct WireRequest {
+  MsgType type = MsgType::kInfer;
+  std::int64_t deadline_us = 0;  ///< queueing budget relative to admission; 0 = none
+  Tensor input;                  ///< kInfer only
+};
+
+struct WireResponse {
+  Status status = Status::kEngineError;
+  std::int64_t predicted = -1;
+  std::int64_t queue_us = 0;
+  std::int64_t total_us = 0;
+  std::vector<float> logits;
+  std::string error;
+};
+
+std::vector<std::uint8_t> encode_request(const WireRequest& req);
+std::vector<std::uint8_t> encode_response(const WireResponse& resp);
+
+/// Decoders validate magic, version, declared lengths, and tensor shape
+/// arithmetic; any mismatch throws std::runtime_error describing the
+/// offending field. A throwing decode consumes nothing.
+WireRequest decode_request(std::span<const std::uint8_t> payload);
+WireResponse decode_response(std::span<const std::uint8_t> payload);
+
+}  // namespace clado::serve

@@ -1,0 +1,323 @@
+#include "clado/serve/serve.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "clado/obs/obs.h"
+#include "clado/tensor/env.h"
+#include "clado/tensor/ops.h"
+
+namespace clado::serve {
+
+namespace {
+
+/// Bound on the latency reservoir; long soaks overwrite oldest-first
+/// rather than growing the sample vector without limit.
+constexpr std::size_t kLatencyCap = std::size_t{1} << 16;
+
+std::future<Response> immediate(Status status, std::string error = {}) {
+  std::promise<Response> promise;
+  Response r;
+  r.status = status;
+  r.error = std::move(error);
+  promise.set_value(std::move(r));
+  return promise.get_future();
+}
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[std::min(rank == 0 ? 0 : rank - 1, sorted.size() - 1)];
+}
+
+}  // namespace
+
+const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk: return "OK";
+    case Status::kRejectedOverload: return "REJECTED_OVERLOAD";
+    case Status::kDeadlineExpired: return "DEADLINE_EXPIRED";
+    case Status::kShutdown: return "SHUTDOWN";
+    case Status::kInvalidInput: return "INVALID_INPUT";
+    case Status::kEngineError: return "ENGINE_ERROR";
+  }
+  return "UNKNOWN";
+}
+
+ServerConfig ServerConfig::from_env() {
+  using clado::tensor::env_int_strict;
+  ServerConfig c;
+  if (const auto v = env_int_strict("CLADO_SERVE_WORKERS", 1, 256)) {
+    c.workers = static_cast<int>(*v);
+  }
+  if (const auto v = env_int_strict("CLADO_SERVE_MAX_BATCH", 1, 4096)) c.max_batch = *v;
+  if (const auto v = env_int_strict("CLADO_SERVE_MAX_DELAY_US", 0, 60'000'000)) {
+    c.max_delay_us = *v;
+  }
+  if (const auto v = env_int_strict("CLADO_SERVE_QUEUE_CAP", 1, 1 << 20)) {
+    c.queue_capacity = *v;
+  }
+  return c;
+}
+
+Server::Server(std::shared_ptr<Engine> engine, ServerConfig config)
+    : engine_(std::move(engine)),
+      config_(config),
+      epoch_(std::chrono::steady_clock::now()),
+      pool_(config.workers) {
+  if (engine_ == nullptr) throw std::invalid_argument("Server: engine is null");
+  if (config_.workers < 1) throw std::invalid_argument("Server: workers must be >= 1");
+  if (config_.max_batch < 1) throw std::invalid_argument("Server: max_batch must be >= 1");
+  if (config_.max_delay_us < 0) {
+    throw std::invalid_argument("Server: max_delay_us must be >= 0");
+  }
+  if (config_.queue_capacity < 1) {
+    throw std::invalid_argument("Server: queue_capacity must be >= 1");
+  }
+  if (engine_->replicas() < config_.workers) {
+    throw std::invalid_argument(
+        "Server: engine has " + std::to_string(engine_->replicas()) +
+        " replicas but the server needs one per worker (" +
+        std::to_string(config_.workers) + "); load the engine with EngineSpec::replicas >= "
+        "workers");
+  }
+  paused_ = config_.start_paused;
+  latencies_ms_.reserve(std::min<std::size_t>(kLatencyCap, 1024));
+  // The dispatcher issues one parallel_for whose chunks ARE the worker
+  // loops (grain 1 → exactly `workers` chunks, and the dispatcher itself
+  // executes one of them as the participating caller). parallel_for only
+  // returns once every loop exits at stop_, which is what ~Server joins on.
+  dispatcher_ = std::thread([this] {
+    pool_.parallel_for(0, config_.workers, 1,
+                       [this](std::int64_t begin, std::int64_t end) {
+                         for (std::int64_t w = begin; w < end; ++w) {
+                           worker_loop(static_cast<int>(w));
+                         }
+                       });
+  });
+}
+
+Server::~Server() {
+  drain();
+}
+
+std::int64_t Server::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+std::future<Response> Server::submit(Tensor input, std::int64_t deadline_us) {
+  const Shape& want = engine_->sample_shape();
+  if (input.dim() != 3 || input.size(0) != want[0] || input.size(1) != want[1] ||
+      input.size(2) != want[2]) {
+    return immediate(Status::kInvalidInput,
+                     "expected sample of shape [" + std::to_string(want[0]) + ", " +
+                         std::to_string(want[1]) + ", " + std::to_string(want[2]) +
+                         "], got " + input.shape_str());
+  }
+  Pending p;
+  p.input = std::move(input);
+  p.enqueue_us = now_us();
+  p.deadline_us = deadline_us > 0 ? p.enqueue_us + deadline_us : 0;
+  std::future<Response> future = p.promise.get_future();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_ || stop_) return immediate(Status::kShutdown);
+    if (static_cast<std::int64_t>(queue_.size()) >= config_.queue_capacity) {
+      clado::obs::counter("serve.rejected_overload").add();
+      return immediate(Status::kRejectedOverload,
+                       "queue at capacity (" + std::to_string(config_.queue_capacity) + ")");
+    }
+    queue_.push_back(std::move(p));
+    clado::obs::counter("serve.submitted").add();
+    clado::obs::gauge("serve.queue_depth").set(static_cast<double>(queue_.size()));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void Server::resume() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+void Server::drain() {
+  const std::lock_guard<std::mutex> drain_lock(drain_mutex_);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (drained_) return;
+    draining_ = true;
+    paused_ = false;
+    cv_.notify_all();
+    drain_cv_.wait(lock, [this] { return queue_.empty() && inflight_ == 0; });
+    stop_ = true;
+    drained_ = true;
+    cv_.notify_all();
+  }
+  if (dispatcher_.joinable()) dispatcher_.join();
+
+  const LatencySummary lat = latency_summary();
+  if (lat.count > 0) {
+    clado::obs::gauge("serve.latency.p50_ms").set(lat.p50_ms);
+    clado::obs::gauge("serve.latency.p99_ms").set(lat.p99_ms);
+    clado::obs::gauge("serve.latency.max_ms").set(lat.max_ms);
+  }
+}
+
+void Server::worker_loop(int worker) {
+  while (true) {
+    std::vector<Pending> batch;
+    std::int64_t formed_us = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || (!paused_ && !queue_.empty()); });
+      if (stop_ && queue_.empty()) return;
+      if (queue_.empty() || paused_) continue;
+
+      // Batching window: hold the oldest request until either max_batch
+      // requests are queued or max_delay_us has elapsed since it arrived.
+      // Draining flushes immediately — latency no longer buys throughput.
+      const std::int64_t window_end = queue_.front().enqueue_us + config_.max_delay_us;
+      while (static_cast<std::int64_t>(queue_.size()) < config_.max_batch && !draining_ &&
+             !stop_ && !paused_) {
+        const std::int64_t now = now_us();
+        if (now >= window_end) break;
+        cv_.wait_for(lock, std::chrono::microseconds(window_end - now));
+      }
+      if (queue_.empty() || paused_) continue;  // another worker took the batch
+
+      const auto take = std::min<std::int64_t>(config_.max_batch,
+                                               static_cast<std::int64_t>(queue_.size()));
+      batch.reserve(static_cast<std::size_t>(take));
+      for (std::int64_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      inflight_ += static_cast<int>(batch.size());
+      formed_us = now_us();
+      clado::obs::gauge("serve.queue_depth").set(static_cast<double>(queue_.size()));
+    }
+
+    const int took = static_cast<int>(batch.size());
+    execute_batch(worker, std::move(batch), formed_us);
+
+    {
+      // inflight_ was incremented at formation; completion is what
+      // drain() waits on.
+      const std::lock_guard<std::mutex> lock(mutex_);
+      inflight_ -= took;
+    }
+    drain_cv_.notify_all();
+  }
+}
+
+void Server::execute_batch(int worker, std::vector<Pending> batch, std::int64_t formed_us) {
+  // Deadline admission happens at formation: a request that waited past
+  // its budget is answered without ever reaching the engine.
+  std::vector<Pending> live;
+  live.reserve(batch.size());
+  for (Pending& p : batch) {
+    if (p.deadline_us > 0 && formed_us > p.deadline_us) {
+      clado::obs::counter("serve.deadline_expired").add();
+      Response r;
+      r.status = Status::kDeadlineExpired;
+      r.queue_us = formed_us - p.enqueue_us;
+      r.total_us = r.queue_us;
+      p.promise.set_value(std::move(r));
+    } else {
+      live.push_back(std::move(p));
+    }
+  }
+  if (live.empty()) return;
+
+  std::vector<Tensor> inputs;
+  inputs.reserve(live.size());
+  for (const Pending& p : live) inputs.push_back(p.input);
+
+  std::optional<clado::obs::TraceScope> scope;
+  if (config_.capture_traces) scope.emplace();
+
+  Tensor logits;
+  std::string error;
+  {
+    clado::obs::Span span("serve/batch");
+    try {
+      const Tensor stacked = clado::tensor::stack_samples(inputs);
+      logits = engine_->infer(stacked, worker);
+    } catch (const std::exception& e) {
+      error = e.what();
+    }
+    span.close();
+  }
+  std::vector<clado::obs::TraceScope::Event> trace;
+  if (scope.has_value()) trace = scope->take_events();
+
+  const std::int64_t done_us = now_us();
+  if (!error.empty()) {
+    clado::obs::counter("serve.engine_errors").add();
+    for (Pending& p : live) {
+      Response r;
+      r.status = Status::kEngineError;
+      r.error = error;
+      r.batch_size = static_cast<std::int64_t>(live.size());
+      r.queue_us = formed_us - p.enqueue_us;
+      r.total_us = done_us - p.enqueue_us;
+      r.trace = trace;
+      p.promise.set_value(std::move(r));
+    }
+    return;
+  }
+
+  clado::obs::counter("serve.batches").add();
+  clado::obs::counter("serve.completed").add(static_cast<std::int64_t>(live.size()));
+  clado::obs::gauge("serve.batch_size").set(static_cast<double>(live.size()));
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    Pending& p = live[i];
+    Response r;
+    r.status = Status::kOk;
+    r.logits = clado::tensor::slice_row(logits, static_cast<std::int64_t>(i));
+    r.predicted = r.logits.argmax();
+    r.batch_size = static_cast<std::int64_t>(live.size());
+    r.queue_us = formed_us - p.enqueue_us;
+    r.total_us = done_us - p.enqueue_us;
+    r.trace = trace;
+    const double total_ms = static_cast<double>(r.total_us) / 1000.0;
+    p.promise.set_value(std::move(r));
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (latencies_ms_.size() < kLatencyCap) {
+        latencies_ms_.push_back(total_ms);
+      } else {
+        latencies_ms_[static_cast<std::size_t>(latency_overwrite_++) % kLatencyCap] = total_ms;
+      }
+    }
+  }
+}
+
+LatencySummary Server::latency_summary() const {
+  std::vector<double> sorted;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    sorted = latencies_ms_;
+  }
+  std::sort(sorted.begin(), sorted.end());
+  LatencySummary s;
+  s.count = static_cast<std::int64_t>(sorted.size());
+  if (!sorted.empty()) {
+    s.p50_ms = percentile(sorted, 0.50);
+    s.p99_ms = percentile(sorted, 0.99);
+    s.max_ms = sorted.back();
+  }
+  return s;
+}
+
+}  // namespace clado::serve

@@ -1,0 +1,271 @@
+#include "clado/serve/socket.h"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "clado/obs/obs.h"
+
+namespace clado::serve {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+/// RAII socket fd so every exit path (including decode exceptions in a
+/// handler thread) closes the descriptor exactly once.
+class Fd {
+ public:
+  explicit Fd(int fd = -1) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+  int get() const { return fd_; }
+  int release() { return std::exchange(fd_, -1); }
+  void reset() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+void write_all(int fd, const std::uint8_t* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("serve socket write");
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+/// False on clean EOF at a frame boundary; throws on mid-frame EOF.
+bool read_all(int fd, std::uint8_t* data, std::size_t len, bool eof_ok) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::read(fd, data + got, len - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("serve socket read");
+    }
+    if (n == 0) {
+      if (got == 0 && eof_ok) return false;
+      throw std::runtime_error("serve socket: peer closed mid-frame");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void send_frame(int fd, const std::vector<std::uint8_t>& payload) {
+  std::uint8_t prefix[4];
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) prefix[i] = static_cast<std::uint8_t>(len >> (8 * i));
+  write_all(fd, prefix, sizeof(prefix));
+  write_all(fd, payload.data(), payload.size());
+}
+
+/// Empty vector on clean EOF before a new frame.
+std::vector<std::uint8_t> recv_frame(int fd) {
+  std::uint8_t prefix[4];
+  if (!read_all(fd, prefix, sizeof(prefix), /*eof_ok=*/true)) return {};
+  std::uint32_t len = 0;
+  for (int i = 3; i >= 0; --i) len = (len << 8) | prefix[i];
+  if (len == 0 || len > kWireMaxFrameBytes) {
+    throw std::runtime_error("serve socket: frame length " + std::to_string(len) +
+                             " out of range");
+  }
+  std::vector<std::uint8_t> payload(len);
+  read_all(fd, payload.data(), payload.size(), /*eof_ok=*/false);
+  return payload;
+}
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("serve socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+Fd connect_to(const std::string& path) {
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (fd.get() < 0) throw_errno("serve socket");
+  const sockaddr_un addr = make_addr(path);
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw_errno("serve connect to " + path);
+  }
+  return fd;
+}
+
+WireResponse roundtrip(const std::string& path, const WireRequest& req) {
+  const Fd fd = connect_to(path);
+  send_frame(fd.get(), encode_request(req));
+  const std::vector<std::uint8_t> payload = recv_frame(fd.get());
+  if (payload.empty()) {
+    throw std::runtime_error("serve socket: daemon closed without responding");
+  }
+  return decode_response(payload);
+}
+
+}  // namespace
+
+SocketDaemon::SocketDaemon(Server& server, std::string socket_path)
+    : server_(server), socket_path_(std::move(socket_path)) {
+  std::error_code ec;
+  std::filesystem::remove(socket_path_, ec);  // stale socket from a dead daemon
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (fd.get() < 0) throw_errno("serve socket");
+  const sockaddr_un addr = make_addr(socket_path_);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw_errno("serve bind " + socket_path_);
+  }
+  if (::listen(fd.get(), 64) != 0) {
+    throw_errno("serve listen " + socket_path_);
+  }
+  listen_fd_.store(fd.release());
+}
+
+SocketDaemon::~SocketDaemon() {
+  stop();
+  {
+    const int fd = listen_fd_.exchange(-1);
+    if (fd >= 0) ::close(fd);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(threads_mutex_);
+    for (std::thread& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+    threads_.clear();
+  }
+  std::error_code ec;
+  std::filesystem::remove(socket_path_, ec);
+}
+
+void SocketDaemon::stop() {
+  if (stopping_.exchange(true)) return;
+  // shutdown(), not close(): closing an fd does not wake a thread already
+  // blocked in accept() on it — that thread would sleep until the next
+  // connection. shutdown() on a listening socket makes the blocked (and any
+  // future) accept() fail immediately; the fd itself is closed by run() on
+  // exit, or by the destructor if run() never started.
+  const int fd = listen_fd_.load();
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+void SocketDaemon::run() {
+  clado::obs::counter("serve.daemon_starts").add();
+  while (!stopping_.load()) {
+    const int conn = ::accept(listen_fd_.load(), nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      break;  // stop() shut the listen socket down (or it genuinely failed)
+    }
+    const std::lock_guard<std::mutex> lock(threads_mutex_);
+    threads_.emplace_back([this, conn] { handle_connection(conn); });
+  }
+  {
+    const int fd = listen_fd_.exchange(-1);
+    if (fd >= 0) ::close(fd);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(threads_mutex_);
+    for (std::thread& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+    threads_.clear();
+  }
+  server_.drain();
+}
+
+void SocketDaemon::handle_connection(int raw_fd) {
+  const Fd fd(raw_fd);
+  clado::obs::counter("serve.connections").add();
+  try {
+    while (true) {
+      const std::vector<std::uint8_t> payload = recv_frame(fd.get());
+      if (payload.empty()) return;  // client hung up cleanly
+      WireResponse resp;
+      try {
+        const WireRequest req = decode_request(payload);
+        if (req.type == MsgType::kPing) {
+          resp.status = Status::kOk;
+        } else if (req.type == MsgType::kShutdown) {
+          resp.status = Status::kShutdown;
+          send_frame(fd.get(), encode_response(resp));
+          stop();
+          return;
+        } else {
+          Response r = server_.submit(req.input, req.deadline_us).get();
+          resp.status = r.status;
+          resp.predicted = r.predicted;
+          resp.queue_us = r.queue_us;
+          resp.total_us = r.total_us;
+          resp.error = std::move(r.error);
+          if (r.status == Status::kOk) {
+            resp.logits.assign(r.logits.flat().begin(), r.logits.flat().end());
+          }
+        }
+      } catch (const std::exception& e) {
+        clado::obs::counter("serve.protocol_errors").add();
+        resp = WireResponse{};
+        resp.status = Status::kInvalidInput;
+        resp.error = e.what();
+      }
+      send_frame(fd.get(), encode_response(resp));
+    }
+  } catch (const std::exception&) {
+    // Transport failure on this connection (peer vanished mid-frame);
+    // drop the connection, keep the daemon up.
+    clado::obs::counter("serve.connection_errors").add();
+  }
+}
+
+WireResponse query_socket(const std::string& socket_path, const Tensor& sample,
+                          std::int64_t deadline_us) {
+  WireRequest req;
+  req.type = MsgType::kInfer;
+  req.deadline_us = deadline_us;
+  req.input = sample;
+  return roundtrip(socket_path, req);
+}
+
+bool ping_socket(const std::string& socket_path) {
+  try {
+    WireRequest req;
+    req.type = MsgType::kPing;
+    return roundtrip(socket_path, req).status == Status::kOk;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool shutdown_socket(const std::string& socket_path) {
+  try {
+    WireRequest req;
+    req.type = MsgType::kShutdown;
+    return roundtrip(socket_path, req).status == Status::kShutdown;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace clado::serve

@@ -1,0 +1,198 @@
+#include "clado/serve/wire.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace clado::serve {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_i64(std::vector<std::uint8_t>& out, std::int64_t v) {
+  const auto u = static_cast<std::uint64_t>(v);
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(u >> shift));
+  }
+}
+
+void put_f32(std::vector<std::uint8_t>& out, float v) {
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u32(out, bits);
+}
+
+/// Sequential little-endian reader over one payload; every read is
+/// bounds-checked so a truncated frame throws instead of reading past the
+/// buffer.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint32_t u32(const char* field) {
+    need(4, field);
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) v = (v << 8) | bytes_[pos_ + static_cast<std::size_t>(i)];
+    pos_ += 4;
+    return v;
+  }
+
+  std::int64_t i64(const char* field) {
+    need(8, field);
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | bytes_[pos_ + static_cast<std::size_t>(i)];
+    pos_ += 8;
+    return static_cast<std::int64_t>(v);
+  }
+
+  float f32(const char* field) {
+    const std::uint32_t bits = u32(field);
+    float v = 0.0F;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::string bytes(std::size_t n, const char* field) {
+    need(n, field);
+    std::string out(reinterpret_cast<const char*>(bytes_.data() + pos_), n);
+    pos_ += n;
+    return out;
+  }
+
+  void expect_done(const char* what) const {
+    if (pos_ != bytes_.size()) {
+      throw std::runtime_error(std::string("wire: ") + what + " has " +
+                               std::to_string(bytes_.size() - pos_) + " trailing bytes");
+    }
+  }
+
+ private:
+  void need(std::size_t n, const char* field) const {
+    if (bytes_.size() - pos_ < n) {
+      throw std::runtime_error(std::string("wire: payload truncated reading ") + field);
+    }
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+void check_header(Reader& r, const char* what) {
+  const std::uint32_t magic = r.u32("magic");
+  if (magic != kWireMagic) {
+    throw std::runtime_error(std::string("wire: bad magic in ") + what +
+                             " (not a clado serve peer?)");
+  }
+  const std::uint32_t version = r.u32("version");
+  if (version != kWireVersion) {
+    throw std::runtime_error(std::string("wire: ") + what + " version " +
+                             std::to_string(version) + ", expected " +
+                             std::to_string(kWireVersion));
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_request(const WireRequest& req) {
+  std::vector<std::uint8_t> out;
+  out.reserve(32 + static_cast<std::size_t>(req.input.numel()) * 4);
+  put_u32(out, kWireMagic);
+  put_u32(out, kWireVersion);
+  put_u32(out, static_cast<std::uint32_t>(req.type));
+  put_i64(out, req.deadline_us);
+  if (req.type == MsgType::kInfer) {
+    const auto& shape = req.input.shape();
+    put_u32(out, static_cast<std::uint32_t>(shape.size()));
+    for (const std::int64_t d : shape) put_i64(out, d);
+    for (const float v : req.input.flat()) put_f32(out, v);
+  } else {
+    put_u32(out, 0);
+  }
+  return out;
+}
+
+WireRequest decode_request(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  check_header(r, "request");
+  WireRequest req;
+  const std::uint32_t type = r.u32("type");
+  if (type < 1 || type > 3) {
+    throw std::runtime_error("wire: unknown request type " + std::to_string(type));
+  }
+  req.type = static_cast<MsgType>(type);
+  req.deadline_us = r.i64("deadline_us");
+  const std::uint32_t ndim = r.u32("ndim");
+  if (ndim > 8) throw std::runtime_error("wire: request ndim " + std::to_string(ndim) + " > 8");
+  if (req.type == MsgType::kInfer) {
+    Shape shape;
+    shape.reserve(ndim);
+    std::int64_t numel = 1;
+    for (std::uint32_t i = 0; i < ndim; ++i) {
+      const std::int64_t d = r.i64("dim");
+      if (d < 1 || d > static_cast<std::int64_t>(kWireMaxFrameBytes)) {
+        throw std::runtime_error("wire: request dim " + std::to_string(d) + " out of range");
+      }
+      numel *= d;
+      if (numel > static_cast<std::int64_t>(kWireMaxFrameBytes) / 4) {
+        throw std::runtime_error("wire: request tensor too large");
+      }
+      shape.push_back(d);
+    }
+    std::vector<float> data;
+    data.reserve(static_cast<std::size_t>(numel));
+    for (std::int64_t i = 0; i < numel; ++i) data.push_back(r.f32("data"));
+    req.input = Tensor(std::move(shape), std::move(data));
+  }
+  r.expect_done("request");
+  return req;
+}
+
+std::vector<std::uint8_t> encode_response(const WireResponse& resp) {
+  std::vector<std::uint8_t> out;
+  out.reserve(48 + resp.logits.size() * 4 + resp.error.size());
+  put_u32(out, kWireMagic);
+  put_u32(out, kWireVersion);
+  put_u32(out, static_cast<std::uint32_t>(resp.status));
+  put_i64(out, resp.predicted);
+  put_i64(out, resp.queue_us);
+  put_i64(out, resp.total_us);
+  put_u32(out, static_cast<std::uint32_t>(resp.logits.size()));
+  for (const float v : resp.logits) put_f32(out, v);
+  put_u32(out, static_cast<std::uint32_t>(resp.error.size()));
+  out.insert(out.end(), resp.error.begin(), resp.error.end());
+  return out;
+}
+
+WireResponse decode_response(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  check_header(r, "response");
+  WireResponse resp;
+  const std::uint32_t status = r.u32("status");
+  if (status > static_cast<std::uint32_t>(Status::kEngineError)) {
+    throw std::runtime_error("wire: unknown response status " + std::to_string(status));
+  }
+  resp.status = static_cast<Status>(status);
+  resp.predicted = r.i64("predicted");
+  resp.queue_us = r.i64("queue_us");
+  resp.total_us = r.i64("total_us");
+  const std::uint32_t nlogits = r.u32("nlogits");
+  if (nlogits > kWireMaxFrameBytes / 4) {
+    throw std::runtime_error("wire: response logits length " + std::to_string(nlogits));
+  }
+  resp.logits.reserve(nlogits);
+  for (std::uint32_t i = 0; i < nlogits; ++i) resp.logits.push_back(r.f32("logits"));
+  const std::uint32_t error_len = r.u32("error_len");
+  if (error_len > kWireMaxFrameBytes) {
+    throw std::runtime_error("wire: response error length " + std::to_string(error_len));
+  }
+  resp.error = r.bytes(error_len, "error");
+  r.expect_done("response");
+  return resp;
+}
+
+}  // namespace clado::serve

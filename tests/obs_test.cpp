@@ -239,6 +239,141 @@ TEST_F(ObsTest, WriteMetricsPicksFormatByExtension) {
   std::remove(text_path.c_str());
 }
 
+TEST_F(ObsTest, TraceRingKeepsNewestAndCountsDropped) {
+  const std::string path = ::testing::TempDir() + "/clado_obs_ring.json";
+  set_trace_path(path);
+  set_trace_capacity(3);
+  for (int i = 0; i < 5; ++i) {
+    Span s("test.ring" + std::to_string(i));
+  }
+  EXPECT_EQ(trace_dropped(), 2);
+  ASSERT_TRUE(write_trace(path));
+  const std::string json = read_file(path);
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  // Oldest two evicted, newest three retained.
+  EXPECT_EQ(json.find("test.ring0"), std::string::npos);
+  EXPECT_EQ(json.find("test.ring1"), std::string::npos);
+  EXPECT_NE(json.find("test.ring2"), std::string::npos);
+  EXPECT_NE(json.find("test.ring3"), std::string::npos);
+  EXPECT_NE(json.find("test.ring4"), std::string::npos);
+  // Evictions surface in both metric dumps.
+  EXPECT_NE(metrics_text().find("counter trace.dropped 2"), std::string::npos);
+  EXPECT_NE(metrics_json().find("\"trace.dropped\":2"), std::string::npos);
+  // Aggregates are unaffected by ring eviction.
+  EXPECT_EQ(span_stat("test.ring0").count, 1);
+  set_trace_capacity(std::size_t{1} << 20);
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, TraceRingPreservesChronologyAcrossWrap) {
+  const std::string path = ::testing::TempDir() + "/clado_obs_ring_order.json";
+  set_trace_path(path);
+  set_trace_capacity(2);
+  { Span s("test.order_a"); }
+  { Span s("test.order_b"); }
+  { Span s("test.order_c"); }
+  ASSERT_TRUE(write_trace(path));
+  const std::string json = read_file(path);
+  const std::size_t pos_b = json.find("test.order_b");
+  const std::size_t pos_c = json.find("test.order_c");
+  ASSERT_NE(pos_b, std::string::npos);
+  ASSERT_NE(pos_c, std::string::npos);
+  EXPECT_LT(pos_b, pos_c) << "wrapped ring must export oldest-first";
+  set_trace_capacity(std::size_t{1} << 20);
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, ShrinkingCapacityEvictsOldestExisting) {
+  const std::string path = ::testing::TempDir() + "/clado_obs_shrink.json";
+  set_trace_path(path);
+  set_trace_capacity(std::size_t{1} << 20);
+  for (int i = 0; i < 4; ++i) {
+    Span s("test.shrink" + std::to_string(i));
+  }
+  set_trace_capacity(1);
+  EXPECT_EQ(trace_dropped(), 3);
+  ASSERT_TRUE(write_trace(path));
+  const std::string json = read_file(path);
+  EXPECT_EQ(json.find("test.shrink0"), std::string::npos);
+  EXPECT_NE(json.find("test.shrink3"), std::string::npos);
+  set_trace_capacity(std::size_t{1} << 20);
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, TraceScopeCapturesSpanTreeAndRedirects) {
+  const std::string path = ::testing::TempDir() + "/clado_obs_scope.json";
+  set_trace_path(path);  // tracing on, so redirection is observable
+  {
+    TraceScope scope;
+    {
+      Span outer("test.scope_outer");
+      { Span inner("test.scope_inner"); }
+    }
+    ASSERT_EQ(scope.events().size(), 2u);
+    // Close order: inner first (depth 1), then outer (depth 0).
+    EXPECT_EQ(scope.events()[0].name, "test.scope_inner");
+    EXPECT_EQ(scope.events()[0].depth, 1);
+    EXPECT_EQ(scope.events()[1].name, "test.scope_outer");
+    EXPECT_EQ(scope.events()[1].depth, 0);
+    EXPECT_GE(scope.events()[1].dur_us, scope.events()[0].dur_us);
+  }
+  // Redirected events stay out of the global trace buffer...
+  ASSERT_TRUE(write_trace(path));
+  EXPECT_EQ(read_file(path).find("test.scope_outer"), std::string::npos);
+  // ...but aggregates still update globally.
+  EXPECT_EQ(span_stat("test.scope_outer").count, 1);
+  EXPECT_EQ(span_stat("test.scope_inner").count, 1);
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, TraceScopeBoundsCaptureAndCountsDrops) {
+  TraceScope scope(2);
+  { Span s("test.cap0"); }
+  { Span s("test.cap1"); }
+  { Span s("test.cap2"); }
+  EXPECT_EQ(scope.events().size(), 2u);
+  EXPECT_EQ(scope.dropped(), 1);
+}
+
+TEST_F(ObsTest, TraceScopeTakeEventsKeepsRecording) {
+  TraceScope scope;
+  { Span s("test.take_a"); }
+  const auto first = scope.take_events();
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].name, "test.take_a");
+  EXPECT_TRUE(scope.events().empty());
+  { Span s("test.take_b"); }
+  ASSERT_EQ(scope.events().size(), 1u);
+  EXPECT_EQ(scope.events()[0].name, "test.take_b");
+}
+
+TEST_F(ObsTest, TraceScopesNestNewestWins) {
+  TraceScope outer;
+  { Span s("test.nest_outer_span"); }
+  {
+    TraceScope inner;
+    { Span s("test.nest_inner_span"); }
+    ASSERT_EQ(inner.events().size(), 1u);
+    EXPECT_EQ(inner.events()[0].name, "test.nest_inner_span");
+  }
+  { Span s("test.nest_outer_again"); }
+  ASSERT_EQ(outer.events().size(), 2u);
+  EXPECT_EQ(outer.events()[0].name, "test.nest_outer_span");
+  EXPECT_EQ(outer.events()[1].name, "test.nest_outer_again");
+}
+
+TEST_F(ObsTest, TraceScopeIsPerThread) {
+  TraceScope scope;
+  std::thread other([] {
+    Span s("test.other_thread_span");
+  });
+  other.join();
+  { Span s("test.own_thread_span"); }
+  ASSERT_EQ(scope.events().size(), 1u);
+  EXPECT_EQ(scope.events()[0].name, "test.own_thread_span");
+  EXPECT_EQ(span_stat("test.other_thread_span").count, 1);
+}
+
 TEST_F(ObsTest, ResetClearsWithoutInvalidatingHandles) {
   Counter& c = counter("test.reset");
   c.add(9);

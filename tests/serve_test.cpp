@@ -1,0 +1,416 @@
+// clado::serve coverage: engine freezing, micro-batcher contracts
+// (max_batch / max_delay_us), admission control (overload, deadlines,
+// shutdown), drain semantics, batched-vs-single bit-identity, per-request
+// trace capture, the wire protocol, and a socket round trip. The
+// concurrency tests are the reason serve_test runs under TSan in CI.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "clado/obs/obs.h"
+#include "clado/serve/engine.h"
+#include "clado/serve/serve.h"
+#include "clado/serve/socket.h"
+#include "clado/serve/wire.h"
+#include "clado/tensor/rng.h"
+#include "test_models_util.h"
+
+namespace {
+
+using clado::serve::Engine;
+using clado::serve::EngineSpec;
+using clado::serve::Response;
+using clado::serve::Server;
+using clado::serve::ServerConfig;
+using clado::serve::Status;
+using clado::tensor::Rng;
+using clado::tensor::Tensor;
+
+std::shared_ptr<Engine> make_engine(std::vector<int> bits, int replicas,
+                                    std::uint64_t seed = 7) {
+  Rng rng(seed);
+  auto model = clado::testing::make_tiny_model(rng);
+  EngineSpec spec;
+  spec.bits = std::move(bits);
+  spec.replicas = replicas;
+  spec.label = spec.bits.empty() ? "fp32" : "int";
+  return std::make_shared<Engine>(std::move(model), std::move(spec));
+}
+
+Tensor make_sample(Rng& rng) { return Tensor::randn({3, 8, 8}, rng); }
+
+ServerConfig paused_config(int workers, std::int64_t max_batch,
+                           std::int64_t max_delay_us = 50'000) {
+  ServerConfig cfg;
+  cfg.workers = workers;
+  cfg.max_batch = max_batch;
+  cfg.max_delay_us = max_delay_us;
+  cfg.start_paused = true;
+  return cfg;
+}
+
+TEST(ServeEngine, FreezesAndInfers) {
+  auto engine = make_engine({8, 8, 8, 8}, 2);
+  EXPECT_EQ(engine->replicas(), 2);
+  EXPECT_EQ(engine->num_classes(), 5);
+  EXPECT_EQ(engine->sample_shape(), (clado::tensor::Shape{3, 8, 8}));
+  EXPECT_EQ(engine->batchnorms_folded(), 0);  // tiny fixture has no BN layers
+
+  Rng rng(11);
+  const Tensor batch = Tensor::randn({4, 3, 8, 8}, rng);
+  const Tensor logits = engine->infer(batch);
+  EXPECT_EQ(logits.shape(), (clado::tensor::Shape{4, 5}));
+
+  const std::int64_t cls = engine->predict(make_sample(rng));
+  EXPECT_GE(cls, 0);
+  EXPECT_LT(cls, 5);
+}
+
+TEST(ServeEngine, QuantizedWeightsSmallerThanFp32) {
+  const auto fp32 = make_engine({}, 1);
+  const auto int8 = make_engine({8, 8, 8, 8}, 1);
+  const auto mixed = make_engine({2, 8, 2, 8}, 1);
+  EXPECT_LT(int8->weight_bytes(), fp32->weight_bytes());
+  EXPECT_LT(mixed->weight_bytes(), int8->weight_bytes());
+}
+
+TEST(ServeEngine, RejectsBadInputs) {
+  auto engine = make_engine({}, 1);
+  Rng rng(3);
+  EXPECT_THROW(engine->infer(Tensor::randn({4, 1, 8, 8}, rng)), std::invalid_argument);
+  EXPECT_THROW(engine->infer(Tensor::randn({3, 8, 8}, rng)), std::invalid_argument);
+  EXPECT_THROW(engine->infer(Tensor::randn({1, 3, 8, 8}, rng), 5), std::invalid_argument);
+  EXPECT_THROW(Engine(clado::testing::make_tiny_model(rng), EngineSpec{{}, 0, "bad"}),
+               std::invalid_argument);
+}
+
+TEST(ServeEngine, ReplicasAgree) {
+  auto engine = make_engine({8, 8, 8, 8}, 3);
+  Rng rng(5);
+  const Tensor batch = Tensor::randn({2, 3, 8, 8}, rng);
+  const Tensor a = engine->infer(batch, 0);
+  for (int r = 1; r < 3; ++r) {
+    const Tensor b = engine->infer(batch, r);
+    ASSERT_EQ(a.shape(), b.shape());
+    for (std::int64_t i = 0; i < a.numel(); ++i) EXPECT_EQ(a[i], b[i]) << "replica " << r;
+  }
+}
+
+TEST(ServeRegistry, PutGetErase) {
+  clado::serve::EngineRegistry registry;
+  EXPECT_EQ(registry.get("int8"), nullptr);
+  auto engine = registry.put("int8", make_engine({8, 8, 8, 8}, 1));
+  EXPECT_EQ(registry.get("int8"), engine);
+  // Hot swap: old handle stays alive for holders, lookup sees the new one.
+  auto swapped = registry.put("int8", make_engine({2, 2, 2, 2}, 1));
+  EXPECT_EQ(registry.get("int8"), swapped);
+  EXPECT_NE(engine, swapped);
+  EXPECT_EQ(registry.keys().size(), 1u);
+  EXPECT_TRUE(registry.erase("int8"));
+  EXPECT_FALSE(registry.erase("int8"));
+}
+
+TEST(ServeServer, BatchedResultsBitIdenticalToSingle) {
+  // Two engines frozen from the same seed are bit-identical; one serves
+  // batches, the other answers single-sample references.
+  auto served = make_engine({8, 8, 8, 8}, 1);
+  auto reference = make_engine({8, 8, 8, 8}, 1);
+
+  Server server(served, paused_config(/*workers=*/1, /*max_batch=*/8));
+  Rng rng(123);
+  std::vector<Tensor> samples;
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 6; ++i) {
+    samples.push_back(make_sample(rng));
+    futures.push_back(server.submit(samples.back()));
+  }
+  server.resume();
+  for (int i = 0; i < 6; ++i) {
+    Response r = futures[static_cast<std::size_t>(i)].get();
+    ASSERT_EQ(r.status, Status::kOk) << r.error;
+    EXPECT_GT(r.batch_size, 1) << "requests were not coalesced";
+    Tensor one = samples[static_cast<std::size_t>(i)];
+    one.reshape_inplace({1, 3, 8, 8});
+    const Tensor expected = reference->infer(one);
+    ASSERT_EQ(r.logits.numel(), expected.numel());
+    for (std::int64_t k = 0; k < expected.numel(); ++k) {
+      EXPECT_EQ(r.logits[k], expected[k]) << "sample " << i << " logit " << k;
+    }
+    EXPECT_EQ(r.predicted, expected.argmax());
+  }
+}
+
+TEST(ServeServer, HonorsMaxBatch) {
+  auto engine = make_engine({}, 1);
+  Server server(engine, paused_config(1, /*max_batch=*/2));
+  Rng rng(9);
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 5; ++i) futures.push_back(server.submit(make_sample(rng)));
+  server.resume();
+  for (auto& f : futures) {
+    const Response r = f.get();
+    ASSERT_EQ(r.status, Status::kOk) << r.error;
+    EXPECT_LE(r.batch_size, 2);
+    EXPECT_GE(r.batch_size, 1);
+  }
+}
+
+TEST(ServeServer, MaxDelayFlushesPartialBatch) {
+  auto engine = make_engine({}, 1);
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.max_batch = 64;  // never reachable with one request
+  cfg.max_delay_us = 1000;
+  Server server(engine, cfg);
+  Rng rng(17);
+  auto future = server.submit(make_sample(rng));
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(10)), std::future_status::ready)
+      << "single request was held hostage by an unfilled batch";
+  const Response r = future.get();
+  EXPECT_EQ(r.status, Status::kOk) << r.error;
+  EXPECT_EQ(r.batch_size, 1);
+}
+
+TEST(ServeServer, DeadlineExpiredRequestsNeverRun) {
+  auto engine = make_engine({}, 1);
+  Server server(engine, paused_config(1, 8));
+  Rng rng(21);
+  const std::int64_t completed_before = clado::obs::counter("serve.completed").value();
+  auto doomed = server.submit(make_sample(rng), /*deadline_us=*/1);
+  auto alive = server.submit(make_sample(rng));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  server.resume();
+
+  const Response dead = doomed.get();
+  EXPECT_EQ(dead.status, Status::kDeadlineExpired);
+  EXPECT_EQ(dead.predicted, -1);
+  EXPECT_TRUE(dead.logits.empty());
+
+  const Response ok = alive.get();
+  EXPECT_EQ(ok.status, Status::kOk) << ok.error;
+  EXPECT_EQ(ok.batch_size, 1) << "expired request reached the engine batch";
+  server.drain();
+  EXPECT_EQ(clado::obs::counter("serve.completed").value(), completed_before + 1);
+}
+
+TEST(ServeServer, OverloadRejectsImmediately) {
+  auto engine = make_engine({}, 1);
+  ServerConfig cfg = paused_config(1, 8);
+  cfg.queue_capacity = 2;
+  Server server(engine, cfg);
+  Rng rng(31);
+  auto a = server.submit(make_sample(rng));
+  auto b = server.submit(make_sample(rng));
+  auto rejected = server.submit(make_sample(rng));
+  // The paused server cannot make progress, so a blocking submit would
+  // deadlock this test: readiness here proves admission never blocks.
+  ASSERT_EQ(rejected.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(rejected.get().status, Status::kRejectedOverload);
+  server.resume();
+  EXPECT_EQ(a.get().status, Status::kOk);
+  EXPECT_EQ(b.get().status, Status::kOk);
+}
+
+TEST(ServeServer, DrainCompletesAdmittedWork) {
+  auto engine = make_engine({}, 2);
+  Server server(engine, paused_config(2, 4));
+  Rng rng(41);
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 10; ++i) futures.push_back(server.submit(make_sample(rng)));
+  server.drain();  // never resumed: drain itself must flush the backlog
+  for (auto& f : futures) EXPECT_EQ(f.get().status, Status::kOk);
+  EXPECT_EQ(server.submit(make_sample(rng)).get().status, Status::kShutdown);
+  EXPECT_GE(server.latency_summary().count, 10);
+  EXPECT_GE(server.latency_summary().p99_ms, server.latency_summary().p50_ms);
+}
+
+TEST(ServeServer, InvalidShapeRejectedUpFront) {
+  auto engine = make_engine({}, 1);
+  Server server(engine, paused_config(1, 8));
+  Rng rng(51);
+  auto future = server.submit(Tensor::randn({1, 8, 8}, rng));
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  const Response r = future.get();
+  EXPECT_EQ(r.status, Status::kInvalidInput);
+  EXPECT_NE(r.error.find("[3, 8, 8]"), std::string::npos) << r.error;
+}
+
+TEST(ServeServer, CapturesPerRequestTraces) {
+  auto engine = make_engine({}, 1);
+  ServerConfig cfg = paused_config(1, 8);
+  cfg.capture_traces = true;
+  Server server(engine, cfg);
+  Rng rng(61);
+  auto future = server.submit(make_sample(rng));
+  server.resume();
+  const Response r = future.get();
+  ASSERT_EQ(r.status, Status::kOk) << r.error;
+  ASSERT_FALSE(r.trace.empty());
+  bool saw_batch = false;
+  bool saw_forward = false;
+  for (const auto& event : r.trace) {
+    if (event.name == "serve/batch") {
+      saw_batch = true;
+      EXPECT_EQ(event.depth, 0);
+    }
+    if (event.name == "serve/engine_forward") {
+      saw_forward = true;
+      EXPECT_GE(event.depth, 1) << "forward should nest inside serve/batch";
+    }
+  }
+  EXPECT_TRUE(saw_batch);
+  EXPECT_TRUE(saw_forward);
+}
+
+TEST(ServeServer, ConcurrentClientsUnderLoad) {
+  auto engine = make_engine({8, 8, 8, 8}, 2);
+  ServerConfig cfg;
+  cfg.workers = 2;
+  cfg.max_batch = 4;
+  cfg.max_delay_us = 500;
+  Server server(engine, cfg);
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 25;
+  std::vector<std::thread> clients;
+  std::vector<int> ok_counts(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(1000 + static_cast<std::uint64_t>(c));
+      for (int i = 0; i < kPerClient; ++i) {
+        Response r = server.submit(make_sample(rng)).get();
+        ASSERT_TRUE(r.status == Status::kOk || r.status == Status::kRejectedOverload)
+            << static_cast<int>(r.status) << " " << r.error;
+        if (r.status == Status::kOk) ++ok_counts[static_cast<std::size_t>(c)];
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  server.drain();
+  int total_ok = 0;
+  for (const int n : ok_counts) total_ok += n;
+  EXPECT_GT(total_ok, 0);
+  EXPECT_EQ(server.latency_summary().count, total_ok);
+}
+
+TEST(ServeWire, RequestRoundTrip) {
+  Rng rng(71);
+  clado::serve::WireRequest req;
+  req.type = clado::serve::MsgType::kInfer;
+  req.deadline_us = 12345;
+  req.input = Tensor::randn({3, 8, 8}, rng);
+
+  const auto bytes = clado::serve::encode_request(req);
+  const clado::serve::WireRequest back = clado::serve::decode_request(bytes);
+  EXPECT_EQ(back.type, clado::serve::MsgType::kInfer);
+  EXPECT_EQ(back.deadline_us, 12345);
+  ASSERT_EQ(back.input.shape(), req.input.shape());
+  for (std::int64_t i = 0; i < req.input.numel(); ++i) {
+    EXPECT_EQ(back.input[i], req.input[i]);
+  }
+}
+
+TEST(ServeWire, ResponseRoundTrip) {
+  clado::serve::WireResponse resp;
+  resp.status = Status::kOk;
+  resp.predicted = 3;
+  resp.queue_us = 17;
+  resp.total_us = 170;
+  resp.logits = {0.5F, -1.25F, 3.0F};
+  resp.error = "none";
+
+  const auto bytes = clado::serve::encode_response(resp);
+  const clado::serve::WireResponse back = clado::serve::decode_response(bytes);
+  EXPECT_EQ(back.status, Status::kOk);
+  EXPECT_EQ(back.predicted, 3);
+  EXPECT_EQ(back.queue_us, 17);
+  EXPECT_EQ(back.total_us, 170);
+  EXPECT_EQ(back.logits, resp.logits);
+  EXPECT_EQ(back.error, "none");
+}
+
+TEST(ServeWire, RejectsCorruptFrames) {
+  Rng rng(81);
+  clado::serve::WireRequest req;
+  req.input = Tensor::randn({3, 8, 8}, rng);
+  auto bytes = clado::serve::encode_request(req);
+
+  auto bad_magic = bytes;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_THROW(clado::serve::decode_request(bad_magic), std::runtime_error);
+
+  auto truncated = bytes;
+  truncated.resize(truncated.size() / 2);
+  EXPECT_THROW(clado::serve::decode_request(truncated), std::runtime_error);
+
+  auto trailing = bytes;
+  trailing.push_back(0);
+  EXPECT_THROW(clado::serve::decode_request(trailing), std::runtime_error);
+
+  // A version-skewed peer must fail loudly, not misparse.
+  auto wrong_version = bytes;
+  wrong_version[4] = 99;
+  EXPECT_THROW(clado::serve::decode_request(wrong_version), std::runtime_error);
+}
+
+TEST(ServeSocket, EndToEndQueryMatchesInProcess) {
+  auto served = make_engine({8, 8, 8, 8}, 1);
+  auto reference = make_engine({8, 8, 8, 8}, 1);
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.max_batch = 4;
+  cfg.max_delay_us = 200;
+  Server server(served, cfg);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "clado_serve_test.sock").string();
+  clado::serve::SocketDaemon daemon(server, path);
+  std::thread daemon_thread([&] { daemon.run(); });
+
+  ASSERT_TRUE(clado::serve::ping_socket(path));
+  Rng rng(91);
+  for (int i = 0; i < 3; ++i) {
+    const Tensor sample = make_sample(rng);
+    const auto resp = clado::serve::query_socket(path, sample);
+    ASSERT_EQ(resp.status, Status::kOk) << resp.error;
+    Tensor one = sample;
+    one.reshape_inplace({1, 3, 8, 8});
+    const Tensor expected = reference->infer(one);
+    EXPECT_EQ(resp.predicted, expected.argmax());
+    ASSERT_EQ(static_cast<std::int64_t>(resp.logits.size()), expected.numel());
+    for (std::int64_t k = 0; k < expected.numel(); ++k) {
+      EXPECT_EQ(resp.logits[static_cast<std::size_t>(k)], expected[k]);
+    }
+  }
+
+  EXPECT_TRUE(clado::serve::shutdown_socket(path));
+  daemon_thread.join();
+  EXPECT_FALSE(clado::serve::ping_socket(path));
+  EXPECT_EQ(server.submit(Tensor({3, 8, 8})).get().status, Status::kShutdown);
+}
+
+TEST(ServeConfig, FromEnvParsesStrictly) {
+  ASSERT_EQ(::setenv("CLADO_SERVE_MAX_BATCH", "16", 1), 0);
+  ASSERT_EQ(::setenv("CLADO_SERVE_WORKERS", "3", 1), 0);
+  ServerConfig cfg = ServerConfig::from_env();
+  EXPECT_EQ(cfg.max_batch, 16);
+  EXPECT_EQ(cfg.workers, 3);
+  ASSERT_EQ(::setenv("CLADO_SERVE_MAX_BATCH", "lots", 1), 0);
+  EXPECT_THROW(ServerConfig::from_env(), std::invalid_argument);
+  ::unsetenv("CLADO_SERVE_MAX_BATCH");
+  ::unsetenv("CLADO_SERVE_WORKERS");
+}
+
+TEST(ServeServer, RequiresReplicaPerWorker) {
+  auto engine = make_engine({}, 1);
+  ServerConfig cfg;
+  cfg.workers = 2;
+  EXPECT_THROW(Server(engine, cfg), std::invalid_argument);
+}
+
+}  // namespace

@@ -5,6 +5,20 @@
 //   clado assign <model> [options]       compute a bit-width assignment
 //   clado eval <model> [options]         assignment + PTQ accuracy report
 //   clado sweep <model> [options]        accuracy across a budget ladder
+//   clado serve <model> [options]        load a quantized engine and serve it
+//                                        over a Unix-domain socket
+//   clado query [options]                send val samples to a running daemon
+//
+// Serving options:
+//   --socket=<p>        Unix socket path (default clado.sock)
+//   --fp32              serve the fp32 model (skip assignment + PTQ)
+//   --workers=<n>       serving workers / engine replicas (default env or 2)
+//   --max-batch=<n>     micro-batch cap (default env or 8)
+//   --max-delay-us=<n>  batching window (default env or 2000)
+//   --queue-cap=<n>     admission bound (default env or 256)
+//   --index=<n>         (query) first val-sample index (default 0)
+//   --count=<n>         (query) number of samples to send (default 16)
+//   --deadline-us=<n>   (query) per-request queueing budget (default none)
 //
 // Common options:
 //   --alg=<hawq|mpqco|clado-star|clado|brecq-block>   (default clado)
@@ -18,12 +32,18 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "clado/core/algorithms.h"
 #include "clado/core/report.h"
 #include "clado/models/builders.h"
 #include "clado/models/zoo.h"
+#include "clado/obs/obs.h"
+#include "clado/serve/engine.h"
+#include "clado/serve/serve.h"
+#include "clado/serve/socket.h"
 
 namespace {
 
@@ -41,13 +61,25 @@ struct Options {
   bool psd = true;
   std::string save_sens;
   std::string load_sens;
+  // serving
+  std::string socket_path = "clado.sock";
+  bool fp32 = false;
+  int workers = 0;            // 0 = ServerConfig default / env
+  std::int64_t max_batch = 0;
+  std::int64_t max_delay_us = -1;
+  std::int64_t queue_cap = 0;
+  std::int64_t deadline_us = 0;
+  std::int64_t index = 0;
+  std::int64_t count = 16;
 };
 
 int usage() {
   std::fprintf(stderr,
-               "usage: clado <models|train|assign|eval|sweep> [model] "
+               "usage: clado <models|train|assign|eval|sweep|serve|query> [model] "
                "[--alg=...] [--frac=F] [--set-size=N] [--seed=N] [--val=N] [--no-psd] "
-               "[--save-sens=PATH] [--load-sens=PATH]\n");
+               "[--save-sens=PATH] [--load-sens=PATH] [--socket=PATH] [--fp32] "
+               "[--workers=N] [--max-batch=N] [--max-delay-us=N] [--queue-cap=N] "
+               "[--index=N] [--count=N] [--deadline-us=N]\n");
   return 2;
 }
 
@@ -87,6 +119,24 @@ bool parse(int argc, char** argv, Options& opts) {
       opts.save_sens = arg.substr(12);
     } else if (arg.rfind("--load-sens=", 0) == 0) {
       opts.load_sens = arg.substr(12);
+    } else if (arg.rfind("--socket=", 0) == 0) {
+      opts.socket_path = arg.substr(9);
+    } else if (arg == "--fp32") {
+      opts.fp32 = true;
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      opts.workers = std::atoi(arg.c_str() + 10);
+    } else if (arg.rfind("--max-batch=", 0) == 0) {
+      opts.max_batch = std::atol(arg.c_str() + 12);
+    } else if (arg.rfind("--max-delay-us=", 0) == 0) {
+      opts.max_delay_us = std::atol(arg.c_str() + 15);
+    } else if (arg.rfind("--queue-cap=", 0) == 0) {
+      opts.queue_cap = std::atol(arg.c_str() + 12);
+    } else if (arg.rfind("--index=", 0) == 0) {
+      opts.index = std::atol(arg.c_str() + 8);
+    } else if (arg.rfind("--count=", 0) == 0) {
+      opts.count = std::atol(arg.c_str() + 8);
+    } else if (arg.rfind("--deadline-us=", 0) == 0) {
+      opts.deadline_us = std::atol(arg.c_str() + 14);
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
@@ -129,11 +179,99 @@ void print_assignment(const clado::models::Model& model,
   table.print();
 }
 
+clado::serve::ServerConfig server_config(const Options& opts) {
+  clado::serve::ServerConfig cfg = clado::serve::ServerConfig::from_env();
+  if (opts.workers > 0) cfg.workers = opts.workers;
+  if (opts.max_batch > 0) cfg.max_batch = opts.max_batch;
+  if (opts.max_delay_us >= 0) cfg.max_delay_us = opts.max_delay_us;
+  if (opts.queue_cap > 0) cfg.queue_capacity = opts.queue_cap;
+  return cfg;
+}
+
+int run_serve(clado::models::TrainedModel tm, const Options& opts) {
+  clado::serve::EngineSpec spec;
+  if (opts.fp32) {
+    spec.label = "fp32";
+  } else {
+    // Assignment + PTQ happen once at load; the daemon serves frozen weights.
+    auto pipeline = make_pipeline(tm, opts);
+    const double target = tm.model.uniform_size_bytes(8) * opts.frac;
+    const auto assignment = pipeline.assign(opts.algorithm, target);
+    spec.bits = assignment.bits;
+    spec.label = std::string(clado::core::algorithm_name(assignment.algorithm)) + "-" +
+                 AsciiTable::num(opts.frac, 4);
+  }
+  const clado::serve::ServerConfig cfg = server_config(opts);
+  spec.replicas = cfg.workers;
+  auto engine =
+      std::make_shared<clado::serve::Engine>(std::move(tm.model), std::move(spec));
+  clado::serve::Server server(engine, cfg);
+  clado::serve::SocketDaemon daemon(server, opts.socket_path);
+  std::printf("serving %s [%s] on %s  (weights %.1f KB, %d BN folded, %d workers, "
+              "max_batch %lld, max_delay %lld us)\n",
+              engine->model_name().c_str(), engine->label().c_str(),
+              daemon.socket_path().c_str(), engine->weight_bytes() / 1024.0,
+              engine->batchnorms_folded(), cfg.workers,
+              static_cast<long long>(cfg.max_batch),
+              static_cast<long long>(cfg.max_delay_us));
+  std::printf("stop with: clado query --socket=%s --count=0\n", opts.socket_path.c_str());
+  std::fflush(stdout);
+  daemon.run();
+
+  const auto lat = server.latency_summary();
+  std::printf("served %lld requests in %lld batches  (p50 %.2f ms, p99 %.2f ms, "
+              "rejected %lld, expired %lld)\n",
+              static_cast<long long>(clado::obs::counter("serve.completed").value()),
+              static_cast<long long>(clado::obs::counter("serve.batches").value()),
+              lat.p50_ms, lat.p99_ms,
+              static_cast<long long>(clado::obs::counter("serve.rejected_overload").value()),
+              static_cast<long long>(clado::obs::counter("serve.deadline_expired").value()));
+  return 0;
+}
+
+int run_query(const Options& opts) {
+  // Samples are procedural: regenerating the daemon's val split needs only
+  // the shared seed, never the trained weights.
+  const auto val = clado::models::zoo_val_set();
+  if (opts.count <= 0) {
+    const bool ok = clado::serve::shutdown_socket(opts.socket_path);
+    std::printf("shutdown %s: %s\n", opts.socket_path.c_str(), ok ? "acknowledged" : "failed");
+    return ok ? 0 : 1;
+  }
+  if (!clado::serve::ping_socket(opts.socket_path)) {
+    std::fprintf(stderr, "no daemon answering on %s (start one with: clado serve <model>)\n",
+                 opts.socket_path.c_str());
+    return 1;
+  }
+  AsciiTable table({"idx", "label", "predicted", "status", "queue_us", "total_us"});
+  std::int64_t ok = 0;
+  std::int64_t correct = 0;
+  for (std::int64_t i = opts.index; i < opts.index + opts.count; ++i) {
+    const auto resp =
+        clado::serve::query_socket(opts.socket_path, val.image_of(i), opts.deadline_us);
+    const std::int64_t label = val.label_of(i);
+    if (resp.status == clado::serve::Status::kOk) {
+      ++ok;
+      if (resp.predicted == label) ++correct;
+    }
+    table.add_row({std::to_string(i), std::to_string(label), std::to_string(resp.predicted),
+                   clado::serve::status_name(resp.status), std::to_string(resp.queue_us),
+                   std::to_string(resp.total_us)});
+  }
+  table.print();
+  std::printf("%lld/%lld answered, top-1 %.2f%% on answered\n", static_cast<long long>(ok),
+              static_cast<long long>(opts.count),
+              ok > 0 ? 100.0 * static_cast<double>(correct) / static_cast<double>(ok) : 0.0);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Options opts;
   if (!parse(argc, argv, opts)) return usage();
+
+  if (opts.command == "query") return run_query(opts);
 
   if (opts.command == "models") {
     for (const auto& name : clado::models::model_names()) std::printf("%s\n", name.c_str());
@@ -150,6 +288,7 @@ int main(int argc, char** argv) {
   }
 
   clado::models::TrainedModel tm = clado::models::get_or_train(opts.model);
+  if (opts.command == "serve") return run_serve(std::move(tm), opts);
   if (opts.command == "assign") {
     auto pipeline = make_pipeline(tm, opts);
     const double target = tm.model.uniform_size_bytes(8) * opts.frac;

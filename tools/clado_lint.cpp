@@ -59,8 +59,9 @@ const std::vector<std::string> kAllRules = {
     "include-cycle",  "missing-include",  "bad-suppression",
 };
 
-const std::vector<std::string> kSubsystems = {"tensor", "linalg", "nn",   "quant", "data",
-                                              "models", "solver", "core", "obs",   "fault"};
+const std::vector<std::string> kSubsystems = {"tensor", "linalg", "nn",  "quant", "data",
+                                              "models", "solver", "core", "obs",  "fault",
+                                              "serve"};
 
 struct Diagnostic {
   std::string file;

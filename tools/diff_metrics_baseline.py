@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Diff a CLADO_METRICS dump against a checked-in counter baseline.
+
+Usage:
+    diff_metrics_baseline.py <baseline.json> <actual_metrics.json>
+
+The baseline holds only counters that are deterministic for a pinned
+configuration (fixed model list, fixed sensitivity set, fixed iteration
+count) — measurement counts, solver node/oracle totals — never timings.
+Every counter named in the baseline must be present in the actual dump
+with exactly the baseline value; counters the baseline does not name are
+ignored (timing spans, pool stats, and cache-dependent counters vary
+freely). A drift therefore means the *work done* by the bench changed —
+an algorithmic regression or an unintended behavior change — which is
+exactly what a perf-baseline gate should catch ahead of timing noise.
+
+Exit status: 0 on match, 1 on any drift or missing counter.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        sys.stderr.write(__doc__)
+        return 2
+    baseline_path, actual_path = sys.argv[1], sys.argv[2]
+
+    with open(baseline_path, encoding="utf-8") as f:
+        baseline = json.load(f)
+    with open(actual_path, encoding="utf-8") as f:
+        actual = json.load(f)
+
+    expected = baseline.get("counters", {})
+    if not expected:
+        sys.stderr.write(f"{baseline_path}: no counters in baseline\n")
+        return 2
+    got = actual.get("counters", {})
+
+    drifts = []
+    for name, want in sorted(expected.items()):
+        if name not in got:
+            drifts.append(f"  {name}: missing from {actual_path} (expected {want})")
+        elif got[name] != want:
+            drifts.append(f"  {name}: {got[name]} != baseline {want}")
+
+    if drifts:
+        print(f"metric baseline drift vs {baseline_path}:")
+        print("\n".join(drifts))
+        print(
+            "\nIf the change in work is intentional, refresh the baseline:\n"
+            f"  python3 tools/diff_metrics_baseline.py --update would not be safe;\n"
+            f"  regenerate by rerunning the bench with CLADO_METRICS and copying the\n"
+            f"  counters listed in {baseline_path} from the new dump."
+        )
+        return 1
+
+    print(f"{len(expected)} counters match {baseline_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Randomized fault soak: arm EVERY clado::fault site at a small independent
+# probability (prob mode is counter-hashed, so a seed fully determines the
+# fire pattern) and drive the fault-absorbing test suites. For each seed:
+#
+#   1. a soak run with all five sites armed at prob:0.01 — it may pass
+#      (faults absorbed by retries/fallbacks) or fail (a fault landed
+#      somewhere fatal, e.g. a NaN poisoning a sweep row), but it must
+#      never hang or crash the harness itself;
+#   2. a clean rerun in the same CLADO_CHECKPOINT_DIR, which MUST pass —
+#      whatever state the faulted run left behind (partial checkpoints,
+#      truncated artifacts) has to be recovered from or rejected, never
+#      trusted into a wrong answer.
+#
+# Usage: tools/fault_soak.sh <build-dir> [seed...]   (default seeds 101 202 303)
+set -u
+
+build_dir=${1:?usage: tools/fault_soak.sh <build-dir> [seed...]}
+shift
+seeds=("$@")
+[ ${#seeds[@]} -eq 0 ] && seeds=(101 202 303)
+
+prob=${CLADO_SOAK_PROB:-0.01}
+failures=0
+
+soak_env() {
+  # $1 = seed; prints the env assignments for an all-sites-armed run.
+  echo "CLADO_FAULT_SEED=$1 \
+CLADO_FAULT_IO_WRITE=prob:$prob \
+CLADO_FAULT_IO_READ=prob:$prob \
+CLADO_FAULT_NAN_LOSS=prob:$prob \
+CLADO_FAULT_POOL_TASK=prob:$prob \
+CLADO_FAULT_SOLVER_ORACLE=prob:$prob"
+}
+
+run_pair() {
+  # $1 = seed, $2 = test binary, $3 = timeout seconds.
+  local seed=$1 binary=$2 tmo=$3
+  local name
+  name=$(basename "$binary")
+  local ckpt
+  ckpt=$(mktemp -d "${TMPDIR:-/tmp}/clado_soak_XXXXXX")
+
+  echo "--- seed $seed: $name (all sites prob:$prob) ---"
+  if env $(soak_env "$seed") CLADO_CHECKPOINT_DIR="$ckpt" \
+      timeout "$tmo" "$binary" > "$ckpt/soak.log" 2>&1; then
+    echo "    soak run: passed (faults absorbed)"
+  else
+    local rc=$?
+    if [ "$rc" -ge 124 ]; then
+      echo "    soak run: TIMEOUT/KILLED (rc=$rc) — hang under injected faults"
+      tail -40 "$ckpt/soak.log"
+      failures=$((failures + 1))
+      rm -rf "$ckpt"
+      return
+    fi
+    echo "    soak run: failed cleanly (rc=$rc) — acceptable, checking recovery"
+  fi
+
+  if env CLADO_CHECKPOINT_DIR="$ckpt" timeout "$tmo" "$binary" \
+      > "$ckpt/recovery.log" 2>&1; then
+    echo "    recovery run: passed"
+  else
+    echo "    recovery run: FAILED — state left by the faulted run was not recovered"
+    tail -40 "$ckpt/recovery.log"
+    failures=$((failures + 1))
+  fi
+  rm -rf "$ckpt"
+}
+
+for seed in "${seeds[@]}"; do
+  run_pair "$seed" "$build_dir/tests/sensitivity_test" 600
+  run_pair "$seed" "$build_dir/tests/checkpoint_test" 600
+  run_pair "$seed" "$build_dir/tests/iqp_test" 600
+done
+
+echo
+if [ "$failures" -ne 0 ]; then
+  echo "fault soak: $failures failure(s)"
+  exit 1
+fi
+echo "fault soak: all seeds recovered"
