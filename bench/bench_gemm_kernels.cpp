@@ -1,0 +1,179 @@
+// GEMM kernel-level throughput: scalar reference vs the best runtime-
+// dispatched level (AVX2/FMA where the host has it), for the fp32 blocked
+// kernel and the int8 widening kernel.
+//
+// Two kinds of output, with different contracts:
+//   * Timings (GFLOP/s, GOP/s, speedup) — never baselined as wall clock,
+//     but the *speedup ratio* of the vector level over scalar on the same
+//     host is stable enough to gate: the baseline pins a minimum via the
+//     gauges_min section checked by tools/diff_metrics_baseline.py.
+//   * Work/correctness counters — deterministic; the vector level is
+//     re-verified against scalar on every timed shape, and any mismatch
+//     shows up as a nonzero kernels.bench.*_mismatches counter (baselined
+//     at zero).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdint>
+#include <vector>
+
+#include "clado/obs/obs.h"
+#include "clado/tensor/kernels.h"
+#include "clado/tensor/rng.h"
+
+namespace {
+
+using clado::tensor::Rng;
+namespace kernels = clado::tensor::kernels;
+using kernels::Level;
+using Clock = std::chrono::steady_clock;
+
+// Time `fn` with an adaptive repeat count: at least kMinReps runs and at
+// least kMinSeconds of accumulated wall clock, reporting seconds per run.
+template <typename Fn>
+double time_per_run(Fn&& fn) {
+  constexpr int kMinReps = 3;
+  constexpr double kMinSeconds = 0.15;
+  int reps = 0;
+  const auto t0 = Clock::now();
+  double elapsed = 0.0;
+  while (reps < kMinReps || elapsed < kMinSeconds) {
+    fn();
+    ++reps;
+    elapsed = std::chrono::duration<double>(Clock::now() - t0).count();
+  }
+  return elapsed / reps;
+}
+
+struct Shape {
+  std::int64_t m, n, k;
+};
+
+double bench_f32(Level best) {
+  // One square shape dominating the compute and one ragged shape keeping
+  // the edge tiles honest in the timing mix.
+  const std::vector<Shape> shapes = {{256, 256, 256}, {192, 176, 200}};
+  Rng rng(12345);
+  double scalar_total = 0.0;
+  double best_total = 0.0;
+  double flops_total = 0.0;
+  for (const Shape& s : shapes) {
+    std::vector<float> a(static_cast<std::size_t>(s.m * s.k));
+    std::vector<float> b(static_cast<std::size_t>(s.k * s.n));
+    for (auto& v : a) v = static_cast<float>(rng.normal());
+    for (auto& v : b) v = static_cast<float>(rng.normal());
+    std::vector<float> c_scalar(static_cast<std::size_t>(s.m * s.n), 0.0F);
+    std::vector<float> c_best(c_scalar);
+
+    auto run = [&](Level level, std::vector<float>& c) {
+      kernels::gemm_f32_row_range(level, false, false, 0, s.m, s.n, s.k, 1.0F, a.data(),
+                                  b.data(), c.data(), s.k, s.n);
+    };
+    const double t_scalar = time_per_run([&] { run(Level::kScalar, c_scalar); });
+    const double t_best = time_per_run([&] { run(best, c_best); });
+
+    // Re-verify the levels against each other on the final accumulated
+    // state (same rep counts are not guaranteed, so compare fresh runs).
+    std::fill(c_scalar.begin(), c_scalar.end(), 0.0F);
+    std::fill(c_best.begin(), c_best.end(), 0.0F);
+    run(Level::kScalar, c_scalar);
+    run(best, c_best);
+    std::int64_t mismatches = 0;
+    for (std::size_t i = 0; i < c_scalar.size(); ++i) {
+      const float x = c_scalar[i];
+      const float y = c_best[i];
+      const float tol = 1e-5F * (1.0F + std::abs(x) + 0.02F * static_cast<float>(s.k));
+      if (std::abs(x - y) > tol) ++mismatches;
+    }
+    clado::obs::counter("kernels.bench.f32_cases").add();
+    clado::obs::counter("kernels.bench.f32_mismatches").add(mismatches);
+
+    const double flops = 2.0 * static_cast<double>(s.m) * static_cast<double>(s.n) *
+                         static_cast<double>(s.k);
+    scalar_total += t_scalar;
+    best_total += t_best;
+    flops_total += flops;
+    std::printf("  f32 %4lldx%4lldx%4lld  scalar %7.2f GFLOP/s   %s %7.2f GFLOP/s   %5.2fx\n",
+                static_cast<long long>(s.m), static_cast<long long>(s.n),
+                static_cast<long long>(s.k), flops / t_scalar * 1e-9,
+                kernels::level_name(best), flops / t_best * 1e-9, t_scalar / t_best);
+  }
+  const double speedup = scalar_total / best_total;
+  std::printf("  f32 aggregate: scalar %.2f GFLOP/s, %s %.2f GFLOP/s, speedup %.2fx\n",
+              flops_total / scalar_total * 1e-9, kernels::level_name(best),
+              flops_total / best_total * 1e-9, speedup);
+  return speedup;
+}
+
+double bench_s8(Level best) {
+  const std::vector<Shape> shapes = {{256, 256, 256}, {192, 176, 200}};
+  Rng rng(54321);
+  double scalar_total = 0.0;
+  double best_total = 0.0;
+  double ops_total = 0.0;
+  for (const Shape& s : shapes) {
+    std::vector<std::int8_t> a(static_cast<std::size_t>(s.m * s.k));
+    std::vector<std::int8_t> b(static_cast<std::size_t>(s.n * s.k));
+    for (auto& v : a) v = static_cast<std::int8_t>(static_cast<int>(rng.uniform_int(256)) - 128);
+    for (auto& v : b) v = static_cast<std::int8_t>(static_cast<int>(rng.uniform_int(256)) - 128);
+    std::vector<std::int32_t> c_scalar(static_cast<std::size_t>(s.m * s.n));
+    std::vector<std::int32_t> c_best(c_scalar);
+
+    auto run = [&](Level level, std::vector<std::int32_t>& c) {
+      kernels::gemm_s8s8_s32(level, s.m, s.n, s.k, a.data(), -7, b.data(), 5, c.data());
+    };
+    const double t_scalar = time_per_run([&] { run(Level::kScalar, c_scalar); });
+    const double t_best = time_per_run([&] { run(best, c_best); });
+
+    run(Level::kScalar, c_scalar);
+    run(best, c_best);
+    std::int64_t mismatches = 0;
+    for (std::size_t i = 0; i < c_scalar.size(); ++i) {
+      if (c_scalar[i] != c_best[i]) ++mismatches;  // int8 contract: BIT-exact
+    }
+    clado::obs::counter("kernels.bench.s8_cases").add();
+    clado::obs::counter("kernels.bench.s8_mismatches").add(mismatches);
+
+    const double ops = 2.0 * static_cast<double>(s.m) * static_cast<double>(s.n) *
+                       static_cast<double>(s.k);
+    scalar_total += t_scalar;
+    best_total += t_best;
+    ops_total += ops;
+    std::printf("  s8  %4lldx%4lldx%4lld  scalar %7.2f GOP/s     %s %7.2f GOP/s     %5.2fx\n",
+                static_cast<long long>(s.m), static_cast<long long>(s.n),
+                static_cast<long long>(s.k), ops / t_scalar * 1e-9,
+                kernels::level_name(best), ops / t_best * 1e-9, t_scalar / t_best);
+  }
+  const double speedup = scalar_total / best_total;
+  std::printf("  s8 aggregate: scalar %.2f GOP/s, %s %.2f GOP/s, speedup %.2fx\n",
+              ops_total / scalar_total * 1e-9, kernels::level_name(best),
+              ops_total / best_total * 1e-9, speedup);
+  return speedup;
+}
+
+}  // namespace
+
+int main() {
+  const Level best = kernels::active_level();
+  std::printf("=== GEMM kernel throughput: scalar vs dispatched level ===\n");
+  std::printf("(cpu_supports_avx2=%d, active level=%s; set CLADO_KERNEL to override)\n\n",
+              kernels::cpu_supports_avx2() ? 1 : 0, kernels::level_name(best));
+
+  if (best == Level::kScalar) {
+    // Nothing to race against: still run scalar once for the correctness
+    // counters, but emit no speedup gauges (the baseline's gauges_min is
+    // only enforced on hosts where the vector level is active).
+    std::printf("active level is scalar; speedup gauges skipped\n\n");
+    bench_f32(Level::kScalar);
+    bench_s8(Level::kScalar);
+    return 0;
+  }
+
+  const double f32_speedup = bench_f32(best);
+  std::printf("\n");
+  const double s8_speedup = bench_s8(best);
+  clado::obs::gauge("kernels.bench.f32_speedup").set(f32_speedup);
+  clado::obs::gauge("kernels.bench.s8_speedup").set(s8_speedup);
+  return 0;
+}

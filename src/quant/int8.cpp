@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "clado/tensor/kernels.h"
 #include "clado/tensor/ops.h"
 
 namespace clado::quant {
@@ -11,7 +12,11 @@ namespace clado::quant {
 QParams choose_qparams(float lo, float hi) {
   lo = std::min(lo, 0.0F);
   hi = std::max(hi, 0.0F);
-  if (hi - lo < 1e-8F) hi = lo + 1e-8F;
+  // Degenerate-range guard with a RELATIVE epsilon: an absolute 1e-8 nudge
+  // rounds away entirely at large magnitudes (lo + 1e-8F == lo for any
+  // |lo| >= ~1 in fp32), leaving scale == 0 and inf/NaN quantized codes.
+  const float eps = std::max(1e-8F, std::max(std::abs(lo), std::abs(hi)) * 1e-6F);
+  if (hi - lo < eps) hi = lo + eps;
   QParams p;
   p.scale = (hi - lo) / 255.0F;
   p.zero_point =
@@ -52,37 +57,12 @@ Tensor dequantize(const QTensor& q) {
 
 void gemm_s8s8_s32(std::int64_t m, std::int64_t n, std::int64_t k, const std::int8_t* a,
                    std::int32_t za, const std::int8_t* b, std::int32_t zb, std::int32_t* c) {
-  // Σ (a − za)(b − zb) = Σ ab − zb Σ a_row − za Σ b_row + K·za·zb.
-  std::vector<std::int32_t> row_sum_a(static_cast<std::size_t>(m), 0);
-  std::vector<std::int32_t> row_sum_b(static_cast<std::size_t>(n), 0);
-  for (std::int64_t i = 0; i < m; ++i) {
-    std::int32_t acc = 0;
-    const std::int8_t* arow = a + i * k;
-    for (std::int64_t p = 0; p < k; ++p) acc += arow[p];
-    row_sum_a[static_cast<std::size_t>(i)] = acc;
-  }
-  for (std::int64_t j = 0; j < n; ++j) {
-    std::int32_t acc = 0;
-    const std::int8_t* brow = b + j * k;
-    for (std::int64_t p = 0; p < k; ++p) acc += brow[p];
-    row_sum_b[static_cast<std::size_t>(j)] = acc;
-  }
-  const std::int32_t kzz = static_cast<std::int32_t>(k) * za * zb;
-
-  for (std::int64_t i = 0; i < m; ++i) {
-    const std::int8_t* arow = a + i * k;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const std::int8_t* brow = b + j * k;
-      // Pure int8 dot product with widening; vectorizes to pmaddubsw-style
-      // code under -O3 on most targets.
-      std::int32_t acc = 0;
-      for (std::int64_t p = 0; p < k; ++p) {
-        acc += static_cast<std::int32_t>(arow[p]) * static_cast<std::int32_t>(brow[p]);
-      }
-      c[i * n + j] = acc - zb * row_sum_a[static_cast<std::size_t>(i)] -
-                     za * row_sum_b[static_cast<std::size_t>(j)] + kzz;
-    }
-  }
+  // Σ (a − za)(b − zb) = Σ ab − zb Σ a_row − za Σ b_row + K·za·zb, computed
+  // by the runtime-dispatched kernel layer (portable scalar or AVX2
+  // widening dot-products). Every level is bit-exact — integer arithmetic
+  // only — so the quantized forward is reproducible regardless of dispatch.
+  clado::tensor::kernels::gemm_s8s8_s32(clado::tensor::kernels::active_level(), m, n, k, a, za,
+                                        b, zb, c);
 }
 
 Tensor qlinear(const QTensor& x, const QTensor& w, const float* bias) {

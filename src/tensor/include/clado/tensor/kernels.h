@@ -1,0 +1,84 @@
+// Runtime-dispatched GEMM micro-kernel layer.
+//
+// Every forward pass in the repo (training, the pairwise sensitivity sweep,
+// clado::serve) bottoms out in two inner loops: the fp32 blocked GEMM and
+// the int8 widening GEMM. This header is the single selection seam between
+// their portable scalar implementations and the AVX2/FMA micro-kernels:
+//
+//   * Level::kScalar — the portable cache-blocked reference (the exact code
+//     every result in the repo was validated against). Always available.
+//   * Level::kAvx2   — 256-bit register-tiled kernels (6x16 FMA tiles for
+//     fp32, pmaddwd widening dot-products for int8), compiled per-file with
+//     -mavx2 -mfma and only dispatched to after a runtime CPUID check.
+//
+// The active level is decided once per process: CLADO_KERNEL=scalar|avx2|auto
+// (default auto = best supported), intersected with what the CPU and the
+// build actually provide. An explicit CLADO_KERNEL=avx2 on hardware or a
+// build without AVX2 is a hard error, never a silent downgrade — the same
+// strictness policy as env_int_strict.
+//
+// Determinism contract:
+//   * int8 kernels are bit-exact across levels (integer arithmetic only),
+//     so a sensitivity sweep's integer path is reproducible on any machine
+//     regardless of dispatch.
+//   * fp32 kernels may differ across levels in final-bit rounding (FMA,
+//     different accumulation tiling) but every level is deterministic, and
+//     within a level the parallel row-chunked schedule is bit-identical to
+//     the serial one: rows never interact, and chunk boundaries fall on
+//     kGemmBlockM multiples so each row sees the same block decomposition.
+#pragma once
+
+#include <cstdint>
+
+namespace clado::tensor {
+namespace kernels {
+
+enum class Level {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+/// Stable lowercase name ("scalar", "avx2"); matches the CLADO_KERNEL
+/// spelling and appears in obs gauges and test output.
+const char* level_name(Level level);
+
+/// True when the CPU supports AVX2+FMA *and* this build compiled the AVX2
+/// translation units with the required flags.
+bool cpu_supports_avx2() noexcept;
+
+/// Resolves the kernel level from CLADO_KERNEL and the CPU, without
+/// caching: unset/empty/"auto" picks the best supported level; "scalar"
+/// forces the portable path; "avx2" requires AVX2 support (throws
+/// std::invalid_argument otherwise, as for any unrecognized value).
+Level resolve_level();
+
+/// The process-wide level: resolve_level() evaluated once on first use and
+/// cached (also recorded in the obs gauge "kernel.active_level").
+Level active_level();
+
+/// Row-block granularity of the fp32 blocked kernels. Parallel callers must
+/// start row chunks on multiples of this so every chunk reproduces the
+/// serial block decomposition (the bit-identical parallel/serial property).
+inline constexpr std::int64_t kGemmBlockM = 64;
+
+/// fp32 blocked GEMM over C rows [m_begin, m_end):
+///   C[m_begin:m_end, :] += alpha * op(A)[m_begin:m_end, :] * op(B)
+/// op(A) is [M,K] with leading dimension lda (transposed storage when
+/// trans_a), op(B) is [K,N] with leading dimension ldb. C is row-major
+/// [M,N]. m_begin must be a multiple of kGemmBlockM. Beta-scaling is the
+/// caller's job (see gemm_prologue in ops.cpp).
+void gemm_f32_row_range(Level level, bool trans_a, bool trans_b, std::int64_t m_begin,
+                        std::int64_t m_end, std::int64_t n, std::int64_t k, float alpha,
+                        const float* a, const float* b, float* c, std::int64_t lda,
+                        std::int64_t ldb);
+
+/// int8 x int8 -> int32 GEMM with zero-point correction:
+///   c[i,j] = sum_p (a[i,p] - za) * (b[j,p] - zb)
+/// a is [m,k] row-major, b is [n,k] row-major (both k-contiguous). All
+/// levels produce bit-identical results — pure integer arithmetic.
+void gemm_s8s8_s32(Level level, std::int64_t m, std::int64_t n, std::int64_t k,
+                   const std::int8_t* a, std::int32_t za, const std::int8_t* b, std::int32_t zb,
+                   std::int32_t* c);
+
+}  // namespace kernels
+}  // namespace clado::tensor

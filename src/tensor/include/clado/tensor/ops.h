@@ -2,10 +2,12 @@
 //
 // All kernels operate on contiguous row-major buffers. GEMM is a blocked,
 // register-tiled implementation — on the small models used in this
-// reproduction it is the only kernel that matters for wall clock. Large
+// reproduction it is the only kernel that matters for wall clock. The
+// inner micro-kernel is runtime-dispatched (portable scalar or AVX2/FMA;
+// see clado/tensor/kernels.h and the CLADO_KERNEL env var). Large
 // products split row blocks across ThreadPool::global(); per-row
-// accumulation order is unchanged, so the parallel path is bit-identical
-// to the serial one.
+// accumulation order within the active kernel level is unchanged, so the
+// parallel path is bit-identical to the serial one at any level.
 #pragma once
 
 #include <cstdint>
@@ -46,7 +48,10 @@ void col2im(const float* cols, std::int64_t channels, std::int64_t height, std::
             std::int64_t kh, std::int64_t kw, std::int64_t stride, std::int64_t pad,
             float* grad_input);
 
-/// Output spatial size of a convolution.
+/// Output spatial size of a convolution. Throws std::invalid_argument on
+/// degenerate geometry (kernel or stride <= 0, negative pad or input, or a
+/// kernel larger than the padded input) instead of dividing by zero or
+/// returning a negative size; im2col / col2im / qconv2d inherit the checks.
 std::int64_t conv_out_size(std::int64_t in, std::int64_t kernel, std::int64_t stride,
                            std::int64_t pad);
 

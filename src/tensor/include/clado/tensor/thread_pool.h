@@ -43,12 +43,14 @@ class ThreadPool {
   /// Splits [begin, end) into contiguous chunks of at most `grain` indices
   /// and runs body(chunk_begin, chunk_end) for each, possibly concurrently.
   /// Chunk boundaries depend only on (begin, end, grain) — never on the
-  /// thread count — and every chunk runs to completion exactly once.
-  /// Blocks until all chunks finish. A chunk that throws is retried once
-  /// (bodies must therefore write deterministically to chunk-disjoint
-  /// output, which every in-repo caller does); if the retry also throws,
-  /// the exception of the lowest-indexed failing chunk is rethrown after
-  /// the remaining chunks drain, and the pool stays usable.
+  /// thread count — and the body runs AT MOST ONCE per chunk. Blocks until
+  /// all chunks finish. Only a failure of the pre-body fault-injection
+  /// site is retried (the body has not run, so nothing was written); a
+  /// throw from the body itself is never retried, because bodies that
+  /// accumulate into their output (the GEMM kernels) would double-apply
+  /// the partial writes of the failed attempt. The exception of the
+  /// lowest-indexed failing chunk is rethrown after the remaining chunks
+  /// drain, and the pool stays usable.
   /// Called from inside a worker of this pool, the whole range runs inline.
   void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
                     const std::function<void(std::int64_t, std::int64_t)>& body);

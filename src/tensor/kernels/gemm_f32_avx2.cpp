@@ -1,0 +1,179 @@
+// AVX2/FMA fp32 GEMM: cache-blocked (same kBlockM/N/K schedule as the
+// scalar level, so parallel row chunks stay on identical block boundaries)
+// with panel packing and a 6x16 register-tiled micro-kernel — 12 ymm
+// accumulators, two B vectors live, one A broadcast at a time.
+//
+// This file (and gemm_s8_avx2.cpp) are the only TUs compiled with
+// -mavx2 -mfma; it must only be entered through the dispatch seam after
+// kernels::cpu_supports_avx2() returned true. When the toolchain cannot
+// target AVX2 the CLADO_KERNELS_AVX2 define is absent and this TU shrinks
+// to scalar forwarders with avx2_compiled() == false.
+#include <algorithm>
+#include <vector>
+
+#include "kernels_internal.h"
+
+#if defined(CLADO_KERNELS_AVX2)
+
+#include <immintrin.h>
+
+namespace clado::tensor {
+namespace kernels {
+namespace detail {
+
+namespace {
+
+// Register tile: kMr rows of C by kNr columns (two 8-float ymm per row).
+constexpr std::int64_t kMr = 6;
+constexpr std::int64_t kNr = 16;
+
+// Packs op(A) block [mb x kb] as kMr-row panels, column-major within each
+// panel (panel[p * kMr + ii] = alpha * op(A)[m0 + t + ii, k0 + p]), padded
+// with zeros past mb so edge tiles run the full-width kernel harmlessly.
+// Alpha is folded in here so the micro-kernel is a pure FMA chain — the
+// same "scale A once, then multiply-accumulate" shape as the scalar level.
+void pack_a_panels(bool trans_a, const float* a, std::int64_t lda, std::int64_t m0,
+                   std::int64_t k0, std::int64_t mb, std::int64_t kb, float alpha,
+                   float* packed) {
+  for (std::int64_t t = 0; t < mb; t += kMr) {
+    const std::int64_t rows = std::min(kMr, mb - t);
+    float* panel = packed + t * kb;  // each panel holds kb * kMr floats
+    for (std::int64_t p = 0; p < kb; ++p) {
+      for (std::int64_t ii = 0; ii < kMr; ++ii) {
+        float v = 0.0F;
+        if (ii < rows) {
+          const std::int64_t row = m0 + t + ii;
+          const std::int64_t col = k0 + p;
+          v = alpha * (trans_a ? a[col * lda + row] : a[row * lda + col]);
+        }
+        panel[p * kMr + ii] = v;
+      }
+    }
+  }
+}
+
+// Packs op(B) block [kb x nb] as kNr-column panels
+// (panel[p * kNr + jj] = op(B)[k0 + p, n0 + t + jj]), zero-padded past nb.
+void pack_b_panels(bool trans_b, const float* b, std::int64_t ldb, std::int64_t k0,
+                   std::int64_t n0, std::int64_t kb, std::int64_t nb, float* packed) {
+  for (std::int64_t t = 0; t < nb; t += kNr) {
+    const std::int64_t cols = std::min(kNr, nb - t);
+    float* panel = packed + t * kb;  // each panel holds kb * kNr floats
+    for (std::int64_t p = 0; p < kb; ++p) {
+      float* dst = panel + p * kNr;
+      if (!trans_b) {
+        const float* src = b + (k0 + p) * ldb + n0 + t;
+        for (std::int64_t jj = 0; jj < cols; ++jj) dst[jj] = src[jj];
+      } else {
+        for (std::int64_t jj = 0; jj < cols; ++jj) {
+          dst[jj] = b[(n0 + t + jj) * ldb + (k0 + p)];
+        }
+      }
+      for (std::int64_t jj = cols; jj < kNr; ++jj) dst[jj] = 0.0F;
+    }
+  }
+}
+
+// C-tile[rows x cols] += A-panel x B-panel over kb. `ct` points at
+// C[row 0, col 0] of the tile with row stride ldc. Full tiles add straight
+// into C; edge tiles spill the accumulators to a local buffer and add only
+// the valid region (the padded lanes hold exact zero contributions, but
+// their C slots belong to neighboring tiles or do not exist).
+void micro_6x16(const float* ap, const float* bp, std::int64_t kb, float* ct, std::int64_t ldc,
+                std::int64_t rows, std::int64_t cols) {
+  __m256 acc_lo[kMr];
+  __m256 acc_hi[kMr];
+  for (std::int64_t i = 0; i < kMr; ++i) {
+    acc_lo[i] = _mm256_setzero_ps();
+    acc_hi[i] = _mm256_setzero_ps();
+  }
+  for (std::int64_t p = 0; p < kb; ++p) {
+    const __m256 b_lo = _mm256_loadu_ps(bp + p * kNr);
+    const __m256 b_hi = _mm256_loadu_ps(bp + p * kNr + 8);
+    const float* acol = ap + p * kMr;
+    for (std::int64_t i = 0; i < kMr; ++i) {
+      const __m256 av = _mm256_broadcast_ss(acol + i);
+      acc_lo[i] = _mm256_fmadd_ps(av, b_lo, acc_lo[i]);
+      acc_hi[i] = _mm256_fmadd_ps(av, b_hi, acc_hi[i]);
+    }
+  }
+  if (rows == kMr && cols == kNr) {
+    for (std::int64_t i = 0; i < kMr; ++i) {
+      float* crow = ct + i * ldc;
+      _mm256_storeu_ps(crow, _mm256_add_ps(_mm256_loadu_ps(crow), acc_lo[i]));
+      _mm256_storeu_ps(crow + 8, _mm256_add_ps(_mm256_loadu_ps(crow + 8), acc_hi[i]));
+    }
+    return;
+  }
+  alignas(32) float tile[kMr * kNr];
+  for (std::int64_t i = 0; i < kMr; ++i) {
+    _mm256_store_ps(tile + i * kNr, acc_lo[i]);
+    _mm256_store_ps(tile + i * kNr + 8, acc_hi[i]);
+  }
+  for (std::int64_t i = 0; i < rows; ++i) {
+    float* crow = ct + i * ldc;
+    for (std::int64_t j = 0; j < cols; ++j) crow[j] += tile[i * kNr + j];
+  }
+}
+
+}  // namespace
+
+bool avx2_compiled() noexcept { return true; }
+
+void gemm_f32_row_range_avx2(bool trans_a, bool trans_b, std::int64_t m_begin,
+                             std::int64_t m_end, std::int64_t n, std::int64_t k, float alpha,
+                             const float* a, const float* b, float* c, std::int64_t lda,
+                             std::int64_t ldb) {
+  // Panel scratch, rounded up to whole tiles; per call, like the scalar
+  // level, so concurrent row-range workers never share mutable state.
+  const std::int64_t a_panels = (kBlockM + kMr - 1) / kMr;
+  const std::int64_t b_panels = (kBlockN + kNr - 1) / kNr;
+  std::vector<float> pa(static_cast<std::size_t>(a_panels * kMr * kBlockK));
+  std::vector<float> pb(static_cast<std::size_t>(b_panels * kNr * kBlockK));
+
+  for (std::int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+    const std::int64_t kb = std::min(kBlockK, k - k0);
+    for (std::int64_t n0 = 0; n0 < n; n0 += kBlockN) {
+      const std::int64_t nb = std::min(kBlockN, n - n0);
+      pack_b_panels(trans_b, b, ldb, k0, n0, kb, nb, pb.data());
+      for (std::int64_t m0 = m_begin; m0 < m_end; m0 += kBlockM) {
+        const std::int64_t mb = std::min(kBlockM, m_end - m0);
+        pack_a_panels(trans_a, a, lda, m0, k0, mb, kb, alpha, pa.data());
+        for (std::int64_t t = 0; t < mb; t += kMr) {
+          const std::int64_t rows = std::min(kMr, mb - t);
+          const float* apanel = pa.data() + t * kb;
+          for (std::int64_t s = 0; s < nb; s += kNr) {
+            const std::int64_t cols = std::min(kNr, nb - s);
+            micro_6x16(apanel, pb.data() + s * kb, kb, c + (m0 + t) * n + n0 + s, n, rows,
+                       cols);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace detail
+}  // namespace kernels
+}  // namespace clado::tensor
+
+#else  // !CLADO_KERNELS_AVX2: toolchain cannot target AVX2; never dispatched.
+
+namespace clado::tensor {
+namespace kernels {
+namespace detail {
+
+bool avx2_compiled() noexcept { return false; }
+
+void gemm_f32_row_range_avx2(bool trans_a, bool trans_b, std::int64_t m_begin,
+                             std::int64_t m_end, std::int64_t n, std::int64_t k, float alpha,
+                             const float* a, const float* b, float* c, std::int64_t lda,
+                             std::int64_t ldb) {
+  gemm_f32_row_range_scalar(trans_a, trans_b, m_begin, m_end, n, k, alpha, a, b, c, lda, ldb);
+}
+
+}  // namespace detail
+}  // namespace kernels
+}  // namespace clado::tensor
+
+#endif

@@ -1,0 +1,141 @@
+// AVX2 int8 GEMM: widening dot-products over the packed k-contiguous rows
+// (both operands are [rows x k] row-major — the im2col layout), register
+// tiled 2 A-rows x 4 B-rows so each loaded-and-widened vector feeds up to
+// eight multiply-accumulates.
+//
+// Widening path: sign-extend 16 int8 lanes to int16 (vpmovsxbw), then
+// vpmaddwd pairs into int32. Unlike the classic vpmaddubsw trick this is
+// EXACT — products of values in [-128, 127] summed in pairs peak at
+// 2 * 128 * 128, far inside int16-product/int32-sum range, and vpmaddwd
+// only saturates when both pair products are -2^30 (needs -32768 inputs,
+// unreachable from int8). Bit-exactness against the scalar level is a hard
+// requirement: the sensitivity sweep's reproducibility is defined by it.
+//
+// The zero-point correction reuses the scalar s8_row_sums helper, so the
+// correction arithmetic is shared, not re-derived.
+//
+// Like gemm_f32_avx2.cpp this TU is compiled with -mavx2 -mfma and must
+// only be reached through the dispatch seam; without toolchain support it
+// degrades to a scalar forwarder.
+#include <vector>
+
+#include "kernels_internal.h"
+
+#if defined(CLADO_KERNELS_AVX2)
+
+#include <immintrin.h>
+
+namespace clado::tensor {
+namespace kernels {
+namespace detail {
+
+namespace {
+
+constexpr std::int64_t kNrS8 = 4;  // B rows per tile
+
+inline __m256i widen_load_16(const std::int8_t* p) {
+  return _mm256_cvtepi8_epi16(_mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+}
+
+inline std::int32_t hsum_epi32(__m256i v) {
+  const __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  __m128i s = _mm_add_epi32(lo, hi);
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtsi128_si32(s);
+}
+
+// Raw dot products of one or two A rows against jn (<= 4) B rows:
+// c0[jj] = a0 . b[j0+jj], c1 likewise when a1 != nullptr. The vector loop
+// covers k in 16-lane steps; the scalar tail finishes the remainder in the
+// same int32 accumulator, so the result is exact for any k.
+void dot_tile(const std::int8_t* a0, const std::int8_t* a1, const std::int8_t* b,
+              std::int64_t j0, std::int64_t jn, std::int64_t k, std::int32_t* c0,
+              std::int32_t* c1) {
+  __m256i acc0[kNrS8];
+  __m256i acc1[kNrS8];
+  for (std::int64_t jj = 0; jj < kNrS8; ++jj) {
+    acc0[jj] = _mm256_setzero_si256();
+    acc1[jj] = _mm256_setzero_si256();
+  }
+  std::int64_t p = 0;
+  for (; p + 16 <= k; p += 16) {
+    const __m256i av0 = widen_load_16(a0 + p);
+    const __m256i av1 = a1 != nullptr ? widen_load_16(a1 + p) : _mm256_setzero_si256();
+    for (std::int64_t jj = 0; jj < jn; ++jj) {
+      const __m256i bv = widen_load_16(b + (j0 + jj) * k + p);
+      acc0[jj] = _mm256_add_epi32(acc0[jj], _mm256_madd_epi16(av0, bv));
+      if (a1 != nullptr) acc1[jj] = _mm256_add_epi32(acc1[jj], _mm256_madd_epi16(av1, bv));
+    }
+  }
+  for (std::int64_t jj = 0; jj < jn; ++jj) {
+    std::int32_t s0 = hsum_epi32(acc0[jj]);
+    std::int32_t s1 = a1 != nullptr ? hsum_epi32(acc1[jj]) : 0;
+    const std::int8_t* brow = b + (j0 + jj) * k;
+    for (std::int64_t q = p; q < k; ++q) {
+      s0 += static_cast<std::int32_t>(a0[q]) * static_cast<std::int32_t>(brow[q]);
+      if (a1 != nullptr) {
+        s1 += static_cast<std::int32_t>(a1[q]) * static_cast<std::int32_t>(brow[q]);
+      }
+    }
+    c0[jj] = s0;
+    if (a1 != nullptr) c1[jj] = s1;
+  }
+}
+
+}  // namespace
+
+void gemm_s8s8_s32_avx2(std::int64_t m, std::int64_t n, std::int64_t k, const std::int8_t* a,
+                        std::int32_t za, const std::int8_t* b, std::int32_t zb,
+                        std::int32_t* c) {
+  std::vector<std::int32_t> row_sum_a(static_cast<std::size_t>(m), 0);
+  std::vector<std::int32_t> row_sum_b(static_cast<std::size_t>(n), 0);
+  s8_row_sums(a, m, k, row_sum_a.data());
+  s8_row_sums(b, n, k, row_sum_b.data());
+  const std::int32_t kzz = static_cast<std::int32_t>(k) * za * zb;
+
+  std::int32_t raw0[kNrS8];
+  std::int32_t raw1[kNrS8];
+  std::int64_t i = 0;
+  for (; i < m; i += 2) {
+    const bool pair = i + 1 < m;
+    const std::int8_t* a0 = a + i * k;
+    const std::int8_t* a1 = pair ? a0 + k : nullptr;
+    for (std::int64_t j0 = 0; j0 < n; j0 += kNrS8) {
+      const std::int64_t jn = std::min(kNrS8, n - j0);
+      dot_tile(a0, a1, b, j0, jn, k, raw0, raw1);
+      for (std::int64_t jj = 0; jj < jn; ++jj) {
+        const std::int32_t corr_b = za * row_sum_b[static_cast<std::size_t>(j0 + jj)] - kzz;
+        c[i * n + j0 + jj] =
+            raw0[jj] - zb * row_sum_a[static_cast<std::size_t>(i)] - corr_b;
+        if (pair) {
+          c[(i + 1) * n + j0 + jj] =
+              raw1[jj] - zb * row_sum_a[static_cast<std::size_t>(i + 1)] - corr_b;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace detail
+}  // namespace kernels
+}  // namespace clado::tensor
+
+#else  // !CLADO_KERNELS_AVX2: toolchain cannot target AVX2; never dispatched.
+
+namespace clado::tensor {
+namespace kernels {
+namespace detail {
+
+void gemm_s8s8_s32_avx2(std::int64_t m, std::int64_t n, std::int64_t k, const std::int8_t* a,
+                        std::int32_t za, const std::int8_t* b, std::int32_t zb,
+                        std::int32_t* c) {
+  gemm_s8s8_s32_scalar(m, n, k, a, za, b, zb, c);
+}
+
+}  // namespace detail
+}  // namespace kernels
+}  // namespace clado::tensor
+
+#endif

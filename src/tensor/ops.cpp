@@ -2,113 +2,31 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstring>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
-#include "clado/tensor/check.h"
+#include "clado/tensor/kernels.h"
 #include "clado/tensor/thread_pool.h"
 
 namespace clado::tensor {
 
 namespace {
 
-// Cache-blocking sizes tuned for a single core with a 32KB L1 / 256KB+ L2.
-constexpr std::int64_t kBlockM = 64;
-constexpr std::int64_t kBlockN = 128;
-constexpr std::int64_t kBlockK = 128;
-
 // Flop threshold below which splitting across threads costs more than it
 // saves (queueing + cold packing buffers per worker).
 constexpr std::int64_t kParallelFlops = std::int64_t{1} << 22;
 
-// Packs op(A) block [mb x kb] into row-major contiguous storage.
-void pack_a(bool trans_a, const float* a, std::int64_t lda, std::int64_t m0, std::int64_t k0,
-            std::int64_t mb, std::int64_t kb, float* packed) {
-  if (!trans_a) {
-    for (std::int64_t i = 0; i < mb; ++i) {
-      std::memcpy(packed + i * kb, a + (m0 + i) * lda + k0,
-                  static_cast<std::size_t>(kb) * sizeof(float));
-    }
-  } else {
-    for (std::int64_t i = 0; i < mb; ++i) {
-      for (std::int64_t p = 0; p < kb; ++p) {
-        packed[i * kb + p] = a[(k0 + p) * lda + (m0 + i)];
-      }
-    }
-  }
-}
-
-// Packs op(B) block [kb x nb] into row-major contiguous storage.
-void pack_b(bool trans_b, const float* b, std::int64_t ldb, std::int64_t k0, std::int64_t n0,
-            std::int64_t kb, std::int64_t nb, float* packed) {
-  if (!trans_b) {
-    for (std::int64_t p = 0; p < kb; ++p) {
-      std::memcpy(packed + p * nb, b + (k0 + p) * ldb + n0,
-                  static_cast<std::size_t>(nb) * sizeof(float));
-    }
-  } else {
-    for (std::int64_t p = 0; p < kb; ++p) {
-      for (std::int64_t j = 0; j < nb; ++j) {
-        packed[p * nb + j] = b[(n0 + j) * ldb + (k0 + p)];
-      }
-    }
-  }
-}
-
-// Blocked accumulation over rows [m_begin, m_end) of C; both bounds must be
-// multiples of kBlockM (or m_end == m) so block boundaries match the serial
-// schedule exactly. Packing scratch is per call: each parallel row-range
-// worker owns its own buffers, so there is no shared mutable state (the old
-// thread_local scratch raced on resize once GEMMs could overlap).
+// Blocked accumulation over rows [m_begin, m_end) of C, running whichever
+// micro-kernel level (scalar / AVX2) the process resolved at startup; both
+// bounds must be multiples of kernels::kGemmBlockM (or m_end == m) so block
+// boundaries match the serial schedule exactly. See clado/tensor/kernels.h
+// for the dispatch and determinism contract.
 void gemm_row_range(bool trans_a, bool trans_b, std::int64_t m_begin, std::int64_t m_end,
                     std::int64_t n, std::int64_t k, float alpha, const float* a, const float* b,
                     float* c, std::int64_t lda, std::int64_t ldb) {
-  // Bit-identical parallel/serial results rely on chunks starting on block
-  // boundaries; a misaligned chunk would also double-accumulate rows.
-  CLADO_CHECK(m_begin % kBlockM == 0 && m_begin <= m_end,
-              "gemm_row_range: row chunk must start on a kBlockM boundary");
-  std::vector<float> pa(static_cast<std::size_t>(kBlockM * kBlockK));
-  std::vector<float> pb(static_cast<std::size_t>(kBlockK * kBlockN));
-
-  for (std::int64_t k0 = 0; k0 < k; k0 += kBlockK) {
-    const std::int64_t kb = std::min(kBlockK, k - k0);
-    for (std::int64_t n0 = 0; n0 < n; n0 += kBlockN) {
-      const std::int64_t nb = std::min(kBlockN, n - n0);
-      pack_b(trans_b, b, ldb, k0, n0, kb, nb, pb.data());
-      for (std::int64_t m0 = m_begin; m0 < m_end; m0 += kBlockM) {
-        const std::int64_t mb = std::min(kBlockM, m_end - m0);
-        pack_a(trans_a, a, lda, m0, k0, mb, kb, pa.data());
-        // Micro-kernel: 2 rows of A at a time, full nb columns; the inner
-        // loop vectorizes under -O3.
-        std::int64_t i = 0;
-        for (; i + 1 < mb; i += 2) {
-          float* c0 = c + (m0 + i) * n + n0;
-          float* c1 = c0 + n;
-          const float* a0 = pa.data() + i * kb;
-          const float* a1 = a0 + kb;
-          for (std::int64_t p = 0; p < kb; ++p) {
-            const float av0 = alpha * a0[p];
-            const float av1 = alpha * a1[p];
-            const float* brow = pb.data() + p * nb;
-            for (std::int64_t j = 0; j < nb; ++j) {
-              c0[j] += av0 * brow[j];
-              c1[j] += av1 * brow[j];
-            }
-          }
-        }
-        for (; i < mb; ++i) {
-          float* crow = c + (m0 + i) * n + n0;
-          const float* arow = pa.data() + i * kb;
-          for (std::int64_t p = 0; p < kb; ++p) {
-            const float av = alpha * arow[p];
-            const float* brow = pb.data() + p * nb;
-            for (std::int64_t j = 0; j < nb; ++j) crow[j] += av * brow[j];
-          }
-        }
-      }
-    }
-  }
+  kernels::gemm_f32_row_range(kernels::active_level(), trans_a, trans_b, m_begin, m_end, n, k,
+                              alpha, a, b, c, lda, ldb);
 }
 
 // Beta-scaling plus the small-problem fast path. Returns true when the
@@ -131,6 +49,14 @@ bool gemm_prologue(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n, s
     for (std::int64_t i = 0; i < m; ++i) {
       for (std::int64_t p = 0; p < k; ++p) {
         const float av = alpha * (trans_a ? a[p * m + i] : a[i * k + p]);
+        // Known divergence from the blocked path, kept deliberately: a zero
+        // A element skips the row, so a non-finite B value it would have
+        // multiplied never reaches C (0 * inf = NaN on the blocked path).
+        // im2col padding makes zero A entries common in exactly these tiny
+        // conv GEMMs, and non-finite inputs are rejected upstream
+        // (CLADO_CHECK at subsystem boundaries), so the skip only ever
+        // drops exact-zero contributions. Pinned by
+        // GemmKernels.SmallPathZeroSkipDivergesOnNonFiniteInputs.
         if (av == 0.0F) continue;
         float* crow = c + i * n;
         if (!trans_b) {
@@ -163,17 +89,21 @@ void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n, std::int64
   const std::int64_t ldb = trans_b ? k : n;
 
   ThreadPool& pool = ThreadPool::global();
-  const std::int64_t num_row_blocks = (m + kBlockM - 1) / kBlockM;
+  const std::int64_t block_m = kernels::kGemmBlockM;
+  const std::int64_t num_row_blocks = (m + block_m - 1) / block_m;
   if (pool.num_threads() > 1 && num_row_blocks > 1 && m * n * k >= kParallelFlops) {
     // Each chunk covers contiguous row blocks; rows accumulate in the same
     // k0 -> n0 -> p order as the serial schedule, and distinct chunks write
-    // disjoint C rows, so the result is bit-identical to gemm_serial.
+    // disjoint C rows, so the result is bit-identical to gemm_serial. GEMM
+    // bodies accumulate into C, so a retried chunk would double-add —
+    // parallel_for never re-runs a body that has started (see
+    // ThreadPool::ForState::run_chunks).
     const std::int64_t chunk_blocks = std::max<std::int64_t>(
         1, (num_row_blocks + 2 * pool.num_threads() - 1) / (2 * pool.num_threads()));
     pool.parallel_for(0, num_row_blocks, chunk_blocks,
                       [&](std::int64_t block_begin, std::int64_t block_end) {
-                        gemm_row_range(trans_a, trans_b, block_begin * kBlockM,
-                                       std::min(m, block_end * kBlockM), n, k, alpha, a, b, c,
+                        gemm_row_range(trans_a, trans_b, block_begin * block_m,
+                                       std::min(m, block_end * block_m), n, k, alpha, a, b, c,
                                        lda, ldb);
                       });
     return;
@@ -207,7 +137,22 @@ Tensor transpose2d(const Tensor& a) {
 
 std::int64_t conv_out_size(std::int64_t in, std::int64_t kernel, std::int64_t stride,
                            std::int64_t pad) {
-  return (in + 2 * pad - kernel) / stride + 1;
+  // Validate here so every conv-shaped entry point (im2col, col2im, qconv2d,
+  // the nn layers) inherits the checks: stride <= 0 used to divide by zero,
+  // and kernel > in + 2*pad produced a negative output size that callers
+  // cast to huge size_t allocation lengths.
+  if (kernel <= 0 || stride <= 0 || pad < 0 || in < 0) {
+    throw std::invalid_argument(
+        "conv_out_size: need kernel > 0, stride > 0, pad >= 0, in >= 0 (got in=" +
+        std::to_string(in) + " kernel=" + std::to_string(kernel) + " stride=" +
+        std::to_string(stride) + " pad=" + std::to_string(pad) + ")");
+  }
+  const std::int64_t span = in + 2 * pad - kernel;
+  if (span < 0) {
+    throw std::invalid_argument("conv_out_size: kernel " + std::to_string(kernel) +
+                                " exceeds padded input " + std::to_string(in + 2 * pad));
+  }
+  return span / stride + 1;
 }
 
 void im2col(const float* input, std::int64_t channels, std::int64_t height, std::int64_t width,

@@ -32,35 +32,54 @@ struct ThreadPool::ForState {
   std::mutex done_mutex;
   std::condition_variable done_cv;
 
-  // Claims and runs chunks until none remain. A chunk that throws is
-  // retried once in place — every in-repo body writes deterministically to
-  // chunk-disjoint output, so re-running it overwrites any partial work and
-  // absorbs transient failures (including injected pool faults) without the
-  // caller ever seeing them. A second failure is recorded, keeping the
-  // lowest chunk index so the rethrow is deterministic.
+  // Records the failure of chunk `c`, keeping the lowest chunk index so
+  // the rethrow is deterministic.
+  void record_error(std::int64_t c) {
+    std::lock_guard<std::mutex> lock(error_mutex);
+    if (error_chunk < 0 || c < error_chunk) {
+      error_chunk = c;
+      error = std::current_exception();
+    }
+  }
+
+  // Claims and runs chunks until none remain. Only a failure of the
+  // PRE-BODY injection site is retried (once): at that point the body has
+  // not written anything, so re-running cannot double-apply work. A throw
+  // from the body itself is never retried — GEMM-style bodies ACCUMULATE
+  // into their output (c[j] += ...), so a body that dies mid-chunk leaves
+  // partial sums behind and re-running it would silently add onto them
+  // (the old retry-in-place did exactly that; pinned by
+  // ThreadPool.ThrowingBodyIsNotRetriedAfterPartialWrites). Body failures
+  // are recorded and rethrown after the remaining chunks drain.
   void run_chunks() {
     for (;;) {
       const std::int64_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
       if (c >= num_chunks) return;
       const std::int64_t cb = begin + c * grain;
       const std::int64_t ce = std::min(end, cb + grain);
+      bool faulted = false;
       for (int attempt = 0; attempt < 2; ++attempt) {
         try {
           clado::fault::maybe_throw(clado::fault::Site::kPoolTask,
                                     "thread pool: injected task failure");
-          body(cb, ce);
+          faulted = false;
           break;
         } catch (...) {
+          faulted = true;
           clado::obs::counter("pool.task_failures").add();
           if (attempt == 0) {
             clado::obs::counter("pool.chunk_retries").add();
-            continue;
+          } else {
+            record_error(c);
           }
-          std::lock_guard<std::mutex> lock(error_mutex);
-          if (error_chunk < 0 || c < error_chunk) {
-            error_chunk = c;
-            error = std::current_exception();
-          }
+        }
+      }
+      if (!faulted) {
+        try {
+          body(cb, ce);
+        } catch (...) {
+          clado::obs::counter("pool.task_failures").add();
+          record_error(c);
         }
       }
       if (done_chunks.fetch_add(1) + 1 == num_chunks) {

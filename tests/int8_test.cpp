@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "clado/nn/layers.h"
 #include "clado/tensor/ops.h"
@@ -21,6 +22,37 @@ TEST(QParams, ZeroIsExactlyRepresentable) {
     EXPECT_LE(p.zero_point, 127);
     const float zero = (static_cast<float>(p.zero_point) - p.zero_point) * p.scale;
     EXPECT_EQ(zero, 0.0F);
+  }
+}
+
+// Regression: the degenerate-range guard used an ABSOLUTE 1e-8 nudge, which
+// rounds away entirely at large magnitudes (lo + 1e-8F == lo for |lo| >= ~1
+// in fp32). A constant large-magnitude tensor then got scale == 0 and every
+// code quantized through a division by zero to inf/NaN.
+TEST(QParams, DegenerateRangeAtLargeMagnitudeYieldsFiniteScale) {
+  for (const float v : {1e6F, -1e6F, 3e7F, -4.5e8F, 1.0F, -1.0F}) {
+    const QParams p = choose_qparams(v, v);
+    EXPECT_TRUE(std::isfinite(p.scale)) << "v=" << v;
+    EXPECT_GT(p.scale, 0.0F) << "v=" << v;
+    EXPECT_GE(p.zero_point, -128);
+    EXPECT_LE(p.zero_point, 127);
+  }
+  // The original absolute epsilon is preserved for genuinely tiny ranges.
+  const QParams tiny = choose_qparams(0.0F, 0.0F);
+  EXPECT_GT(tiny.scale, 0.0F);
+  EXPECT_TRUE(std::isfinite(tiny.scale));
+}
+
+TEST(QuantizeInt8, LargeMagnitudeConstantTensorRoundTripsFinite) {
+  const Tensor x({8}, 2.5e7F);  // constant => min == max == 2.5e7
+  const QTensor q = quantize_int8_minmax(x);
+  EXPECT_TRUE(std::isfinite(q.scale));
+  EXPECT_GT(q.scale, 0.0F);
+  const Tensor back = dequantize(q);
+  for (std::int64_t i = 0; i < back.numel(); ++i) {
+    ASSERT_TRUE(std::isfinite(back[i])) << i;
+    // A one-point range is representable to within one quantization step.
+    EXPECT_NEAR(back[i], x[i], q.scale + std::abs(x[i]) * 1e-5F) << i;
   }
 }
 
@@ -171,6 +203,27 @@ INSTANTIATE_TEST_SUITE_P(Geometries, QConvGeometryTest,
                          ::testing::Values(std::tuple{1L, 1L, 0L}, std::tuple{3L, 1L, 1L},
                                            std::tuple{3L, 2L, 1L}, std::tuple{5L, 2L, 2L},
                                            std::tuple{3L, 1L, 0L}, std::tuple{1L, 2L, 0L}));
+
+// Regression: qconv2d used to accept stride <= 0 (division by zero in
+// conv_out_size) and kernels larger than the padded input (negative output
+// extent cast through size_t into a huge allocation).
+TEST(QConv2d, RejectsInvalidGeometry) {
+  Rng rng(7);
+  const Tensor x = Tensor::randn({1, 2, 5, 5}, rng);
+  const Tensor w = Tensor::randn({3, 2, 3, 3}, rng);
+  const QTensor qx = quantize_int8_minmax(x);
+  const QTensor qw = quantize_int8_minmax(w);
+
+  EXPECT_THROW(qconv2d(qx, qw, nullptr, /*stride=*/0, /*pad=*/1), std::invalid_argument);
+  EXPECT_THROW(qconv2d(qx, qw, nullptr, /*stride=*/-2, /*pad=*/1), std::invalid_argument);
+  EXPECT_THROW(qconv2d(qx, qw, nullptr, /*stride=*/1, /*pad=*/-1), std::invalid_argument);
+
+  const Tensor wbig = Tensor::randn({3, 2, 7, 7}, rng);  // 7 > 5 + 2*0
+  const QTensor qwbig = quantize_int8_minmax(wbig);
+  EXPECT_THROW(qconv2d(qx, qwbig, nullptr, /*stride=*/1, /*pad=*/0), std::invalid_argument);
+  // With enough padding the same kernel is legal again.
+  EXPECT_NO_THROW(qconv2d(qx, qwbig, nullptr, /*stride=*/1, /*pad=*/1));
+}
 
 TEST(Int8EndToEnd, FakeQuantAccuracyClaimHoldsInIntegerArithmetic) {
   // The statement the kernels certify: running a linear layer in pure

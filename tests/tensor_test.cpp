@@ -199,6 +199,35 @@ TEST(Ops, Im2ColPaddingProducesZeros) {
   EXPECT_EQ(cols[4], 1.0F);  // center = pixel (0,0)
 }
 
+// Regression: conv_out_size used to divide by a zero/negative stride and
+// return a negative size for kernels larger than the padded input — callers
+// cast that through size_t into multi-exabyte allocation requests.
+TEST(Ops, ConvOutSizeRejectsInvalidGeometry) {
+  EXPECT_EQ(conv_out_size(8, 3, 1, 0), 6);
+  EXPECT_EQ(conv_out_size(8, 3, 2, 1), 4);
+  EXPECT_EQ(conv_out_size(5, 5, 1, 0), 1);  // kernel == padded input is legal
+  EXPECT_THROW(conv_out_size(8, 3, 0, 1), std::invalid_argument);   // stride 0
+  EXPECT_THROW(conv_out_size(8, 3, -1, 1), std::invalid_argument);  // stride < 0
+  EXPECT_THROW(conv_out_size(8, 0, 1, 0), std::invalid_argument);   // kernel 0
+  EXPECT_THROW(conv_out_size(8, 3, 1, -1), std::invalid_argument);  // pad < 0
+  EXPECT_THROW(conv_out_size(-1, 3, 1, 1), std::invalid_argument);  // in < 0
+  EXPECT_THROW(conv_out_size(4, 7, 1, 1), std::invalid_argument);   // 7 > 4+2
+  // Enough padding makes the same kernel legal again.
+  EXPECT_EQ(conv_out_size(4, 7, 1, 2), 2);
+}
+
+TEST(Ops, Im2ColRejectsInvalidGeometry) {
+  Tensor img({1, 1, 4, 4});
+  std::vector<float> cols(256);
+  EXPECT_THROW(im2col(img.data(), 1, 4, 4, 3, 3, 0, 1, cols.data()),
+               std::invalid_argument);
+  EXPECT_THROW(im2col(img.data(), 1, 4, 4, 7, 7, 1, 0, cols.data()),
+               std::invalid_argument);
+  std::vector<float> grad(16, 0.0F);
+  EXPECT_THROW(col2im(cols.data(), 1, 4, 4, 3, 3, -1, 1, grad.data()),
+               std::invalid_argument);
+}
+
 TEST(Ops, Col2ImIsAdjointOfIm2Col) {
   // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
   // property the conv backward pass relies on.

@@ -96,6 +96,49 @@ TEST(ThreadPool, PropagatesLowestChunkException) {
   EXPECT_EQ(count.load(), 50);
 }
 
+// Regression: the old retry-in-place re-ran a chunk whose BODY threw. For
+// accumulating bodies (the GEMM kernels do `c[j] += ...`) the first attempt's
+// partial writes survive, so the retry silently double-applied them. A body
+// throw must propagate without the body ever running again.
+TEST(ThreadPool, ThrowingBodyIsNotRetriedAfterPartialWrites) {
+  ThreadPool pool(4);
+  clado::fault::disarm_all();
+  const std::int64_t retries_before = clado::obs::counter("pool.chunk_retries").value();
+
+  constexpr std::int64_t kN = 64;
+  std::vector<std::atomic<int>> hits(kN);
+  try {
+    pool.parallel_for(0, kN, 8, [&](std::int64_t b, std::int64_t e) {
+      for (std::int64_t i = b; i < e; ++i) {
+        // The chunk starting at 8 dies mid-body AFTER writing half its range
+        // — exactly the partial-accumulation state a retry must not re-run.
+        if (i == b + 4 && b == 8) throw std::runtime_error("mid-body failure");
+        hits[static_cast<std::size_t>(i)].fetch_add(1);
+      }
+    });
+    FAIL() << "parallel_for did not rethrow the body exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "mid-body failure");
+  }
+
+  // No index may be touched twice: the failing chunk's partial writes
+  // (indices 8..11) stay at one hit, the rest of its range at zero, and
+  // every other chunk completes exactly once.
+  for (std::int64_t i = 0; i < kN; ++i) {
+    const int h = hits[static_cast<std::size_t>(i)].load();
+    ASSERT_LE(h, 1) << "index " << i << " ran more than once — body was retried";
+    if (i < 8 || i >= 16) {
+      EXPECT_EQ(h, 1) << "index " << i;
+    } else if (i < 12) {
+      EXPECT_EQ(h, 1) << "index " << i << " (written before the throw)";
+    } else {
+      EXPECT_EQ(h, 0) << "index " << i << " (after the throw point)";
+    }
+  }
+  // Body failures must not register as absorbed chunk retries.
+  EXPECT_EQ(clado::obs::counter("pool.chunk_retries").value(), retries_before);
+}
+
 TEST(ThreadPool, ChunkRetryAbsorbsOneInjectedFault) {
   ThreadPool pool(4);
   clado::fault::disarm_all();

@@ -14,7 +14,14 @@ freely). A drift therefore means the *work done* by the bench changed —
 an algorithmic regression or an unintended behavior change — which is
 exactly what a perf-baseline gate should catch ahead of timing noise.
 
-Exit status: 0 on match, 1 on any drift or missing counter.
+Baselines may additionally carry a "gauges_min" section: each named gauge
+must be PRESENT in the actual dump with a value >= the baseline floor.
+Unlike counters these are ratio metrics (e.g. the SIMD-over-scalar GEMM
+speedup pinned by bench_gemm_kernels), which are noisy upward but
+host-stable downward — a value under the floor means the vector kernels
+regressed toward scalar throughput.
+
+Exit status: 0 on match, 1 on any drift, floor violation, or missing key.
 """
 
 import json
@@ -33,10 +40,12 @@ def main() -> int:
         actual = json.load(f)
 
     expected = baseline.get("counters", {})
-    if not expected:
-        sys.stderr.write(f"{baseline_path}: no counters in baseline\n")
+    floors = baseline.get("gauges_min", {})
+    if not expected and not floors:
+        sys.stderr.write(f"{baseline_path}: no counters or gauges_min in baseline\n")
         return 2
     got = actual.get("counters", {})
+    got_gauges = actual.get("gauges", {})
 
     drifts = []
     for name, want in sorted(expected.items()):
@@ -44,6 +53,15 @@ def main() -> int:
             drifts.append(f"  {name}: missing from {actual_path} (expected {want})")
         elif got[name] != want:
             drifts.append(f"  {name}: {got[name]} != baseline {want}")
+    for name, floor in sorted(floors.items()):
+        if name not in got_gauges:
+            drifts.append(f"  {name}: gauge missing from {actual_path} (floor {floor})")
+            continue
+        entry = got_gauges[name]
+        # Gauges dump as {"last": x, "max": y}; gate on the final value.
+        value = entry["last"] if isinstance(entry, dict) else entry
+        if value < floor:
+            drifts.append(f"  {name}: {value} below baseline floor {floor}")
 
     if drifts:
         print(f"metric baseline drift vs {baseline_path}:")
@@ -56,7 +74,10 @@ def main() -> int:
         )
         return 1
 
-    print(f"{len(expected)} counters match {baseline_path}")
+    parts = [f"{len(expected)} counters"]
+    if floors:
+        parts.append(f"{len(floors)} gauge floors")
+    print(f"{' and '.join(parts)} match {baseline_path}")
     return 0
 
 
