@@ -6,6 +6,8 @@
 // on the unfolded graph is, in general, not optimal for the folded one.
 // This bench quantifies the gap on the basic-block ResNet analogue.
 #include "bench_common.h"
+#include "clado/core/algorithms.h"
+#include "clado/core/report.h"
 #include "clado/quant/bn_fold.h"
 
 int main(int argc, char** argv) {

@@ -4,6 +4,8 @@
 // Expected shape: all methods converge near the 8-bit point; CLADO's curve
 // dominates (or ties) the others, most visibly at small sizes.
 #include "bench_common.h"
+#include "clado/core/algorithms.h"
+#include "clado/core/report.h"
 
 int main(int argc, char** argv) {
   using namespace clado::bench;

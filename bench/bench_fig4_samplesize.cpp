@@ -9,6 +9,9 @@
 #include <map>
 
 #include "bench_common.h"
+#include "clado/core/algorithms.h"
+#include "clado/core/report.h"
+#include "clado/data/synthcv.h"
 
 int main(int argc, char** argv) {
   using namespace clado::bench;

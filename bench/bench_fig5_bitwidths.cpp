@@ -7,6 +7,8 @@
 #include <map>
 
 #include "bench_common.h"
+#include "clado/core/algorithms.h"
+#include "clado/core/report.h"
 
 int main(int argc, char** argv) {
   using namespace clado::bench;

@@ -8,6 +8,9 @@
 #include <map>
 
 #include "bench_common.h"
+#include "clado/core/algorithms.h"
+#include "clado/core/report.h"
+#include "clado/data/synthcv.h"
 #include "clado/linalg/eigen.h"
 #include "clado/linalg/matrix.h"
 #include "clado/solver/anneal.h"

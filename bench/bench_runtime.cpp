@@ -13,7 +13,9 @@
 #include <chrono>
 
 #include "bench_common.h"
+#include "clado/core/report.h"
 #include "clado/obs/obs.h"
+#include "clado/solver/iqp.h"
 #include "clado/tensor/thread_pool.h"
 
 int main(int argc, char** argv) {

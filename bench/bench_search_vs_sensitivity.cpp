@@ -11,6 +11,7 @@
 
 #include "bench_common.h"
 #include "clado/core/search_baseline.h"
+#include "clado/quant/qat.h"
 
 int main(int argc, char** argv) {
   using namespace clado::bench;

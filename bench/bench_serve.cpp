@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "clado/core/report.h"
+#include "clado/obs/obs.h"
 #include "clado/serve/engine.h"
 #include "clado/serve/serve.h"
 #include "clado/tensor/tensor.h"

@@ -6,6 +6,8 @@
 // trails full CLADO. Absolute numbers differ — the substrate is synthcv,
 // not ImageNet (see DESIGN.md §1).
 #include "bench_common.h"
+#include "clado/core/algorithms.h"
+#include "clado/core/report.h"
 
 int main(int argc, char** argv) {
   using namespace clado::bench;

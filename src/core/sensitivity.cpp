@@ -376,9 +376,8 @@ Tensor SensitivityEngine::full_matrix(
   if (checkpoint_.has_value()) {
     ckpt_dir = checkpoint_->dir;
     ckpt_stride = std::max<std::int64_t>(1, checkpoint_->stride);
-  } else if (const char* dir = std::getenv("CLADO_CHECKPOINT_DIR");
-             dir != nullptr && dir[0] != '\0') {
-    ckpt_dir = dir;
+  } else if (const auto dir = clado::tensor::env_str("CLADO_CHECKPOINT_DIR")) {
+    ckpt_dir = *dir;
     ckpt_stride =
         clado::tensor::env_int_strict("CLADO_CHECKPOINT_STRIDE", 1, 1 << 20).value_or(1);
   }

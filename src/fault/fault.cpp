@@ -4,8 +4,19 @@
 #include <cctype>
 #include <cstdlib>
 #include <limits>
+#include <mutex>
 
 #include "clado/obs/obs.h"
+
+// Lock-discipline annotations for tools/clado_lint (rule: lock-discipline).
+// fault sits below clado::tensor in the layering, so it cannot include
+// clado/tensor/check.h; the no-op definitions are repeated here verbatim.
+#ifndef CLADO_GUARDED_BY
+#define CLADO_GUARDED_BY(mutex)
+#endif
+#ifndef CLADO_REQUIRES
+#define CLADO_REQUIRES(mutex)
+#endif
 
 namespace clado::fault {
 
@@ -14,9 +25,14 @@ namespace {
 enum class Mode { kOneShot, kFrom, kProbability };
 
 struct SiteState {
-  Mode mode = Mode::kOneShot;
-  std::uint64_t n = 0;        // threshold hit for kOneShot / kFrom
-  double p = 0.0;             // probability for kProbability
+  // mode/n/p are written under Registry::arm_mutex and published to the
+  // lock-free hit path by the armed_mask release/acquire pair; the hit-path
+  // reads in should_inject carry per-line lint suppressions citing that.
+  Mode mode CLADO_GUARDED_BY(arm_mutex) = Mode::kOneShot;
+  /// Threshold hit for kOneShot / kFrom.
+  std::uint64_t n CLADO_GUARDED_BY(arm_mutex) = 0;
+  /// Probability for kProbability.
+  double p CLADO_GUARDED_BY(arm_mutex) = 0.0;
   std::atomic<std::uint64_t> hits{0};
   std::atomic<std::uint64_t> injected{0};
 };
@@ -36,6 +52,9 @@ struct Registry {
   // the (plain) mode fields written by the arming thread.
   std::atomic<std::uint32_t> armed_mask{0};
   std::atomic<std::uint64_t> seed{0xC1AD0FA17ULL};
+  /// Serializes arming: concurrent arm_* calls on the same site must not
+  /// interleave their mode/n/p writes between each other's armed_mask bumps.
+  std::mutex arm_mutex;
   SiteState sites[kNumSites];
 
   static std::uint64_t parse_u64(const std::string& text, const char* what) {
@@ -66,10 +85,12 @@ void arm_from_env(Registry& r) {
     for (const char* c = site_name(static_cast<Site>(s)); *c != '\0'; ++c) {
       var += static_cast<char>(std::toupper(static_cast<unsigned char>(*c)));
     }
+    // clado-lint: allow(env-discipline) -- fault layers below env.h; arm_spec_on throws on garbage
     if (const char* v = std::getenv(var.c_str()); v != nullptr && v[0] != '\0') {
       arm_spec_on(r, static_cast<Site>(s), v);
     }
   }
+  // clado-lint: allow(env-discipline) -- fault layers below env.h; parse_u64 throws on garbage
   if (const char* v = std::getenv("CLADO_FAULT_SEED"); v != nullptr && v[0] != '\0') {
     r.seed.store(Registry::parse_u64(v, "CLADO_FAULT_SEED"), std::memory_order_relaxed);
   }
@@ -119,18 +140,20 @@ bool should_inject(Site site) noexcept {
   SiteState& s = r.sites[static_cast<int>(site)];
   const std::uint64_t hit = s.hits.fetch_add(1, std::memory_order_relaxed) + 1;  // 1-based
   bool fire = false;
-  switch (s.mode) {
+  // The hit path stays lock-free by design; the armed_mask acquire above
+  // pairs with arm_on's release and publishes the arming thread's writes.
+  switch (s.mode) {  // clado-lint: allow(lock-discipline) -- armed_mask acquire publishes mode
     case Mode::kOneShot:
-      fire = hit == s.n;
+      fire = hit == s.n;  // clado-lint: allow(lock-discipline) -- armed_mask acquire publishes n
       break;
     case Mode::kFrom:
-      fire = hit >= s.n;
+      fire = hit >= s.n;  // clado-lint: allow(lock-discipline) -- armed_mask acquire publishes n
       break;
     case Mode::kProbability: {
       const std::uint64_t h = splitmix64(r.seed.load(std::memory_order_relaxed) ^
                                          (static_cast<std::uint64_t>(site) << 56) ^ hit);
       const double u = static_cast<double>(h >> 11) * 0x1.0p-53;  // uniform [0, 1)
-      fire = u < s.p;
+      fire = u < s.p;  // clado-lint: allow(lock-discipline) -- armed_mask acquire publishes p
       break;
     }
   }
@@ -151,6 +174,7 @@ double poison_nan(Site site, double value) noexcept {
 namespace {
 
 void arm_on(Registry& r, Site site, Mode mode, std::uint64_t n, double p) {
+  std::lock_guard<std::mutex> lock(r.arm_mutex);
   SiteState& s = r.sites[static_cast<int>(site)];
   s.mode = mode;
   s.n = n;

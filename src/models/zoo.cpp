@@ -14,6 +14,7 @@
 #include "clado/nn/optimizer.h"
 #include "clado/obs/obs.h"
 #include "clado/quant/act_quant.h"
+#include "clado/tensor/env.h"
 #include "clado/tensor/serialize.h"
 
 namespace clado::models {
@@ -48,9 +49,7 @@ clado::data::SynthCvDataset zoo_val_set(const ZooConfig& config) {
 }
 
 std::string resolve_artifacts_dir(const ZooConfig& config) {
-  if (const char* env = std::getenv("CLADO_ARTIFACTS_DIR"); env != nullptr && env[0] != '\0') {
-    return env;
-  }
+  if (const auto env = clado::tensor::env_str("CLADO_ARTIFACTS_DIR")) return *env;
   return config.artifacts_dir;
 }
 

@@ -13,6 +13,16 @@
 #include <utility>
 #include <vector>
 
+// Lock-discipline annotations for tools/clado_lint (rule: lock-discipline).
+// obs sits below clado::tensor in the layering, so it cannot include
+// clado/tensor/check.h; the no-op definitions are repeated here verbatim.
+#ifndef CLADO_GUARDED_BY
+#define CLADO_GUARDED_BY(mutex)
+#endif
+#ifndef CLADO_REQUIRES
+#define CLADO_REQUIRES(mutex)
+#endif
+
 namespace clado::obs {
 
 namespace {
@@ -27,6 +37,9 @@ constexpr std::size_t kDefaultTraceCapacity = 1U << 20U;
 /// unset/empty means default, garbage throws instead of silently running
 /// with a different buffer size).
 std::size_t trace_capacity_from_env() {
+  // obs layers below tensor and cannot use env.h; this local parse enforces
+  // the same strictness (garbage throws) by hand.
+  // clado-lint: allow(env-discipline) -- strict local parse, layering below env.h
   const char* env = std::getenv("CLADO_TRACE_CAP");
   if (env == nullptr || env[0] == '\0') return kDefaultTraceCapacity;
   char* end = nullptr;
@@ -84,9 +97,11 @@ void json_escape(const std::string& in, std::string& out) {
 class Registry {
  public:
   Registry() : epoch_(Clock::now()), trace_capacity_(trace_capacity_from_env()) {
+    // clado-lint: allow(env-discipline) -- path-valued; any non-empty string is valid
     if (const char* env = std::getenv("CLADO_TRACE"); env != nullptr && env[0] != '\0') {
       trace_path_ = env;
     }
+    // clado-lint: allow(env-discipline) -- path-valued; any non-empty string is valid
     if (const char* env = std::getenv("CLADO_METRICS"); env != nullptr && env[0] != '\0') {
       metrics_path_ = env;
     }
@@ -276,7 +291,7 @@ class Registry {
   /// Appends into the bounded ring: below capacity the buffer grows; at
   /// capacity the oldest event is overwritten and counted as dropped, so a
   /// long-running process keeps the newest window of activity.
-  void append_event(TraceEvent e) {
+  void append_event(TraceEvent e) CLADO_REQUIRES(mutex_) {
     if (events_.size() < trace_capacity_) {
       events_.push_back(std::move(e));
       return;
@@ -287,7 +302,7 @@ class Registry {
   }
 
   /// Ring contents oldest-first (callers hold mutex_).
-  std::vector<TraceEvent> ordered_events() const {
+  std::vector<TraceEvent> ordered_events() const CLADO_REQUIRES(mutex_) {
     std::vector<TraceEvent> out;
     out.reserve(events_.size());
     for (std::size_t i = 0; i < events_.size(); ++i) {
@@ -300,15 +315,16 @@ class Registry {
   std::mutex mutex_;
   // Node-based maps: element addresses are stable across inserts, which is
   // what makes returning long-lived Counter&/Gauge& handles sound.
-  std::map<std::string, Counter, std::less<>> counters_;
-  std::map<std::string, Gauge, std::less<>> gauges_;
-  std::map<std::string, SpanStat, std::less<>> spans_;
-  std::vector<TraceEvent> events_;  ///< ring once full; events_[ring_start_] is oldest
-  std::size_t ring_start_ = 0;
-  std::size_t trace_capacity_ = kDefaultTraceCapacity;
-  std::int64_t dropped_events_ = 0;
-  std::string trace_path_;
-  std::string metrics_path_;
+  std::map<std::string, Counter, std::less<>> counters_ CLADO_GUARDED_BY(mutex_);
+  std::map<std::string, Gauge, std::less<>> gauges_ CLADO_GUARDED_BY(mutex_);
+  std::map<std::string, SpanStat, std::less<>> spans_ CLADO_GUARDED_BY(mutex_);
+  /// Ring once full; events_[ring_start_] is oldest.
+  std::vector<TraceEvent> events_ CLADO_GUARDED_BY(mutex_);
+  std::size_t ring_start_ CLADO_GUARDED_BY(mutex_) = 0;
+  std::size_t trace_capacity_ CLADO_GUARDED_BY(mutex_) = kDefaultTraceCapacity;
+  std::int64_t dropped_events_ CLADO_GUARDED_BY(mutex_) = 0;
+  std::string trace_path_ CLADO_GUARDED_BY(mutex_);
+  std::string metrics_path_ CLADO_GUARDED_BY(mutex_);
 };
 
 /// Inert post-teardown fallbacks. Both types are trivially destructible,
@@ -401,7 +417,9 @@ double Span::close() noexcept {
   TraceScope* scope = current_scope();
   if (scope != nullptr) {
     if (scope->open_depth_ > 0) --scope->open_depth_;
+    // clado-lint: allow(lock-discipline) -- TraceScope fields are owner-thread-only by contract
     if (scope->events_.size() < scope->capacity_) {
+      // clado-lint: allow(lock-discipline) -- TraceScope fields are owner-thread-only by contract
       scope->events_.push_back({name_, start_us_, end_us - start_us_, depth_});
     } else {
       ++scope->dropped_;

@@ -35,6 +35,7 @@
 
 #include "clado/obs/obs.h"
 #include "clado/serve/engine.h"
+#include "clado/tensor/check.h"
 #include "clado/tensor/thread_pool.h"
 
 namespace clado::serve {
@@ -132,14 +133,16 @@ class Server {
   mutable std::mutex mutex_;
   std::condition_variable cv_;        ///< workers: work available / state change
   std::condition_variable drain_cv_;  ///< drain(): queue empty and no in-flight work
-  std::deque<Pending> queue_;
-  int inflight_ = 0;
-  bool paused_ = false;
-  bool draining_ = false;
-  bool stop_ = false;
-  bool drained_ = false;
-  std::vector<double> latencies_ms_;   ///< completed-request samples (bounded)
-  std::size_t latency_overwrite_ = 0;  ///< ring cursor once the reservoir is full
+  std::deque<Pending> queue_ CLADO_GUARDED_BY(mutex_);
+  int inflight_ CLADO_GUARDED_BY(mutex_) = 0;
+  bool paused_ CLADO_GUARDED_BY(mutex_) = false;
+  bool draining_ CLADO_GUARDED_BY(mutex_) = false;
+  bool stop_ CLADO_GUARDED_BY(mutex_) = false;
+  bool drained_ CLADO_GUARDED_BY(mutex_) = false;
+  /// Completed-request samples (bounded reservoir).
+  std::vector<double> latencies_ms_ CLADO_GUARDED_BY(mutex_);
+  /// Ring cursor once the reservoir is full.
+  std::size_t latency_overwrite_ CLADO_GUARDED_BY(mutex_) = 0;
   mutable std::mutex drain_mutex_;     ///< serializes concurrent drain() calls
 
   /// Worker loops live on this pool as `workers` parallel_for chunks; the

@@ -24,4 +24,10 @@ std::optional<std::int64_t> env_int_strict(const char* name, std::int64_t min_va
   return static_cast<std::int64_t>(v);
 }
 
+std::optional<std::string> env_str(const char* name) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return std::nullopt;
+  return std::string(raw);
+}
+
 }  // namespace clado::tensor

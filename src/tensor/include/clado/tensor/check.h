@@ -23,6 +23,29 @@ namespace clado::tensor {
 
 }  // namespace clado::tensor
 
+// CLADO_GUARDED_BY / CLADO_REQUIRES — lock-discipline annotations checked by
+// tools/clado_lint (rule id: lock-discipline). Both expand to nothing at
+// compile time; they exist so the linter's project model can verify the
+// locking contract lexically:
+//
+//   std::mutex mutex_;
+//   std::deque<Task> queue_ CLADO_GUARDED_BY(mutex_);   // field: hold mutex_
+//
+//   void drain() CLADO_REQUIRES(mutex_);  // caller already holds mutex_
+//
+// Every access to an annotated field inside a member function of the owning
+// class must sit lexically under a std::lock_guard / unique_lock /
+// scoped_lock of the named mutex, be inside a function marked
+// CLADO_REQUIRES(that mutex), or be inside a constructor/destructor (where
+// the object is not yet / no longer shared). This mirrors Clang's
+// -Wthread-safety attributes without requiring Clang.
+#ifndef CLADO_GUARDED_BY
+#define CLADO_GUARDED_BY(mutex)
+#endif
+#ifndef CLADO_REQUIRES
+#define CLADO_REQUIRES(mutex)
+#endif
+
 #if defined(CLADO_ENABLE_CHECKS) || !defined(NDEBUG)
 #define CLADO_CHECK(cond, msg)                                                  \
   (static_cast<bool>(cond)                                                      \

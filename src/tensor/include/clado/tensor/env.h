@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 
 namespace clado::tensor {
 
@@ -20,5 +21,13 @@ namespace clado::tensor {
 /// accepted range.
 std::optional<std::int64_t> env_int_strict(const char* name, std::int64_t min_value,
                                            std::int64_t max_value);
+
+/// Reads env var `name` as a string. Unset or empty → nullopt (an empty
+/// value is indistinguishable from unset on every shell that matters, so
+/// treating it as "use the default" keeps behavior predictable). This is
+/// the sanctioned accessor for path-valued CLADO_* knobs; calling
+/// std::getenv directly in src//tools/ is a lint violation
+/// (env-discipline).
+std::optional<std::string> env_str(const char* name);
 
 }  // namespace clado::tensor

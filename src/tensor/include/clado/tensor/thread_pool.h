@@ -27,6 +27,8 @@
 
 #include <condition_variable>
 
+#include "clado/tensor/check.h"
+
 namespace clado::tensor {
 
 class ThreadPool {
@@ -71,10 +73,10 @@ class ThreadPool {
   int num_threads_ = 1;
   std::vector<std::thread> workers_;
   std::vector<std::thread::id> worker_ids_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<std::function<void()>> queue_ CLADO_GUARDED_BY(mutex_);
   std::mutex mutex_;
   std::condition_variable cv_;
-  bool stop_ = false;
+  bool stop_ CLADO_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace clado::tensor

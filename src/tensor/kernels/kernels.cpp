@@ -6,6 +6,7 @@
 
 #include "clado/obs/obs.h"
 #include "clado/tensor/check.h"
+#include "clado/tensor/env.h"
 #include "kernels_internal.h"
 
 namespace clado::tensor {
@@ -36,8 +37,7 @@ bool cpu_supports_avx2() noexcept {
 }
 
 Level resolve_level() {
-  const char* raw = std::getenv("CLADO_KERNEL");
-  const std::string value = raw == nullptr ? "" : raw;
+  const std::string value = env_str("CLADO_KERNEL").value_or("");
   if (value.empty() || value == "auto") {
     return cpu_supports_avx2() ? Level::kAvx2 : Level::kScalar;
   }

@@ -26,8 +26,8 @@ struct ThreadPool::ForState {
   std::atomic<std::int64_t> done_chunks{0};
 
   std::mutex error_mutex;
-  std::exception_ptr error;
-  std::int64_t error_chunk = -1;
+  std::exception_ptr error CLADO_GUARDED_BY(error_mutex);
+  std::int64_t error_chunk CLADO_GUARDED_BY(error_mutex) = -1;
 
   std::mutex done_mutex;
   std::condition_variable done_cv;
@@ -183,7 +183,14 @@ void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end, std::int64_t
     std::unique_lock<std::mutex> lock(state->done_mutex);
     state->done_cv.wait(lock, [&] { return state->done_chunks.load() == num_chunks; });
   }
-  if (state->error) std::rethrow_exception(state->error);
+  {
+    // The done_chunks wait above orders every record_error() before this
+    // read, but the locking contract on ForState::error is unconditional —
+    // holding error_mutex here keeps the invariant lexical instead of
+    // depending on that happens-before argument staying true.
+    std::lock_guard<std::mutex> lock(state->error_mutex);
+    if (state->error) std::rethrow_exception(state->error);
+  }
 }
 
 ThreadPool& ThreadPool::global() {

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <string>
 
 #include <sys/wait.h>
@@ -26,15 +27,17 @@ struct LintResult {
   }
 };
 
-// Runs `clado_lint --stdin <virtual_path>` with `source` on stdin.
-LintResult run_lint(const std::string& virtual_path, const std::string& source) {
+// Runs `clado_lint --stdin <virtual_path> [extra_args]` with `source` on
+// stdin (extra_args: e.g. "--format=json").
+LintResult run_lint(const std::string& virtual_path, const std::string& source,
+                    const std::string& extra_args = "") {
   const std::string snippet_path = std::string(::testing::TempDir()) + "clado_lint_snippet.cpp";
   {
     std::ofstream out(snippet_path, std::ios::trunc | std::ios::binary);
     out << source;
   }
-  const std::string cmd = std::string(CLADO_LINT_BIN) + " --stdin '" + virtual_path + "' < '" +
-                          snippet_path + "' 2>&1";
+  const std::string cmd = std::string(CLADO_LINT_BIN) + " --stdin '" + virtual_path + "' " +
+                          extra_args + " < '" + snippet_path + "' 2>&1";
   FILE* pipe = popen(cmd.c_str(), "r");
   EXPECT_NE(pipe, nullptr) << "popen failed for: " << cmd;
   LintResult result;
@@ -258,6 +261,306 @@ TEST(CladoLintTest, DiagnosticFormatIsFileLineRule) {
                                 "int a;\nint b;\nvoid f() { printf(\"x\"); }\n");
   EXPECT_EQ(r.exit_code, 1);
   EXPECT_NE(r.output.find("src/tensor/example.cpp:3: no-stdio"), std::string::npos) << r.output;
+}
+
+// ---- lock-discipline -------------------------------------------------------
+
+// A ThreadPool-shaped fixture: annotated queue, one locked accessor, one
+// unlocked accessor. Deleting the lock_guard (the unlocked `broken` method
+// here IS that deletion) must produce a lock-discipline diagnostic — the
+// acceptance spot-check for annotated classes.
+const char* kLockFixtureHeader =
+    "#pragma once\n"
+    "#include <deque>\n"
+    "#include <mutex>\n"
+    "#define CLADO_GUARDED_BY(m)\n"
+    "#define CLADO_REQUIRES(m)\n"
+    "namespace clado::tensor {\n"
+    "class Pool {\n"
+    " public:\n"
+    "  Pool() { queue_.clear(); }\n"  // ctor-exempt write
+    "  void push(int t) {\n"
+    "    std::lock_guard<std::mutex> lock(mutex_);\n"
+    "    queue_.push_back(t);\n"
+    "  }\n"
+    "  void drain_locked() CLADO_REQUIRES(mutex_) { queue_.clear(); }\n"
+    "%s"
+    " private:\n"
+    "  std::mutex mutex_;\n"
+    "  std::deque<int> queue_ CLADO_GUARDED_BY(mutex_);\n"
+    "};\n"
+    "}  // namespace clado::tensor\n";
+
+std::string lock_fixture(const std::string& extra_member) {
+  std::string out = kLockFixtureHeader;
+  out.replace(out.find("%s"), 2, extra_member);
+  return out;
+}
+
+TEST(CladoLintTest, LockDisciplineFiresOnUnlockedAccess) {
+  const LintResult r = run_lint(
+      "src/tensor/include/clado/tensor/pool.h",
+      lock_fixture("  bool broken() { return queue_.empty(); }\n"));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_TRUE(r.flags("lock-discipline")) << r.output;
+}
+
+TEST(CladoLintTest, LockDisciplinePassesLockedRequiresAndCtor) {
+  const LintResult r = run_lint("src/tensor/include/clado/tensor/pool.h", lock_fixture(""));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(CladoLintTest, LockDisciplineFiresAfterDeletingALockGuard) {
+  // Same class, but push() lost its lock_guard: the previously-clean
+  // fixture must now flag — deleting a lock from an annotated class is
+  // exactly the regression the rule exists to catch.
+  std::string source = lock_fixture("");
+  const std::string guard = "    std::lock_guard<std::mutex> lock(mutex_);\n";
+  const auto at = source.find(guard);
+  ASSERT_NE(at, std::string::npos);
+  source.erase(at, guard.size());
+  const LintResult r = run_lint("src/tensor/include/clado/tensor/pool.h", source);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_TRUE(r.flags("lock-discipline")) << r.output;
+}
+
+TEST(CladoLintTest, LockDisciplineWrongMutexDoesNotCover) {
+  const LintResult r = run_lint(
+      "src/tensor/include/clado/tensor/pool.h",
+      lock_fixture("  std::mutex other_;\n"
+                   "  bool wrong() {\n"
+                   "    std::lock_guard<std::mutex> lock(other_);\n"
+                   "    return queue_.empty();\n"
+                   "  }\n"));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_TRUE(r.flags("lock-discipline")) << r.output;
+}
+
+TEST(CladoLintTest, LockDisciplineSuppressionHolds) {
+  const LintResult r = run_lint(
+      "src/tensor/include/clado/tensor/pool.h",
+      lock_fixture("  // clado-lint: allow(lock-discipline) -- single-threaded test hook\n"
+                   "  bool racy() { return queue_.empty(); }\n"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(CladoLintTest, LockDisciplineIgnoresOtherClassesSameFieldName) {
+  // A different class with a member of the same NAME but no annotation must
+  // not be flagged (the rule matches on the owning class, not bare names).
+  const LintResult r = run_lint(
+      "src/tensor/include/clado/tensor/pool.h",
+      lock_fixture("") +
+          "namespace clado::tensor {\n"
+          "class Other {\n"
+          " public:\n"
+          "  bool fine() { return queue_.empty(); }\n"
+          " private:\n"
+          "  std::deque<int> queue_;\n"
+          "};\n"
+          "}  // namespace clado::tensor\n");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+// ---- env-discipline --------------------------------------------------------
+
+TEST(CladoLintTest, EnvDisciplineFiresOnRawGetenvInSrc) {
+  const LintResult r = run_lint("src/nn/example.cpp",
+                                "#include <cstdlib>\n"
+                                "namespace clado::nn {\n"
+                                "bool traced() { return std::getenv(\"CLADO_TRACE\") != nullptr; }\n"
+                                "}\n");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_TRUE(r.flags("env-discipline")) << r.output;
+}
+
+TEST(CladoLintTest, EnvDisciplinePassesOnStrictHelpers) {
+  const LintResult r = run_lint(
+      "src/nn/example.cpp",
+      "#include \"clado/tensor/env.h\"\n"
+      "namespace clado::nn {\n"
+      "int threads() {\n"
+      "  return static_cast<int>(\n"
+      "      clado::tensor::env_int_strict(\"CLADO_NUM_THREADS\", 1, 64).value_or(1));\n"
+      "}\n"
+      "}\n");
+  EXPECT_FALSE(r.flags("env-discipline")) << r.output;
+}
+
+TEST(CladoLintTest, EnvDisciplineAllowsGetenvOutsideSrcAndTools) {
+  const LintResult r = run_lint("bench/example.cpp",
+                                "#include <cstdlib>\n"
+                                "bool traced() { return std::getenv(\"CLADO_TRACE\") != nullptr; }\n");
+  EXPECT_FALSE(r.flags("env-discipline")) << r.output;
+}
+
+TEST(CladoLintTest, EnvDisciplineSuppressionHolds) {
+  const LintResult r = run_lint(
+      "src/nn/example.cpp",
+      "#include <cstdlib>\n"
+      "namespace clado::nn {\n"
+      "// clado-lint: allow(env-discipline) -- layering test double\n"
+      "bool traced() { return std::getenv(\"CLADO_TRACE\") != nullptr; }\n"
+      "}\n");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+// ---- simd-hygiene ----------------------------------------------------------
+
+TEST(CladoLintTest, SimdHygieneFiresOutsideKernelTus) {
+  const LintResult r = run_lint("src/nn/example.cpp",
+                                "#include <immintrin.h>\n"
+                                "namespace clado::nn {\n"
+                                "void zero(float* p) { _mm256_storeu_ps(p, _mm256_setzero_ps()); }\n"
+                                "}\n");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_TRUE(r.flags("simd-hygiene")) << r.output;
+}
+
+TEST(CladoLintTest, SimdHygienePassesInAvx2KernelTu) {
+  const LintResult r = run_lint(
+      "src/tensor/kernels/example_avx2.cpp",
+      "#include <immintrin.h>\n"
+      "namespace clado::tensor {\n"
+      "void zero(float* p) { _mm256_storeu_ps(p, _mm256_setzero_ps()); }\n"
+      "}\n");
+  EXPECT_FALSE(r.flags("simd-hygiene")) << r.output;
+}
+
+TEST(CladoLintTest, SimdHygieneIgnoresIntrinsicNamesInCommentsAndStrings) {
+  const LintResult r = run_lint(
+      "src/nn/example.cpp",
+      "// _mm256_fmadd_ps is discussed here but never called\n"
+      "namespace clado::nn {\n"
+      "const char* kDoc = \"uses _mm256_fmadd_ps internally\";\n"
+      "}\n");
+  EXPECT_FALSE(r.flags("simd-hygiene")) << r.output;
+}
+
+TEST(CladoLintTest, SimdHygieneSuppressionHolds) {
+  const LintResult r = run_lint(
+      "src/nn/example.cpp",
+      "namespace clado::nn {\n"
+      "// clado-lint: allow(simd-hygiene) -- feature-detection constant only\n"
+      "int probe() { return _MM_HINT_T0; }\n"
+      "}\n");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+// ---- trailing suppression on multi-line statements -------------------------
+
+TEST(CladoLintTest, TrailingSuppressionCoversMultiLineStatement) {
+  // The violation is on the printf line; the allow sits three lines later on
+  // the statement's closing line. Token-aware extension must connect them.
+  const LintResult r = run_lint(
+      "src/core/example.cpp",
+      "#include <cstdio>\n"
+      "void f() {\n"
+      "  printf(\"%d %d %d\",\n"
+      "         1,\n"
+      "         2,\n"
+      "         3);  // clado-lint: allow(no-stdio) -- progress output is intentional\n"
+      "}\n");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(CladoLintTest, TrailingSuppressionDoesNotLeakPastStatementEnd) {
+  // The allow trails the FIRST statement; the second violation on the next
+  // statement must still flag.
+  const LintResult r = run_lint(
+      "src/core/example.cpp",
+      "#include <cstdio>\n"
+      "void f() {\n"
+      "  printf(\"%d\",\n"
+      "         1);  // clado-lint: allow(no-stdio) -- first call only\n"
+      "  printf(\"second\");\n"
+      "}\n");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_TRUE(r.flags("no-stdio")) << r.output;
+}
+
+// ---- --format --------------------------------------------------------------
+
+TEST(CladoLintTest, FormatJsonEmitsStructuredDiagnostics) {
+  const LintResult r = run_lint("src/core/example.cpp",
+                                "void f() { printf(\"x\"); }\n", "--format=json");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("\"rule\":\"no-stdio\""), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("\"file\":\"src/core/example.cpp\""), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("\"line\":1"), std::string::npos) << r.output;
+}
+
+TEST(CladoLintTest, FormatJsonEmitsEmptyArrayWhenClean) {
+  const LintResult r = run_lint("src/core/example.cpp", "int x;\n", "--format=json");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("[]"), std::string::npos) << r.output;
+}
+
+TEST(CladoLintTest, FormatGithubEmitsWorkflowAnnotations) {
+  const LintResult r = run_lint("src/core/example.cpp",
+                                "void f() { printf(\"x\"); }\n", "--format github");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("::error file=src/core/example.cpp,line=1,title=clado-lint no-stdio::"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(CladoLintTest, FormatRejectsUnknownValue) {
+  const LintResult r = run_lint("src/core/example.cpp", "int x;\n", "--format=yaml");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+}
+
+// ---- --list-rules golden + docs coverage -----------------------------------
+
+std::string run_command(const std::string& cmd) {
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << cmd;
+  std::string output;
+  if (pipe == nullptr) return output;
+  std::array<char, 4096> buf{};
+  std::size_t got = 0;
+  while ((got = fread(buf.data(), 1, buf.size(), pipe)) > 0) output.append(buf.data(), got);
+  pclose(pipe);
+  return output;
+}
+
+std::string read_file_or_empty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string out((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return out;
+}
+
+// Adding (or renaming) a rule without updating the golden file fails here;
+// the golden file in turn anchors the docs-coverage test below, so a rule
+// cannot land without documentation.
+TEST(CladoLintTest, ListRulesMatchesGolden) {
+  const std::string actual = run_command(std::string(CLADO_LINT_BIN) + " --list-rules 2>&1");
+  const std::string golden =
+      read_file_or_empty(std::string(CLADO_LINT_SOURCE_ROOT) + "/tests/clado_lint_rules.golden");
+  ASSERT_FALSE(golden.empty());
+  EXPECT_EQ(actual, golden)
+      << "clado_lint --list-rules drifted from tests/clado_lint_rules.golden; update the "
+         "golden file AND the DESIGN.md rule table together";
+  EXPECT_NE(actual.find("lock-discipline\n"), std::string::npos);
+  EXPECT_NE(actual.find("env-discipline\n"), std::string::npos);
+  EXPECT_NE(actual.find("simd-hygiene\n"), std::string::npos);
+}
+
+TEST(CladoLintTest, EveryRuleIdIsDocumentedInDesignDoc) {
+  const std::string rules = run_command(std::string(CLADO_LINT_BIN) + " --list-rules 2>&1");
+  const std::string design =
+      read_file_or_empty(std::string(CLADO_LINT_SOURCE_ROOT) + "/DESIGN.md");
+  ASSERT_FALSE(design.empty());
+  std::size_t start = 0;
+  while (start < rules.size()) {
+    std::size_t end = rules.find('\n', start);
+    if (end == std::string::npos) end = rules.size();
+    const std::string rule = rules.substr(start, end - start);
+    if (!rule.empty()) {
+      EXPECT_NE(design.find("`" + rule + "`"), std::string::npos)
+          << "rule id '" << rule << "' is missing from the DESIGN.md rule table";
+    }
+    start = end + 1;
+  }
 }
 
 // End-to-end: the repo itself must lint clean (same invocation as the

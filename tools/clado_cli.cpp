@@ -38,12 +38,14 @@
 
 #include "clado/core/algorithms.h"
 #include "clado/core/report.h"
+#include "clado/data/synthcv.h"
 #include "clado/models/builders.h"
 #include "clado/models/zoo.h"
 #include "clado/obs/obs.h"
 #include "clado/serve/engine.h"
 #include "clado/serve/serve.h"
 #include "clado/serve/socket.h"
+#include "clado/tensor/rng.h"
 
 namespace {
 

@@ -13,12 +13,14 @@
 #      trusted into a wrong answer.
 #
 # Usage: tools/fault_soak.sh <build-dir> [seed...]   (default seeds 101 202 303)
-set -u
+set -euo pipefail
 
 build_dir=${1:?usage: tools/fault_soak.sh <build-dir> [seed...]}
 shift
 seeds=("$@")
-[ ${#seeds[@]} -eq 0 ] && seeds=(101 202 303)
+if [ ${#seeds[@]} -eq 0 ]; then
+  seeds=(101 202 303)
+fi
 
 prob=${CLADO_SOAK_PROB:-0.01}
 failures=0
