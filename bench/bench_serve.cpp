@@ -10,6 +10,7 @@
 // batch-1 row spends the same wall-clock on 8x more engine invocations.
 // The serve.* counters land in the obs dump that every bench appends.
 #include <chrono>
+#include <cstring>
 #include <memory>
 #include <thread>
 #include <utility>
@@ -64,6 +65,9 @@ int main(int argc, char** argv) {
     spec.bits = int8_bits;
     spec.replicas = kWorkers;
     spec.label = "int8";
+    // Plan the arena for exactly this row's batching cap so the pinned
+    // buffer path serves every batch the micro-batcher can form.
+    spec.max_batch = max_batch;
     auto engine = std::make_shared<Engine>(tm.model.clone(), std::move(spec));
 
     ServerConfig cfg;
@@ -112,6 +116,50 @@ int main(int argc, char** argv) {
                     ? ("  (" + AsciiTable::num(rps / baseline_rps, 2) + "x vs unbatched)").c_str()
                     : "");
     std::fflush(stdout);
+  }
+
+  // Steady-state zero-allocation probe (DESIGN.md §11): after warmup, 100
+  // pinned batches through the compiled plan must not touch the heap. The
+  // deltas are published as serve.steady.* and pinned by
+  // bench/baselines/bench_serve.json — the allocation gauge is only
+  // non-vacuous in builds that count (sanitizer CI / CLADO_ENABLE_CHECKS).
+  {
+    constexpr std::int64_t kSteadyBatch = 8;
+    constexpr int kSteadyIters = 100;
+    EngineSpec spec;
+    spec.bits = int8_bits;
+    spec.label = "int8";
+    spec.max_batch = kSteadyBatch;
+    spec.fusion = clado::serve::Fusion::kOn;
+    Engine engine(tm.model.clone(), std::move(spec));
+
+    const std::int64_t per_sample = samples.front().numel();
+    float* pin = engine.batch_buffer(0);
+    for (std::int64_t i = 0; i < kSteadyBatch; ++i) {
+      std::memcpy(pin + i * per_sample, samples[static_cast<std::size_t>(i)].data(),
+                  sizeof(float) * static_cast<std::size_t>(per_sample));
+    }
+    Tensor logits;
+    for (int i = 0; i < 3; ++i) engine.infer_pinned(kSteadyBatch, logits, 0);  // warmup
+
+    const std::int64_t allocs_before = clado::tensor::alloc_count();
+    const std::int64_t spans_before = clado::obs::span_stat("serve/engine_forward").count;
+    const auto s0 = Clock::now();
+    for (int i = 0; i < kSteadyIters; ++i) engine.infer_pinned(kSteadyBatch, logits, 0);
+    const double steady_wall = std::chrono::duration<double>(Clock::now() - s0).count();
+    const std::int64_t alloc_delta = clado::tensor::alloc_count() - allocs_before;
+    const std::int64_t span_delta =
+        clado::obs::span_stat("serve/engine_forward").count - spans_before;
+
+    clado::obs::counter("serve.steady.batches").add(kSteadyIters);
+    clado::obs::counter("serve.steady.forward_spans").add(span_delta);
+    clado::obs::gauge("serve.steady.allocs").set(static_cast<double>(alloc_delta));
+    std::printf("\nsteady state: %d pinned batches of %lld in %.3fs (%.1f batches/s), "
+                "%lld tensor allocs (counting %s)\n",
+                kSteadyIters, static_cast<long long>(kSteadyBatch), steady_wall,
+                steady_wall > 0.0 ? kSteadyIters / steady_wall : 0.0,
+                static_cast<long long>(alloc_delta),
+                clado::tensor::alloc_counting_enabled() ? "on" : "off");
   }
 
   std::printf("\n");

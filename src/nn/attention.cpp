@@ -188,4 +188,14 @@ void MultiHeadSelfAttention::collect_quant_layers(const std::string& prefix,
   out_proj_->collect_quant_layers(join_name(prefix, "output.dense"), out);
 }
 
+void MultiHeadSelfAttention::set_inference(bool inference) {
+  // The q_/k_/v_/probs_ stashes stay: attention only ever runs inside a
+  // plan fallback step, where the containing block's forward() needs them.
+  Module::set_inference(inference);
+  query_->set_inference(inference);
+  key_->set_inference(inference);
+  value_->set_inference(inference);
+  out_proj_->set_inference(inference);
+}
+
 }  // namespace clado::nn

@@ -31,7 +31,7 @@ Tensor ResidualBlock::forward(const Tensor& input) {
   } else {
     y += input;
   }
-  pre_act_ = y;
+  if (!inference_) pre_act_ = y;
   if (final_relu_) {
     float* d = y.data();
     for (std::int64_t i = 0; i < y.numel(); ++i) d[i] = d[i] > 0.0F ? d[i] : 0.0F;
@@ -74,6 +74,12 @@ void ResidualBlock::set_training(bool training) {
   if (shortcut_) shortcut_->set_training(training);
 }
 
+void ResidualBlock::set_inference(bool inference) {
+  Module::set_inference(inference);
+  main_->set_inference(inference);
+  if (shortcut_) shortcut_->set_inference(inference);
+}
+
 // ---------------------------------------------------------------------------
 // SEBlock
 // ---------------------------------------------------------------------------
@@ -100,23 +106,65 @@ void SEBlock::init(clado::tensor::Rng& rng) {
 }
 
 Tensor SEBlock::forward(const Tensor& input) {
-  input_ = input;
-  Tensor s = pool_.forward(input);            // [N, C]
-  Tensor z = relu_.forward(fc1_->forward(s)); // [N, r]
-  gate_ = hsig_.forward(fc2_->forward(z));    // [N, C]
+  if (!inference_) input_ = input;
+  Tensor s = pool_.forward(input);                 // [N, C]
+  Tensor z = relu_.forward(fc1_->forward(s));      // [N, r]
+  Tensor gate = hsig_.forward(fc2_->forward(z));   // [N, C]
 
   const std::int64_t n = input.size(0);
   const std::int64_t hw = input.size(2) * input.size(3);
   Tensor out(input.shape());
   for (std::int64_t b = 0; b < n; ++b) {
     for (std::int64_t c = 0; c < channels_; ++c) {
-      const float g = gate_.data()[b * channels_ + c];
+      const float g = gate.data()[b * channels_ + c];
       const float* x = input.data() + (b * channels_ + c) * hw;
       float* o = out.data() + (b * channels_ + c) * hw;
       for (std::int64_t p = 0; p < hw; ++p) o[p] = x[p] * g;
     }
   }
+  if (!inference_) gate_ = std::move(gate);
   return out;
+}
+
+void SEBlock::forward_into(const float* in, std::int64_t n, std::int64_t max_n,
+                           std::int64_t hw, float* scratch, float* out) const {
+  const std::int64_t r = reduced();
+  float* s = scratch;                        // [n, C] prefix of a max_n segment
+  float* z = scratch + max_n * channels_;    // [n, r]
+  float* gate = z + max_n * r;               // [n, C]
+
+  // Same op sequence as forward(): GAP -> fc1 -> relu -> fc2 -> hsig -> scale.
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      const float* plane = in + (b * channels_ + c) * hw;
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < hw; ++p) acc += plane[p];
+      s[b * channels_ + c] = static_cast<float>(acc / static_cast<double>(hw));
+    }
+  }
+  fc1_->forward_into(s, n, z);
+  for (std::int64_t i = 0; i < n * r; ++i) z[i] = act_forward(Act::kRelu, z[i]);
+  fc2_->forward_into(z, n, gate);
+  for (std::int64_t i = 0; i < n * channels_; ++i) {
+    gate[i] = act_forward(Act::kHardSigmoid, gate[i]);
+  }
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      const float g = gate[b * channels_ + c];
+      const float* x = in + (b * channels_ + c) * hw;
+      float* o = out + (b * channels_ + c) * hw;
+      for (std::int64_t p = 0; p < hw; ++p) o[p] = x[p] * g;
+    }
+  }
+}
+
+void SEBlock::set_inference(bool inference) {
+  Module::set_inference(inference);
+  pool_.set_inference(inference);
+  fc1_->set_inference(inference);
+  fc2_->set_inference(inference);
+  relu_.set_inference(inference);
+  hsig_.set_inference(inference);
 }
 
 Tensor SEBlock::backward(const Tensor& grad_output) {
@@ -226,6 +274,16 @@ void TransformerBlock::set_training(bool training) {
   gelu_.set_training(training);
 }
 
+void TransformerBlock::set_inference(bool inference) {
+  Module::set_inference(inference);
+  ln1_.set_inference(inference);
+  ln2_.set_inference(inference);
+  attn_.set_inference(inference);
+  fc1_->set_inference(inference);
+  fc2_->set_inference(inference);
+  gelu_.set_inference(inference);
+}
+
 // ---------------------------------------------------------------------------
 // PatchEmbed
 // ---------------------------------------------------------------------------
@@ -251,7 +309,7 @@ void PatchEmbed::init(clado::tensor::Rng& rng) {
 
 Tensor PatchEmbed::forward(const Tensor& input) {
   Tensor fm = proj_.forward(input);  // [N, D, g, g]
-  conv_out_shape_ = fm.shape();
+  if (!inference_) conv_out_shape_ = fm.shape();
   const std::int64_t n = fm.size(0);
 
   Tensor out({n, tokens_ + 1, embed_dim_});
@@ -307,13 +365,18 @@ void PatchEmbed::set_training(bool training) {
   proj_.set_training(training);
 }
 
+void PatchEmbed::set_inference(bool inference) {
+  Module::set_inference(inference);
+  proj_.set_inference(inference);
+}
+
 // ---------------------------------------------------------------------------
 // TakeToken
 // ---------------------------------------------------------------------------
 
 Tensor TakeToken::forward(const Tensor& input) {
   if (input.dim() != 3) throw std::invalid_argument("TakeToken: expects [N, T, D]");
-  input_shape_ = input.shape();
+  if (!inference_) input_shape_ = input.shape();
   const std::int64_t n = input.size(0);
   const std::int64_t t = input.size(1);
   const std::int64_t d = input.size(2);

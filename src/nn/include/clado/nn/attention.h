@@ -25,6 +25,7 @@ class MultiHeadSelfAttention : public Module {
   Tensor backward(const Tensor& grad_output) override;
   void collect_params(const std::string& prefix, std::vector<ParamRef>& out) override;
   void collect_quant_layers(const std::string& prefix, std::vector<QuantLayerRef>& out) override;
+  void set_inference(bool inference) override;
   std::string type_name() const override { return "MultiHeadSelfAttention"; }
   MultiHeadSelfAttention(const MultiHeadSelfAttention& other);
   std::unique_ptr<Module> clone() const override {

@@ -27,6 +27,7 @@ class ResidualBlock : public Module {
   void collect_params(const std::string& prefix, std::vector<ParamRef>& out) override;
   void collect_quant_layers(const std::string& prefix, std::vector<QuantLayerRef>& out) override;
   void set_training(bool training) override;
+  void set_inference(bool inference) override;
   std::string type_name() const override { return "ResidualBlock"; }
   ResidualBlock(const ResidualBlock& other);
   std::unique_ptr<Module> clone() const override {
@@ -36,6 +37,7 @@ class ResidualBlock : public Module {
   /// Sub-graph access for graph transforms (BatchNorm folding).
   Sequential& main_path() { return *main_; }
   Sequential* shortcut_path() { return shortcut_.get(); }
+  bool final_relu() const { return final_relu_; }
 
  private:
   std::unique_ptr<Sequential> main_;
@@ -54,11 +56,28 @@ class SEBlock : public Module {
   Tensor backward(const Tensor& grad_output) override;
   void collect_params(const std::string& prefix, std::vector<ParamRef>& out) override;
   void collect_quant_layers(const std::string& prefix, std::vector<QuantLayerRef>& out) override;
+  void set_inference(bool inference) override;
   std::string type_name() const override { return "SEBlock"; }
   SEBlock(const SEBlock& other);
   std::unique_ptr<Module> clone() const override { return std::make_unique<SEBlock>(*this); }
 
   void init(clado::tensor::Rng& rng);
+
+  std::int64_t channels() const { return channels_; }
+  std::int64_t reduced() const { return fc1_->out_features(); }
+
+  /// Scratch floats forward_into needs for batches up to `max_n` samples:
+  /// pooled [max_n, C] | bottleneck [max_n, reduced] | gate [max_n, C].
+  std::int64_t scratch_numel(std::int64_t max_n) const {
+    return max_n * (2 * channels_ + reduced());
+  }
+
+  /// Allocation-free forward for the serving plan over `n` samples of
+  /// [C, hw]; `scratch` holds scratch_numel(max_n) floats laid out with
+  /// max_n-row segments so runtime n <= max_n uses segment prefixes.
+  /// Bit-identical to forward().
+  void forward_into(const float* in, std::int64_t n, std::int64_t max_n, std::int64_t hw,
+                    float* scratch, float* out) const;
 
  private:
   std::int64_t channels_;
@@ -82,6 +101,7 @@ class TransformerBlock : public Module {
   void collect_params(const std::string& prefix, std::vector<ParamRef>& out) override;
   void collect_quant_layers(const std::string& prefix, std::vector<QuantLayerRef>& out) override;
   void set_training(bool training) override;
+  void set_inference(bool inference) override;
   std::string type_name() const override { return "TransformerBlock"; }
   TransformerBlock(const TransformerBlock& other);
   std::unique_ptr<Module> clone() const override {
@@ -111,6 +131,7 @@ class PatchEmbed : public Module {
   Tensor backward(const Tensor& grad_output) override;
   void collect_params(const std::string& prefix, std::vector<ParamRef>& out) override;
   void set_training(bool training) override;
+  void set_inference(bool inference) override;
   std::string type_name() const override { return "PatchEmbed"; }
   std::unique_ptr<Module> clone() const override { return std::make_unique<PatchEmbed>(*this); }
 
@@ -133,6 +154,7 @@ class TakeToken : public Module {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  std::int64_t index() const { return index_; }
   std::string type_name() const override { return "TakeToken"; }
   std::unique_ptr<Module> clone() const override { return std::make_unique<TakeToken>(*this); }
 

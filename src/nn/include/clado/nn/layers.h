@@ -52,8 +52,21 @@ class Conv2d : public Module, public QuantizableLayer {
   std::int64_t stride() const { return stride_; }
   std::int64_t padding() const { return pad_; }
   std::int64_t groups() const { return groups_; }
+  bool has_bias() const { return has_bias_; }
+  bool has_weight_transform() const { return static_cast<bool>(weight_transform_); }
   /// Input stashed by the most recent forward pass.
   const Tensor& last_input() const { return input_; }
+
+  /// Per-sample im2col scratch size for an [*, C, h, w] input.
+  std::int64_t cols_numel(std::int64_t h, std::int64_t w) const;
+
+  /// Allocation-free forward for the serving plan: convolves `n` samples
+  /// from `in` ([n, C, h, w] contiguous) into `out` using the raw weight
+  /// (no transform) and the caller's `cols` scratch of cols_numel(h, w)
+  /// floats. Issues the exact im2col/GEMM/bias sequence of forward(), so
+  /// results are bit-identical.
+  void forward_into(const float* in, std::int64_t n, std::int64_t h, std::int64_t w,
+                    float* cols, float* out) const;
 
  private:
   std::int64_t in_channels_, out_channels_, kernel_, stride_, pad_, groups_;
@@ -92,8 +105,15 @@ class Linear : public Module, public QuantizableLayer {
 
   std::int64_t in_features() const { return in_features_; }
   std::int64_t out_features() const { return out_features_; }
+  bool has_bias() const { return has_bias_; }
+  bool has_weight_transform() const { return static_cast<bool>(weight_transform_); }
   /// Folded 2-d input stashed by the most recent forward pass.
   const Tensor& last_input2d() const { return input2d_; }
+
+  /// Allocation-free forward for the serving plan: `in` is [rows, in_f]
+  /// contiguous, `out` is [rows, out_f]. Single GEMM over all rows plus the
+  /// bias row-add — the exact sequence of forward(), so bit-identical.
+  void forward_into(const float* in, std::int64_t rows, float* out) const;
 
  private:
   std::int64_t in_features_, out_features_;
@@ -151,6 +171,13 @@ class LayerNorm : public Module {
   std::string type_name() const override { return "LayerNorm"; }
   std::unique_ptr<Module> clone() const override { return std::make_unique<LayerNorm>(*this); }
 
+  std::int64_t features() const { return features_; }
+
+  /// Allocation-free forward: normalizes `rows` rows of `features()` floats
+  /// from `in` into `out`, bit-identical to forward() (same accumulation
+  /// order and float rounding points), without stashing xhat/invstd.
+  void forward_into(const float* in, std::int64_t rows, float* out) const;
+
  private:
   std::int64_t features_;
   float eps_;
@@ -176,6 +203,8 @@ class Activation : public Module {
   std::string type_name() const override { return act_name(kind_); }
   std::unique_ptr<Module> clone() const override { return std::make_unique<Activation>(*this); }
 
+  Act kind() const { return kind_; }
+
  private:
   Act kind_;
   Tensor input_;
@@ -191,6 +220,15 @@ class MaxPool2d : public Module {
   std::string type_name() const override { return "MaxPool2d"; }
   std::unique_ptr<Module> clone() const override { return std::make_unique<MaxPool2d>(*this); }
 
+  std::int64_t kernel() const { return kernel_; }
+  std::int64_t stride() const { return stride_; }
+  std::int64_t padding() const { return pad_; }
+
+  /// Allocation-free forward (no argmax bookkeeping): pools [n, c, h, w]
+  /// from `in` into `out`; bit-identical max selection to forward().
+  void forward_into(const float* in, std::int64_t n, std::int64_t c, std::int64_t h,
+                    std::int64_t w, float* out) const;
+
  private:
   std::int64_t kernel_, stride_, pad_;
   Shape input_shape_;
@@ -204,6 +242,11 @@ class GlobalAvgPool : public Module {
   Tensor backward(const Tensor& grad_output) override;
   std::string type_name() const override { return "GlobalAvgPool"; }
   std::unique_ptr<Module> clone() const override { return std::make_unique<GlobalAvgPool>(*this); }
+
+  /// Allocation-free forward: averages [n, c, hw] planes from `in` into the
+  /// [n, c] `out`, using the same double accumulator as forward().
+  void forward_into(const float* in, std::int64_t n, std::int64_t c, std::int64_t hw,
+                    float* out) const;
 
  private:
   Shape input_shape_;

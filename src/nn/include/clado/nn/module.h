@@ -111,6 +111,16 @@ class Module {
   virtual void set_training(bool training) { training_ = training; }
   bool training() const { return training_; }
 
+  /// Switches the serving-inference seam. Deliberately distinct from
+  /// set_training(false): the sensitivity engine runs eval-mode forwards
+  /// that still need every per-layer input stash (linear_map_on_last_input
+  /// reads them), while an inference-mode forward skips the stashes and
+  /// defensive weight copies entirely — backward() after an inference-mode
+  /// forward is undefined. Containers propagate to children like
+  /// set_training; only serve::Engine turns this on.
+  virtual void set_inference(bool inference) { inference_ = inference; }
+  bool inference_mode() const { return inference_; }
+
   /// Short human-readable type tag for diagnostics.
   virtual std::string type_name() const = 0;
 
@@ -121,6 +131,7 @@ class Module {
   Module(const Module&) = default;
 
   bool training_ = false;
+  bool inference_ = false;
 };
 
 /// Joins hierarchical names: "a" + "b" -> "a.b", "" + "b" -> "b".

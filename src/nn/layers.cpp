@@ -46,8 +46,18 @@ Tensor Conv2d::forward(const Tensor& input) {
   if (input.dim() != 4 || input.size(1) != in_channels_) {
     throw std::invalid_argument("Conv2d: bad input shape " + input.shape_str());
   }
-  input_ = input;
-  effective_weight_ = weight_transform_ ? weight_transform_(weight_.value) : weight_.value;
+  // Inference mode skips the stash (backward is undefined after it) and,
+  // when no transform is installed, reads the weight in place instead of
+  // cloning it into effective_weight_ every call.
+  if (!inference_) input_ = input;
+  const Tensor* eff = &weight_.value;
+  if (weight_transform_) {
+    effective_weight_ = weight_transform_(weight_.value);
+    eff = &effective_weight_;
+  } else if (!inference_) {
+    effective_weight_ = weight_.value;
+    eff = &effective_weight_;
+  }
 
   const std::int64_t n = input.size(0);
   const std::int64_t h = input.size(2);
@@ -69,7 +79,7 @@ Tensor Conv2d::forward(const Tensor& input) {
       im2col(img + g * cg * h * w, cg, h, w, kernel_, kernel_, stride_, pad_, cols.data());
       // [og, positions] = W_g [og, patch] x cols^T [patch, positions]
       gemm(false, true, og, positions, patch, 1.0F,
-           effective_weight_.data() + g * og * patch, cols.data(), 0.0F,
+           eff->data() + g * og * patch, cols.data(), 0.0F,
            out + g * og * positions);
     }
     if (has_bias_) {
@@ -81,6 +91,39 @@ Tensor Conv2d::forward(const Tensor& input) {
     }
   }
   return output;
+}
+
+std::int64_t Conv2d::cols_numel(std::int64_t h, std::int64_t w) const {
+  const std::int64_t oh = conv_out_size(h, kernel_, stride_, pad_);
+  const std::int64_t ow = conv_out_size(w, kernel_, stride_, pad_);
+  return oh * ow * (in_channels_ / groups_) * kernel_ * kernel_;
+}
+
+void Conv2d::forward_into(const float* in, std::int64_t n, std::int64_t h, std::int64_t w,
+                          float* cols, float* out_base) const {
+  const std::int64_t oh = conv_out_size(h, kernel_, stride_, pad_);
+  const std::int64_t ow = conv_out_size(w, kernel_, stride_, pad_);
+  const std::int64_t cg = in_channels_ / groups_;
+  const std::int64_t og = out_channels_ / groups_;
+  const std::int64_t patch = cg * kernel_ * kernel_;
+  const std::int64_t positions = oh * ow;
+
+  for (std::int64_t s = 0; s < n; ++s) {
+    const float* img = in + s * in_channels_ * h * w;
+    float* out = out_base + s * out_channels_ * positions;
+    for (std::int64_t g = 0; g < groups_; ++g) {
+      im2col(img + g * cg * h * w, cg, h, w, kernel_, kernel_, stride_, pad_, cols);
+      gemm(false, true, og, positions, patch, 1.0F, weight_.value.data() + g * og * patch,
+           cols, 0.0F, out + g * og * positions);
+    }
+    if (has_bias_) {
+      for (std::int64_t c = 0; c < out_channels_; ++c) {
+        float* row = out + c * positions;
+        const float b = bias_.value[c];
+        for (std::int64_t p = 0; p < positions; ++p) row[p] += b;
+      }
+    }
+  }
 }
 
 Tensor Conv2d::backward(const Tensor& grad_output) {
@@ -208,25 +251,50 @@ Tensor Linear::forward(const Tensor& input) {
   if (input.dim() < 1 || input.size(-1) != in_features_) {
     throw std::invalid_argument("Linear: bad input shape " + input.shape_str());
   }
-  input_shape_ = input.shape();
   const std::int64_t rows = input.numel() / in_features_;
-  input2d_ = input.reshape({rows, in_features_});
-  effective_weight_ = weight_transform_ ? weight_transform_(weight_.value) : weight_.value;
+  // The fold to [rows, in] is purely logical on a contiguous row-major
+  // tensor, so inference mode reads input.data() directly instead of
+  // stashing a reshaped copy.
+  const float* x = input.data();
+  if (!inference_) {
+    input_shape_ = input.shape();
+    input2d_ = input.reshape({rows, in_features_});
+    x = input2d_.data();
+  }
+  const Tensor* eff = &weight_.value;
+  if (weight_transform_) {
+    effective_weight_ = weight_transform_(weight_.value);
+    eff = &effective_weight_;
+  } else if (!inference_) {
+    effective_weight_ = weight_.value;
+    eff = &effective_weight_;
+  }
 
   Tensor out({rows, out_features_});
   // out = x [rows, in] x W^T [in, out]
-  gemm(false, true, rows, out_features_, in_features_, 1.0F, input2d_.data(),
-       effective_weight_.data(), 0.0F, out.data());
+  gemm(false, true, rows, out_features_, in_features_, 1.0F, x,
+       eff->data(), 0.0F, out.data());
   if (has_bias_) {
     for (std::int64_t r = 0; r < rows; ++r) {
       float* row = out.data() + r * out_features_;
       for (std::int64_t c = 0; c < out_features_; ++c) row[c] += bias_.value[c];
     }
   }
-  Shape out_shape = input_shape_;
+  Shape out_shape = input.shape();
   out_shape.back() = out_features_;
   out.reshape_inplace(std::move(out_shape));
   return out;
+}
+
+void Linear::forward_into(const float* in, std::int64_t rows, float* out) const {
+  gemm(false, true, rows, out_features_, in_features_, 1.0F, in, weight_.value.data(), 0.0F,
+       out);
+  if (has_bias_) {
+    for (std::int64_t r = 0; r < rows; ++r) {
+      float* row = out + r * out_features_;
+      for (std::int64_t c = 0; c < out_features_; ++c) row[c] += bias_.value[c];
+    }
+  }
 }
 
 Tensor Linear::backward(const Tensor& grad_output) {
@@ -419,6 +487,11 @@ Tensor LayerNorm::forward(const Tensor& input) {
     throw std::invalid_argument("LayerNorm: bad input shape " + input.shape_str());
   }
   const std::int64_t rows = input.numel() / features_;
+  if (inference_) {
+    Tensor out(input.shape());
+    forward_into(input.data(), rows, out.data());
+    return out;
+  }
   xhat_ = Tensor(input.shape());
   invstd_ = Tensor({rows});
   Tensor out(input.shape());
@@ -469,6 +542,29 @@ Tensor LayerNorm::backward(const Tensor& grad_output) {
     }
   }
   return grad_input;
+}
+
+void LayerNorm::forward_into(const float* in, std::int64_t rows, float* out) const {
+  // Mirrors forward()'s accumulation order and rounding points exactly; the
+  // normalized value just stays in a register instead of the xhat_ stash.
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* x = in + r * features_;
+    float* o = out + r * features_;
+    double mu = 0.0;
+    for (std::int64_t j = 0; j < features_; ++j) mu += x[j];
+    mu /= static_cast<double>(features_);
+    double var = 0.0;
+    for (std::int64_t j = 0; j < features_; ++j) {
+      const double d = x[j] - mu;
+      var += d * d;
+    }
+    var /= static_cast<double>(features_);
+    const float is = static_cast<float>(1.0 / std::sqrt(var + eps_));
+    for (std::int64_t j = 0; j < features_; ++j) {
+      const float xh = (x[j] - static_cast<float>(mu)) * is;
+      o[j] = gamma_.value[j] * xh + beta_.value[j];
+    }
+  }
 }
 
 void LayerNorm::collect_params(const std::string& prefix, std::vector<ParamRef>& out) {
@@ -539,7 +635,7 @@ float act_backward(Act a, float x) {
 }
 
 Tensor Activation::forward(const Tensor& input) {
-  input_ = input;
+  if (!inference_) input_ = input;
   Tensor out(input.shape());
   const float* x = input.data();
   float* o = out.data();
@@ -567,7 +663,6 @@ MaxPool2d::MaxPool2d(std::int64_t kernel, std::int64_t stride, std::int64_t pad)
 
 Tensor MaxPool2d::forward(const Tensor& input) {
   if (input.dim() != 4) throw std::invalid_argument("MaxPool2d: expects NCHW input");
-  input_shape_ = input.shape();
   const std::int64_t n = input.size(0);
   const std::int64_t c = input.size(1);
   const std::int64_t h = input.size(2);
@@ -576,6 +671,11 @@ Tensor MaxPool2d::forward(const Tensor& input) {
   const std::int64_t ow = conv_out_size(w, kernel_, stride_, pad_);
 
   Tensor out({n, c, oh, ow});
+  if (inference_) {
+    forward_into(input.data(), n, c, h, w, out.data());
+    return out;
+  }
+  input_shape_ = input.shape();
   argmax_.assign(static_cast<std::size_t>(out.numel()), -1);
   for (std::int64_t s = 0; s < n; ++s) {
     for (std::int64_t ch = 0; ch < c; ++ch) {
@@ -608,6 +708,34 @@ Tensor MaxPool2d::forward(const Tensor& input) {
   return out;
 }
 
+void MaxPool2d::forward_into(const float* in, std::int64_t n, std::int64_t c, std::int64_t h,
+                             std::int64_t w, float* out) const {
+  const std::int64_t oh = conv_out_size(h, kernel_, stride_, pad_);
+  const std::int64_t ow = conv_out_size(w, kernel_, stride_, pad_);
+  for (std::int64_t s = 0; s < n; ++s) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = in + (s * c + ch) * h * w;
+      float* oplane = out + (s * c + ch) * oh * ow;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          float best = -std::numeric_limits<float>::infinity();
+          for (std::int64_t ky = 0; ky < kernel_; ++ky) {
+            const std::int64_t iy = oy * stride_ + ky - pad_;
+            if (iy < 0 || iy >= h) continue;
+            for (std::int64_t kx = 0; kx < kernel_; ++kx) {
+              const std::int64_t ix = ox * stride_ + kx - pad_;
+              if (ix < 0 || ix >= w) continue;
+              const float v = plane[iy * w + ix];
+              if (v > best) best = v;
+            }
+          }
+          oplane[oy * ow + ox] = best;
+        }
+      }
+    }
+  }
+}
+
 Tensor MaxPool2d::backward(const Tensor& grad_output) {
   Tensor grad_input(input_shape_);
   const std::int64_t n = input_shape_[0];
@@ -629,20 +757,25 @@ Tensor MaxPool2d::backward(const Tensor& grad_output) {
 
 Tensor GlobalAvgPool::forward(const Tensor& input) {
   if (input.dim() != 4) throw std::invalid_argument("GlobalAvgPool: expects NCHW input");
-  input_shape_ = input.shape();
+  if (!inference_) input_shape_ = input.shape();
   const std::int64_t n = input.size(0);
   const std::int64_t c = input.size(1);
   const std::int64_t hw = input.size(2) * input.size(3);
   Tensor out({n, c});
+  forward_into(input.data(), n, c, hw, out.data());
+  return out;
+}
+
+void GlobalAvgPool::forward_into(const float* in, std::int64_t n, std::int64_t c,
+                                 std::int64_t hw, float* out) const {
   for (std::int64_t s = 0; s < n; ++s) {
     for (std::int64_t ch = 0; ch < c; ++ch) {
-      const float* plane = input.data() + (s * c + ch) * hw;
+      const float* plane = in + (s * c + ch) * hw;
       double acc = 0.0;
       for (std::int64_t p = 0; p < hw; ++p) acc += plane[p];
-      out.data()[s * c + ch] = static_cast<float>(acc / static_cast<double>(hw));
+      out[s * c + ch] = static_cast<float>(acc / static_cast<double>(hw));
     }
   }
-  return out;
 }
 
 Tensor GlobalAvgPool::backward(const Tensor& grad_output) {

@@ -57,6 +57,8 @@ class ActFakeQuant : public Module {
   void reset_observer();
 
   float scale() const { return scale_; }
+  float zero_point() const { return zero_point_; }
+  int bits() const { return bits_; }
   float lo() const { return lo_; }
   float hi() const { return hi_; }
   bool calibrated() const { return calibrated_; }

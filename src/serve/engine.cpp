@@ -1,18 +1,37 @@
 #include "clado/serve/engine.h"
 
+#include <cstring>
 #include <stdexcept>
 #include <utility>
 
 #include "clado/models/model.h"
 #include "clado/obs/obs.h"
 #include "clado/quant/freeze.h"
+#include "clado/serve/plan.h"
+#include "clado/tensor/env.h"
 
 namespace clado::serve {
+
+namespace {
+
+bool resolve_fusion(Fusion fusion) {
+  if (fusion != Fusion::kAuto) return fusion == Fusion::kOn;
+  const auto env = clado::tensor::env_str("CLADO_FUSION");
+  if (!env.has_value() || *env == "on" || *env == "1") return true;
+  if (*env == "off" || *env == "0") return false;
+  throw std::invalid_argument("CLADO_FUSION: expected on/1/off/0, got \"" + *env + "\"");
+}
+
+}  // namespace
 
 Engine::Engine(clado::models::Model model, EngineSpec spec) : spec_(std::move(spec)) {
   if (spec_.replicas < 1) {
     throw std::invalid_argument("Engine: replicas must be >= 1");
   }
+  if (spec_.max_batch < 1) {
+    throw std::invalid_argument("Engine: max_batch must be >= 1");
+  }
+  const bool fuse = resolve_fusion(spec_.fusion);
   const clado::obs::Span span("serve/engine_load");
   model.net->set_training(false);
   model.net->clear_cache();
@@ -25,14 +44,31 @@ Engine::Engine(clado::models::Model model, EngineSpec spec) : spec_(std::move(sp
   replicas_.reserve(static_cast<std::size_t>(spec_.replicas));
   for (int r = 1; r < spec_.replicas; ++r) replicas_.push_back(model.clone());
   replicas_.push_back(std::move(model));
+  for (auto& replica : replicas_) replica.net->set_inference(true);
+
+  if (fuse) {
+    const clado::obs::Span compile_span("serve/plan_compile");
+    plans_.reserve(replicas_.size());
+    for (auto& replica : replicas_) {
+      plans_.push_back(
+          std::make_unique<CompiledPlan>(*replica.net, sample_shape_, spec_.max_batch));
+    }
+    clado::obs::counter("serve.plans_compiled").add(static_cast<std::int64_t>(plans_.size()));
+  }
+  predict_stage_.resize(replicas_.size());
+  predict_out_.resize(replicas_.size());
   clado::obs::counter("serve.engines_loaded").add();
 }
 
-Tensor Engine::infer(const Tensor& batch, int replica) {
+void Engine::check_replica(int replica) const {
   if (replica < 0 || replica >= replicas()) {
-    throw std::invalid_argument("Engine::infer: replica " + std::to_string(replica) +
-                                " out of [0, " + std::to_string(replicas()) + ")");
+    throw std::invalid_argument("Engine: replica " + std::to_string(replica) + " out of [0, " +
+                                std::to_string(replicas()) + ")");
   }
+}
+
+Tensor Engine::infer(const Tensor& batch, int replica) {
+  check_replica(replica);
   if (batch.dim() != 4 || batch.size(1) != sample_shape_[0] ||
       batch.size(2) != sample_shape_[1] || batch.size(3) != sample_shape_[2]) {
     throw std::invalid_argument("Engine::infer: input " + batch.shape_str() +
@@ -41,18 +77,65 @@ Tensor Engine::infer(const Tensor& batch, int replica) {
                                 std::to_string(sample_shape_[1]) + ", " +
                                 std::to_string(sample_shape_[2]) + "]");
   }
+  const std::int64_t n = batch.size(0);
+  if (fused() && n >= 1 && n <= spec_.max_batch) {
+    auto& plan = *plans_[static_cast<std::size_t>(replica)];
+    const clado::obs::Span span("serve/engine_forward");
+    std::memcpy(plan.input(), batch.data(),
+                sizeof(float) * static_cast<std::size_t>(batch.numel()));
+    Tensor out;
+    plan.run(n, out);
+    return out;
+  }
   const clado::obs::Span span("serve/engine_forward");
   return replicas_[static_cast<std::size_t>(replica)].net->forward(batch);
 }
 
-std::int64_t Engine::predict(const Tensor& sample) {
-  Tensor batch = sample;
-  if (batch.dim() == 3) {
-    Shape s = batch.shape();
-    s.insert(s.begin(), 1);
-    batch.reshape_inplace(std::move(s));
+float* Engine::batch_buffer(int replica) {
+  check_replica(replica);
+  return fused() ? plans_[static_cast<std::size_t>(replica)]->input() : nullptr;
+}
+
+void Engine::infer_pinned(std::int64_t n, Tensor& out, int replica) {
+  check_replica(replica);
+  if (!fused()) {
+    throw std::logic_error("Engine::infer_pinned: engine has no compiled plan");
   }
-  return infer(batch, 0).argmax();
+  const clado::obs::Span span("serve/engine_forward");
+  plans_[static_cast<std::size_t>(replica)]->run(n, out);
+}
+
+std::int64_t Engine::predict(const Tensor& sample, int replica) {
+  check_replica(replica);
+  if (sample.dim() == 4) return infer(sample, replica).argmax();
+  if (sample.shape() != sample_shape_) {
+    throw std::invalid_argument("Engine::predict: sample " + sample.shape_str() +
+                                " does not match [" + std::to_string(sample_shape_[0]) + ", " +
+                                std::to_string(sample_shape_[1]) + ", " +
+                                std::to_string(sample_shape_[2]) + "]");
+  }
+  if (fused()) {
+    std::memcpy(batch_buffer(replica), sample.data(),
+                sizeof(float) * static_cast<std::size_t>(sample.numel()));
+    infer_pinned(1, predict_out_[static_cast<std::size_t>(replica)], replica);
+    return predict_out_[static_cast<std::size_t>(replica)].argmax();
+  }
+  // Eager path: stage into a persistent per-replica [1, C, H, W] tensor
+  // instead of deep-copying the sample just to prepend the batch axis.
+  Tensor& stage = predict_stage_[static_cast<std::size_t>(replica)];
+  if (stage.numel() != sample.numel() || stage.dim() != 4) {
+    Shape batched = sample_shape_;
+    batched.insert(batched.begin(), 1);
+    stage = Tensor(std::move(batched));
+  }
+  std::memcpy(stage.data(), sample.data(),
+              sizeof(float) * static_cast<std::size_t>(sample.numel()));
+  return infer(stage, replica).argmax();
+}
+
+const CompiledPlan* Engine::plan(int replica) const {
+  check_replica(replica);
+  return fused() ? plans_[static_cast<std::size_t>(replica)].get() : nullptr;
 }
 
 std::shared_ptr<Engine> EngineRegistry::put(const std::string& key,

@@ -19,12 +19,17 @@
 #include <vector>
 
 #include "clado/models/model.h"
+#include "clado/serve/plan.h"
 #include "clado/tensor/tensor.h"
 
 namespace clado::serve {
 
 using clado::tensor::Shape;
 using clado::tensor::Tensor;
+
+/// Whether the engine compiles its replicas into CompiledPlans. kAuto
+/// defers to the CLADO_FUSION env var ("on"/"1" or "off"/"0"; unset = on).
+enum class Fusion { kAuto, kOn, kOff };
 
 /// How to freeze an Engine's weights at load time.
 struct EngineSpec {
@@ -34,6 +39,10 @@ struct EngineSpec {
   std::vector<int> bits;
   int replicas = 1;   ///< independent forward contexts (>= server workers)
   std::string label;  ///< display name, e.g. "int8", "mixed-0.375", "fp32"
+  /// Largest batch the compiled plan's arena is sized for; batches beyond
+  /// it (and all batches on unfused engines) take the eager path.
+  std::int64_t max_batch = 32;
+  Fusion fusion = Fusion::kAuto;
 };
 
 /// Immutable, pre-quantized inference engine. Thread-safe across distinct
@@ -57,15 +66,43 @@ class Engine {
 
   /// Batched forward: input [N, C, H, W] -> logits [N, num_classes], run
   /// on replica `replica`. Throws std::invalid_argument on a shape
-  /// mismatch or an out-of-range replica id.
+  /// mismatch or an out-of-range replica id. Fused engines route batches
+  /// up to plan_batch_capacity() through the replica's CompiledPlan.
   Tensor infer(const Tensor& batch, int replica = 0);
 
-  /// Top-1 class of one sample [C, H, W] (or [1, C, H, W]), on replica 0.
-  std::int64_t predict(const Tensor& sample);
+  /// True when replicas carry compiled plans (fusion resolved to on).
+  bool fused() const { return !plans_.empty(); }
+  /// Plan arena batch capacity; 0 on unfused engines.
+  std::int64_t plan_batch_capacity() const { return fused() ? spec_.max_batch : 0; }
+
+  /// Pinned batch-stacking buffer of `replica`'s plan (room for
+  /// plan_batch_capacity() samples of sample_shape()); nullptr on unfused
+  /// engines. Callers memcpy samples here, then call infer_pinned.
+  float* batch_buffer(int replica = 0);
+
+  /// Runs the plan on the first `n` samples staged in batch_buffer(),
+  /// writing logits into `out` ([n, num_classes]; reallocated only on a
+  /// shape change, so steady-state same-n calls are allocation-free).
+  /// Throws std::logic_error on unfused engines.
+  void infer_pinned(std::int64_t n, Tensor& out, int replica = 0);
+
+  /// Top-1 class of one sample [C, H, W] (or [1, C, H, W]) on `replica`.
+  /// Stages through per-replica persistent buffers instead of deep-copying
+  /// the sample to prepend a batch axis.
+  std::int64_t predict(const Tensor& sample, int replica = 0);
+
+  /// Compiled plan of `replica` (nullptr on unfused engines) — plan
+  /// introspection for tests and diagnostics.
+  const CompiledPlan* plan(int replica = 0) const;
 
  private:
+  void check_replica(int replica) const;
+
   EngineSpec spec_;
   std::vector<clado::models::Model> replicas_;
+  std::vector<std::unique_ptr<CompiledPlan>> plans_;  ///< one per replica when fused
+  std::vector<Tensor> predict_stage_;  ///< per-replica [1, C, H, W] staging
+  std::vector<Tensor> predict_out_;    ///< per-replica logits scratch
   Shape sample_shape_;
   double weight_bytes_ = 0.0;
   int batchnorms_folded_ = 0;

@@ -1,0 +1,164 @@
+// clado::serve::CompiledPlan — the serving graph compiler.
+//
+// At Engine construction the frozen Sequential is walked once into a flat
+// list of PlanSteps over a single preplanned float arena:
+//   * conv→(folded BN)→activation chains collapse into one step (the
+//     activation is applied in-place on the conv's output buffer),
+//   * every intermediate, im2col and batch-stacking buffer shape is
+//     precomputed for the engine's max_batch,
+//   * buffers get arena offsets via liveness-based first-fit, so two
+//     tensors share storage only when their live ranges are disjoint.
+// Steady-state run() therefore performs zero heap allocation on fully
+// plannable graphs (all CNN zoo models); modules the compiler does not
+// understand (transformer blocks, un-folded BatchNorm) become fallback
+// steps that stage through the module's own forward().
+//
+// Every step replays the exact kernel call sequence and elementwise loop
+// order of the eager forwards, so plan logits are bit-identical to
+// Sequential::forward — verified across the model zoo in plan_test.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clado/nn/blocks.h"
+#include "clado/nn/layers.h"
+#include "clado/nn/sequential.h"
+#include "clado/tensor/tensor.h"
+
+namespace clado::serve {
+
+using clado::tensor::Shape;
+using clado::tensor::Tensor;
+
+enum class StepKind {
+  kConv,           ///< Conv2d (+ optional fused activation)
+  kLinear,         ///< Linear (+ optional fused activation)
+  kAct,            ///< standalone activation
+  kResidualAdd,    ///< out = main + shortcut (+ optional fused ReLU)
+  kSE,             ///< squeeze-excitation channel gating
+  kFakeQuant,      ///< frozen affine fake quantization
+  kMaxPool,        ///< max pooling (no argmax bookkeeping)
+  kGlobalAvgPool,  ///< [N,C,H,W] -> [N,C]
+  kLayerNorm,      ///< last-axis normalization
+  kTakeToken,      ///< [N,T,D] -> [N,D] token readout
+  kFallback,       ///< unplannable module staged through Module::forward
+};
+
+const char* step_kind_name(StepKind kind);
+
+/// One arena-resident tensor of the plan. Live range is the inclusive step
+/// interval [def_step, last_step]; the network input uses def_step = -1 and
+/// the final output's last_step extends past the last step so neither is
+/// ever aliased by an intermediate.
+struct PlanBuffer {
+  std::int64_t numel = 0;       ///< arena floats reserved (max_batch scale)
+  std::int64_t per_sample = 0;  ///< floats per sample (0 for scratch)
+  std::int64_t offset = -1;     ///< first-fit arena offset (16-float aligned)
+  std::int64_t def_step = 0;
+  std::int64_t last_step = 0;
+  bool scratch = false;  ///< workspace (im2col / SE), not an activation
+};
+
+/// One executable node of the compiled graph. Layer pointers alias the
+/// engine replica's module tree (which owns them); `stage_in` is the
+/// persistent staging tensor of fallback steps.
+struct PlanStep {
+  StepKind kind = StepKind::kFallback;
+  int in = -1;       ///< input buffer id
+  int in2 = -1;      ///< second input (residual shortcut)
+  int out = -1;      ///< output buffer id
+  int scratch = -1;  ///< workspace buffer id, if any
+
+  const clado::nn::Conv2d* conv = nullptr;
+  const clado::nn::Linear* linear = nullptr;
+  const clado::nn::SEBlock* se = nullptr;
+  const clado::nn::MaxPool2d* pool = nullptr;
+  const clado::nn::GlobalAvgPool* gap = nullptr;
+  const clado::nn::LayerNorm* ln = nullptr;
+  clado::nn::Module* fallback = nullptr;
+
+  bool has_act = false;  ///< fused pointwise activation applied in place
+  clado::nn::Act act = clado::nn::Act::kRelu;
+
+  // Frozen fake-quant parameters (kFakeQuant).
+  float fq_scale = 1.0F;
+  float fq_zero_point = 0.0F;
+  float fq_levels = 0.0F;
+
+  // Per-sample geometry, resolved at compile time.
+  std::int64_t in_h = 0, in_w = 0;    ///< conv / pool input spatial dims
+  std::int64_t channels = 0, hw = 0;  ///< pool / SE geometry
+  std::int64_t rows_per_sample = 0;   ///< linear / layernorm folded rows
+  std::int64_t per_sample_in = 0, per_sample_out = 0;
+  std::int64_t take_tokens = 0, take_dim = 0, take_index = 0;
+  Shape in_shape, out_shape;  ///< per-sample shapes (no batch axis)
+
+  Tensor stage_in;    ///< fallback staging (reallocated only on n change)
+  std::string label;  ///< span name, e.g. "plan/conv"
+};
+
+/// Compiled execution plan for one engine replica. Not thread-safe: calls
+/// on the same plan must not overlap (mirrors the replica contract).
+class CompiledPlan {
+ public:
+  /// Walks `net` (frozen, inference mode) with per-sample input shape
+  /// `sample_shape` ([C, H, W]) and plans buffers for up to `max_batch`
+  /// samples. Unrecognized modules are probed with a zeros [1, ...] forward
+  /// to learn their output shape. Throws std::invalid_argument on
+  /// max_batch < 1.
+  CompiledPlan(clado::nn::Sequential& net, const Shape& sample_shape, std::int64_t max_batch);
+
+  CompiledPlan(const CompiledPlan&) = delete;
+  CompiledPlan& operator=(const CompiledPlan&) = delete;
+
+  /// Pinned batch-stacking buffer: callers memcpy up to max_batch samples
+  /// (sample_numel() floats each, contiguous) here before run().
+  float* input() { return arena_.data() + input_offset_; }
+
+  /// Executes the plan on the first `n` staged samples, writing logits into
+  /// `out` ([n, num_classes]). `out` is reallocated only when its shape
+  /// differs from the wanted one, so steady-state same-n calls are
+  /// allocation-free on fully plannable graphs. Throws std::invalid_argument
+  /// unless 1 <= n <= max_batch().
+  void run(std::int64_t n, Tensor& out);
+
+  // -- introspection (plan_test / diagnostics) ------------------------------
+  std::int64_t max_batch() const { return max_batch_; }
+  std::int64_t sample_numel() const { return sample_numel_; }
+  std::int64_t arena_numel() const { return static_cast<std::int64_t>(arena_.size()); }
+  std::size_t num_steps() const { return steps_.size(); }
+  /// Steps the compiler could not fuse into the arena program.
+  std::size_t fallback_steps() const;
+  const std::vector<PlanStep>& steps() const { return steps_; }
+  const std::vector<PlanBuffer>& buffers() const { return buffers_; }
+  /// Per-sample output shape (no batch axis), e.g. [num_classes].
+  const Shape& output_shape() const { return output_shape_; }
+
+ private:
+  void compile_module(clado::nn::Module& module);
+  void compile_children(clado::nn::Sequential& seq);
+  void run_step(PlanStep& step, std::int64_t n);
+  int new_buffer(std::int64_t per_sample, bool scratch, std::int64_t scratch_numel = 0);
+  void note_read(int buffer);
+  /// Probes `module` with a zeros [1, cur-shape] forward to learn its
+  /// per-sample output shape and emits a kFallback step.
+  void emit_fallback(clado::nn::Module& module, bool probe);
+  void assign_offsets();
+  float* buf(int id) { return arena_.data() + buffers_[static_cast<std::size_t>(id)].offset; }
+
+  std::int64_t max_batch_ = 0;
+  std::int64_t sample_numel_ = 0;
+  std::int64_t input_offset_ = 0;
+  int cur_buf_ = 0;    ///< buffer holding the activation during compile
+  Shape cur_shape_;    ///< its per-sample shape during compile
+  Shape output_shape_;
+  std::vector<PlanStep> steps_;
+  std::vector<PlanBuffer> buffers_;
+  std::vector<float> arena_;
+  Shape want_shape_;  ///< reused scratch for run()'s output-shape check
+};
+
+}  // namespace clado::serve

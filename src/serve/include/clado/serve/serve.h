@@ -8,8 +8,10 @@
 // serving reuses the pool's worker lifecycle instead of hand-rolled
 // threads — coalesce compatible requests into micro-batches: a worker
 // holds the oldest request for at most max_delay_us waiting for the queue
-// to reach max_batch, then stacks the admitted inputs into one [N,C,H,W]
-// tensor and runs a single batched forward on its own Engine replica.
+// to reach max_batch, then stacks the admitted inputs — directly into the
+// compiled plan's pinned batch buffer on fused engines, into a fresh
+// [N,C,H,W] tensor otherwise — and runs a single batched forward on its
+// own Engine replica.
 // Requests whose deadline expired while queued are dropped before
 // execution (kDeadlineExpired). drain() stops admission, finishes every
 // already-admitted request, and parks the workers; the destructor drains.
@@ -124,7 +126,11 @@ class Server {
 
   std::int64_t now_us() const;
   void worker_loop(int worker);
-  void execute_batch(int worker, std::vector<Pending> batch, std::int64_t formed_us);
+  /// `logits` is the worker's persistent output tensor: on fused engines
+  /// the batch is memcpy'd into the plan's pinned buffer and infer_pinned
+  /// writes logits in place, so steady-state batches allocate nothing.
+  void execute_batch(int worker, std::vector<Pending> batch, std::int64_t formed_us,
+                     Tensor& logits);
 
   std::shared_ptr<Engine> engine_;
   ServerConfig config_;

@@ -1,0 +1,578 @@
+#include "clado/serve/plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+#include "clado/nn/attention.h"
+#include "clado/obs/obs.h"
+#include "clado/quant/act_quant.h"
+#include "clado/tensor/ops.h"
+
+namespace clado::serve {
+
+using clado::nn::Act;
+using clado::nn::act_forward;
+using clado::nn::Activation;
+using clado::nn::Conv2d;
+using clado::nn::Flatten;
+using clado::nn::GlobalAvgPool;
+using clado::nn::Identity;
+using clado::nn::LayerNorm;
+using clado::nn::Linear;
+using clado::nn::MaxPool2d;
+using clado::nn::Module;
+using clado::nn::ResidualBlock;
+using clado::nn::SEBlock;
+using clado::nn::Sequential;
+using clado::nn::TakeToken;
+using clado::quant::ActFakeQuant;
+using clado::quant::ActQuantMode;
+using clado::tensor::conv_out_size;
+using clado::tensor::shape_numel;
+
+const char* step_kind_name(StepKind kind) {
+  switch (kind) {
+    case StepKind::kConv: return "conv";
+    case StepKind::kLinear: return "linear";
+    case StepKind::kAct: return "act";
+    case StepKind::kResidualAdd: return "resadd";
+    case StepKind::kSE: return "se";
+    case StepKind::kFakeQuant: return "fakequant";
+    case StepKind::kMaxPool: return "maxpool";
+    case StepKind::kGlobalAvgPool: return "gap";
+    case StepKind::kLayerNorm: return "layernorm";
+    case StepKind::kTakeToken: return "taketoken";
+    case StepKind::kFallback: return "fallback";
+  }
+  return "?";
+}
+
+CompiledPlan::CompiledPlan(Sequential& net, const Shape& sample_shape, std::int64_t max_batch)
+    : max_batch_(max_batch) {
+  if (max_batch_ < 1) {
+    throw std::invalid_argument("CompiledPlan: max_batch must be >= 1");
+  }
+  sample_numel_ = shape_numel(sample_shape);
+  cur_shape_ = sample_shape;
+  cur_buf_ = new_buffer(sample_numel_, /*scratch=*/false);
+  // The staged batch is live from before step 0 until its last reader.
+  buffers_[0].def_step = -1;
+
+  compile_children(net);
+
+  output_shape_ = cur_shape_;
+  // The logits buffer must survive past the final step so run() can copy it
+  // out; extending its interval keeps every intermediate off its storage.
+  buffers_[static_cast<std::size_t>(cur_buf_)].last_step =
+      static_cast<std::int64_t>(steps_.size());
+  assign_offsets();
+  input_offset_ = buffers_[0].offset;
+}
+
+std::size_t CompiledPlan::fallback_steps() const {
+  std::size_t n = 0;
+  for (const auto& step : steps_) n += step.kind == StepKind::kFallback ? 1 : 0;
+  return n;
+}
+
+int CompiledPlan::new_buffer(std::int64_t per_sample, bool scratch, std::int64_t scratch_numel) {
+  PlanBuffer b;
+  b.per_sample = scratch ? 0 : per_sample;
+  b.numel = scratch ? scratch_numel : per_sample * max_batch_;
+  b.def_step = static_cast<std::int64_t>(steps_.size());
+  b.last_step = b.def_step;
+  b.scratch = scratch;
+  buffers_.push_back(b);
+  return static_cast<int>(buffers_.size() - 1);
+}
+
+void CompiledPlan::note_read(int buffer) {
+  auto& b = buffers_[static_cast<std::size_t>(buffer)];
+  b.last_step = std::max(b.last_step, static_cast<std::int64_t>(steps_.size()));
+}
+
+void CompiledPlan::compile_children(Sequential& seq) {
+  for (std::size_t k = 0; k < seq.size(); ++k) compile_module(seq.child(k));
+}
+
+void CompiledPlan::compile_module(Module& module) {
+  if (auto* seq = dynamic_cast<Sequential*>(&module)) {
+    compile_children(*seq);
+    return;
+  }
+  if (dynamic_cast<Identity*>(&module) != nullptr) return;
+  if (dynamic_cast<Flatten*>(&module) != nullptr) {
+    // Pure reshape on contiguous storage: fold the per-sample shape, no step.
+    cur_shape_ = {shape_numel(cur_shape_)};
+    return;
+  }
+
+  if (auto* res = dynamic_cast<ResidualBlock*>(&module)) {
+    const int in_buf = cur_buf_;
+    const Shape in_shape = cur_shape_;
+    compile_children(res->main_path());
+    const int main_buf = cur_buf_;
+    const Shape main_shape = cur_shape_;
+    int short_buf = in_buf;
+    if (res->shortcut_path() != nullptr) {
+      cur_buf_ = in_buf;
+      cur_shape_ = in_shape;
+      compile_children(*res->shortcut_path());
+      short_buf = cur_buf_;
+    }
+    PlanStep step;
+    step.kind = StepKind::kResidualAdd;
+    step.in = main_buf;
+    step.in2 = short_buf;
+    step.has_act = res->final_relu();
+    step.act = Act::kRelu;
+    step.in_shape = main_shape;
+    step.out_shape = main_shape;
+    step.per_sample_in = shape_numel(main_shape);
+    step.per_sample_out = step.per_sample_in;
+    step.label = "plan/resadd";
+    note_read(main_buf);
+    note_read(short_buf);
+    const int out_buf = new_buffer(step.per_sample_out, /*scratch=*/false);
+    step.out = out_buf;
+    steps_.push_back(std::move(step));
+    cur_buf_ = out_buf;
+    cur_shape_ = main_shape;
+    return;
+  }
+
+  if (auto* conv = dynamic_cast<Conv2d*>(&module)) {
+    if (conv->has_weight_transform() || cur_shape_.size() != 3 ||
+        cur_shape_[0] != conv->in_channels()) {
+      emit_fallback(module, /*probe=*/true);
+      return;
+    }
+    const std::int64_t h = cur_shape_[1];
+    const std::int64_t w = cur_shape_[2];
+    const std::int64_t oh = conv_out_size(h, conv->kernel(), conv->stride(), conv->padding());
+    const std::int64_t ow = conv_out_size(w, conv->kernel(), conv->stride(), conv->padding());
+    PlanStep step;
+    step.kind = StepKind::kConv;
+    step.conv = conv;
+    step.in = cur_buf_;
+    step.in_h = h;
+    step.in_w = w;
+    step.in_shape = cur_shape_;
+    step.out_shape = {conv->out_channels(), oh, ow};
+    step.per_sample_in = shape_numel(step.in_shape);
+    step.per_sample_out = shape_numel(step.out_shape);
+    step.label = "plan/conv";
+    note_read(cur_buf_);
+    // The im2col workspace is per-sample (samples stream through it), so it
+    // is NOT scaled by max_batch — exactly the eager kernel's cols vector.
+    step.scratch = new_buffer(0, /*scratch=*/true, conv->cols_numel(h, w));
+    const int out_buf = new_buffer(step.per_sample_out, /*scratch=*/false);
+    step.out = out_buf;
+    const Shape out_shape = step.out_shape;
+    steps_.push_back(std::move(step));
+    cur_buf_ = out_buf;
+    cur_shape_ = out_shape;
+    return;
+  }
+
+  if (auto* fc = dynamic_cast<Linear*>(&module)) {
+    if (fc->has_weight_transform() || cur_shape_.empty() ||
+        cur_shape_.back() != fc->in_features()) {
+      emit_fallback(module, /*probe=*/true);
+      return;
+    }
+    PlanStep step;
+    step.kind = StepKind::kLinear;
+    step.linear = fc;
+    step.in = cur_buf_;
+    step.in_shape = cur_shape_;
+    step.rows_per_sample = shape_numel(cur_shape_) / fc->in_features();
+    step.out_shape = cur_shape_;
+    step.out_shape.back() = fc->out_features();
+    step.per_sample_in = shape_numel(step.in_shape);
+    step.per_sample_out = shape_numel(step.out_shape);
+    step.label = "plan/linear";
+    note_read(cur_buf_);
+    const int out_buf = new_buffer(step.per_sample_out, /*scratch=*/false);
+    step.out = out_buf;
+    const Shape out_shape = step.out_shape;
+    steps_.push_back(std::move(step));
+    cur_buf_ = out_buf;
+    cur_shape_ = out_shape;
+    return;
+  }
+
+  if (auto* act = dynamic_cast<Activation*>(&module)) {
+    if (!steps_.empty()) {
+      PlanStep& back = steps_.back();
+      const bool fusable = back.kind == StepKind::kConv || back.kind == StepKind::kLinear ||
+                           back.kind == StepKind::kResidualAdd;
+      if (fusable && !back.has_act && back.out == cur_buf_) {
+        back.has_act = true;
+        back.act = act->kind();
+        return;
+      }
+    }
+    PlanStep step;
+    step.kind = StepKind::kAct;
+    step.act = act->kind();
+    step.in = cur_buf_;
+    step.in_shape = cur_shape_;
+    step.out_shape = cur_shape_;
+    step.per_sample_in = shape_numel(cur_shape_);
+    step.per_sample_out = step.per_sample_in;
+    step.label = "plan/act";
+    note_read(cur_buf_);
+    const int out_buf = new_buffer(step.per_sample_out, /*scratch=*/false);
+    step.out = out_buf;
+    steps_.push_back(std::move(step));
+    cur_buf_ = out_buf;
+    return;
+  }
+
+  if (auto* fq = dynamic_cast<ActFakeQuant*>(&module)) {
+    const ActQuantMode mode = fq->mode();
+    if (mode == ActQuantMode::kBypass ||
+        (mode == ActQuantMode::kQuantize && !fq->calibrated())) {
+      return;  // identity
+    }
+    if (mode == ActQuantMode::kObserve) {
+      // Probing would pollute the observer statistics; the step is a pure
+      // passthrough shape-wise, so stage through forward() without a probe.
+      emit_fallback(module, /*probe=*/false);
+      return;
+    }
+    PlanStep step;
+    step.kind = StepKind::kFakeQuant;
+    step.fq_scale = fq->scale();
+    step.fq_zero_point = fq->zero_point();
+    step.fq_levels = std::ldexp(1.0F, fq->bits()) - 1.0F;
+    step.in = cur_buf_;
+    step.in_shape = cur_shape_;
+    step.out_shape = cur_shape_;
+    step.per_sample_in = shape_numel(cur_shape_);
+    step.per_sample_out = step.per_sample_in;
+    step.label = "plan/fq";
+    note_read(cur_buf_);
+    const int out_buf = new_buffer(step.per_sample_out, /*scratch=*/false);
+    step.out = out_buf;
+    steps_.push_back(std::move(step));
+    cur_buf_ = out_buf;
+    return;
+  }
+
+  if (auto* se = dynamic_cast<SEBlock*>(&module)) {
+    if (cur_shape_.size() != 3 || cur_shape_[0] != se->channels()) {
+      emit_fallback(module, /*probe=*/true);
+      return;
+    }
+    PlanStep step;
+    step.kind = StepKind::kSE;
+    step.se = se;
+    step.in = cur_buf_;
+    step.channels = cur_shape_[0];
+    step.hw = cur_shape_[1] * cur_shape_[2];
+    step.in_shape = cur_shape_;
+    step.out_shape = cur_shape_;
+    step.per_sample_in = shape_numel(cur_shape_);
+    step.per_sample_out = step.per_sample_in;
+    step.label = "plan/se";
+    note_read(cur_buf_);
+    step.scratch = new_buffer(0, /*scratch=*/true, se->scratch_numel(max_batch_));
+    const int out_buf = new_buffer(step.per_sample_out, /*scratch=*/false);
+    step.out = out_buf;
+    steps_.push_back(std::move(step));
+    cur_buf_ = out_buf;
+    return;
+  }
+
+  if (auto* pool = dynamic_cast<MaxPool2d*>(&module)) {
+    if (cur_shape_.size() != 3) {
+      emit_fallback(module, /*probe=*/true);
+      return;
+    }
+    const std::int64_t h = cur_shape_[1];
+    const std::int64_t w = cur_shape_[2];
+    const std::int64_t oh = conv_out_size(h, pool->kernel(), pool->stride(), pool->padding());
+    const std::int64_t ow = conv_out_size(w, pool->kernel(), pool->stride(), pool->padding());
+    PlanStep step;
+    step.kind = StepKind::kMaxPool;
+    step.pool = pool;
+    step.in = cur_buf_;
+    step.channels = cur_shape_[0];
+    step.in_h = h;
+    step.in_w = w;
+    step.in_shape = cur_shape_;
+    step.out_shape = {cur_shape_[0], oh, ow};
+    step.per_sample_in = shape_numel(step.in_shape);
+    step.per_sample_out = shape_numel(step.out_shape);
+    step.label = "plan/maxpool";
+    note_read(cur_buf_);
+    const int out_buf = new_buffer(step.per_sample_out, /*scratch=*/false);
+    step.out = out_buf;
+    const Shape out_shape = step.out_shape;
+    steps_.push_back(std::move(step));
+    cur_buf_ = out_buf;
+    cur_shape_ = out_shape;
+    return;
+  }
+
+  if (auto* gap = dynamic_cast<GlobalAvgPool*>(&module)) {
+    if (cur_shape_.size() != 3) {
+      emit_fallback(module, /*probe=*/true);
+      return;
+    }
+    PlanStep step;
+    step.kind = StepKind::kGlobalAvgPool;
+    step.gap = gap;
+    step.in = cur_buf_;
+    step.channels = cur_shape_[0];
+    step.hw = cur_shape_[1] * cur_shape_[2];
+    step.in_shape = cur_shape_;
+    step.out_shape = {cur_shape_[0]};
+    step.per_sample_in = shape_numel(step.in_shape);
+    step.per_sample_out = cur_shape_[0];
+    step.label = "plan/gap";
+    note_read(cur_buf_);
+    const int out_buf = new_buffer(step.per_sample_out, /*scratch=*/false);
+    step.out = out_buf;
+    const Shape out_shape = step.out_shape;
+    steps_.push_back(std::move(step));
+    cur_buf_ = out_buf;
+    cur_shape_ = out_shape;
+    return;
+  }
+
+  if (auto* ln = dynamic_cast<LayerNorm*>(&module)) {
+    if (cur_shape_.empty() || cur_shape_.back() != ln->features()) {
+      emit_fallback(module, /*probe=*/true);
+      return;
+    }
+    PlanStep step;
+    step.kind = StepKind::kLayerNorm;
+    step.ln = ln;
+    step.in = cur_buf_;
+    step.rows_per_sample = shape_numel(cur_shape_) / ln->features();
+    step.in_shape = cur_shape_;
+    step.out_shape = cur_shape_;
+    step.per_sample_in = shape_numel(cur_shape_);
+    step.per_sample_out = step.per_sample_in;
+    step.label = "plan/ln";
+    note_read(cur_buf_);
+    const int out_buf = new_buffer(step.per_sample_out, /*scratch=*/false);
+    step.out = out_buf;
+    steps_.push_back(std::move(step));
+    cur_buf_ = out_buf;
+    return;
+  }
+
+  if (auto* take = dynamic_cast<TakeToken*>(&module)) {
+    if (cur_shape_.size() != 2 || take->index() < 0 || take->index() >= cur_shape_[0]) {
+      emit_fallback(module, /*probe=*/true);
+      return;
+    }
+    PlanStep step;
+    step.kind = StepKind::kTakeToken;
+    step.in = cur_buf_;
+    step.take_tokens = cur_shape_[0];
+    step.take_dim = cur_shape_[1];
+    step.take_index = take->index();
+    step.in_shape = cur_shape_;
+    step.out_shape = {cur_shape_[1]};
+    step.per_sample_in = shape_numel(step.in_shape);
+    step.per_sample_out = cur_shape_[1];
+    step.label = "plan/take";
+    note_read(cur_buf_);
+    const int out_buf = new_buffer(step.per_sample_out, /*scratch=*/false);
+    step.out = out_buf;
+    const Shape out_shape = step.out_shape;
+    steps_.push_back(std::move(step));
+    cur_buf_ = out_buf;
+    cur_shape_ = out_shape;
+    return;
+  }
+
+  emit_fallback(module, /*probe=*/true);
+}
+
+void CompiledPlan::emit_fallback(Module& module, bool probe) {
+  PlanStep step;
+  step.kind = StepKind::kFallback;
+  step.fallback = &module;
+  step.in = cur_buf_;
+  step.in_shape = cur_shape_;
+  step.per_sample_in = shape_numel(cur_shape_);
+  Shape out_shape = cur_shape_;
+  if (probe) {
+    Shape probe_shape = cur_shape_;
+    probe_shape.insert(probe_shape.begin(), 1);
+    const Tensor probe_out = module.forward(Tensor(std::move(probe_shape)));
+    if (probe_out.dim() < 1 || probe_out.size(0) != 1) {
+      throw std::logic_error("CompiledPlan: fallback probe of " + module.type_name() +
+                             " did not keep the batch axis");
+    }
+    out_shape = probe_out.shape();
+    out_shape.erase(out_shape.begin());
+  }
+  step.out_shape = out_shape;
+  step.per_sample_out = shape_numel(out_shape);
+  step.label = "plan/fallback";
+  note_read(cur_buf_);
+  const int out_buf = new_buffer(step.per_sample_out, /*scratch=*/false);
+  step.out = out_buf;
+  steps_.push_back(std::move(step));
+  cur_buf_ = out_buf;
+  cur_shape_ = std::move(out_shape);
+}
+
+void CompiledPlan::assign_offsets() {
+  // 16-float (64-byte cache line) alignment for every buffer start.
+  constexpr std::int64_t kAlign = 16;
+  const auto align_up = [](std::int64_t v) { return (v + kAlign - 1) / kAlign * kAlign; };
+  const auto overlap = [](const PlanBuffer& a, const PlanBuffer& b) {
+    return a.def_step <= b.last_step && b.def_step <= a.last_step;
+  };
+
+  // Place largest-first (stable on ties) — classic first-fit-decreasing
+  // keeps the arena tight while staying deterministic.
+  std::vector<std::size_t> order(buffers_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return buffers_[a].numel > buffers_[b].numel;
+  });
+
+  std::int64_t total = 0;
+  std::vector<const PlanBuffer*> live;
+  for (const std::size_t id : order) {
+    PlanBuffer& b = buffers_[id];
+    live.clear();
+    for (const std::size_t other : order) {
+      if (other == id) continue;
+      const PlanBuffer& o = buffers_[other];
+      if (o.offset >= 0 && overlap(b, o)) live.push_back(&o);
+    }
+    std::sort(live.begin(), live.end(),
+              [](const PlanBuffer* x, const PlanBuffer* y) { return x->offset < y->offset; });
+    std::int64_t off = 0;
+    for (const PlanBuffer* p : live) {
+      if (off + b.numel <= p->offset) break;
+      off = std::max(off, align_up(p->offset + p->numel));
+    }
+    b.offset = off;
+    total = std::max(total, off + b.numel);
+  }
+  arena_.assign(static_cast<std::size_t>(total), 0.0F);
+}
+
+void CompiledPlan::run(std::int64_t n, Tensor& out) {
+  if (n < 1 || n > max_batch_) {
+    throw std::invalid_argument("CompiledPlan::run: n " + std::to_string(n) +
+                                " out of [1, " + std::to_string(max_batch_) + "]");
+  }
+  const bool traced = clado::obs::trace_enabled();
+  for (auto& step : steps_) {
+    if (traced) {
+      const clado::obs::Span span(step.label);
+      run_step(step, n);
+    } else {
+      run_step(step, n);
+    }
+  }
+
+  want_shape_.clear();
+  want_shape_.push_back(n);
+  for (const std::int64_t d : output_shape_) want_shape_.push_back(d);
+  if (out.shape() != want_shape_) out = Tensor(want_shape_);
+  std::memcpy(out.data(), buf(cur_buf_),
+              sizeof(float) * static_cast<std::size_t>(out.numel()));
+}
+
+void CompiledPlan::run_step(PlanStep& step, std::int64_t n) {
+  switch (step.kind) {
+    case StepKind::kConv:
+      step.conv->forward_into(buf(step.in), n, step.in_h, step.in_w, buf(step.scratch),
+                              buf(step.out));
+      break;
+    case StepKind::kLinear:
+      step.linear->forward_into(buf(step.in), n * step.rows_per_sample, buf(step.out));
+      break;
+    case StepKind::kAct: {
+      const float* x = buf(step.in);
+      float* o = buf(step.out);
+      const std::int64_t total = n * step.per_sample_out;
+      for (std::int64_t i = 0; i < total; ++i) o[i] = act_forward(step.act, x[i]);
+      return;  // step.act already applied; skip the fused-act epilogue
+    }
+    case StepKind::kResidualAdd: {
+      const float* a = buf(step.in);
+      const float* b = buf(step.in2);
+      float* o = buf(step.out);
+      const std::int64_t total = n * step.per_sample_out;
+      for (std::int64_t i = 0; i < total; ++i) o[i] = a[i] + b[i];
+      break;
+    }
+    case StepKind::kSE:
+      step.se->forward_into(buf(step.in), n, max_batch_, step.hw, buf(step.scratch),
+                            buf(step.out));
+      break;
+    case StepKind::kFakeQuant: {
+      // Replays ActFakeQuant::forward's kQuantize arithmetic exactly.
+      const float* x = buf(step.in);
+      float* o = buf(step.out);
+      const float inv = 1.0F / step.fq_scale;
+      const std::int64_t total = n * step.per_sample_out;
+      for (std::int64_t i = 0; i < total; ++i) {
+        float q = std::nearbyint(x[i] * inv) + step.fq_zero_point;
+        q = std::clamp(q, 0.0F, step.fq_levels);
+        o[i] = (q - step.fq_zero_point) * step.fq_scale;
+      }
+      break;
+    }
+    case StepKind::kMaxPool:
+      step.pool->forward_into(buf(step.in), n, step.channels, step.in_h, step.in_w,
+                              buf(step.out));
+      break;
+    case StepKind::kGlobalAvgPool:
+      step.gap->forward_into(buf(step.in), n, step.channels, step.hw, buf(step.out));
+      break;
+    case StepKind::kLayerNorm:
+      step.ln->forward_into(buf(step.in), n * step.rows_per_sample, buf(step.out));
+      break;
+    case StepKind::kTakeToken: {
+      const float* in = buf(step.in);
+      float* o = buf(step.out);
+      for (std::int64_t s = 0; s < n; ++s) {
+        const float* row = in + (s * step.take_tokens + step.take_index) * step.take_dim;
+        float* orow = o + s * step.take_dim;
+        for (std::int64_t j = 0; j < step.take_dim; ++j) orow[j] = row[j];
+      }
+      break;
+    }
+    case StepKind::kFallback: {
+      Shape want = step.in_shape;
+      want.insert(want.begin(), n);
+      if (step.stage_in.shape() != want) step.stage_in = Tensor(std::move(want));
+      std::memcpy(step.stage_in.data(), buf(step.in),
+                  sizeof(float) * static_cast<std::size_t>(n * step.per_sample_in));
+      const Tensor result = step.fallback->forward(step.stage_in);
+      if (result.numel() != n * step.per_sample_out) {
+        throw std::logic_error("CompiledPlan: fallback " + step.fallback->type_name() +
+                               " output size changed between compile and run");
+      }
+      std::memcpy(buf(step.out), result.data(),
+                  sizeof(float) * static_cast<std::size_t>(result.numel()));
+      break;
+    }
+  }
+  if (step.has_act) {
+    float* o = buf(step.out);
+    const std::int64_t total = n * step.per_sample_out;
+    for (std::int64_t i = 0; i < total; ++i) o[i] = act_forward(step.act, o[i]);
+  }
+}
+
+}  // namespace clado::serve

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstring>
 #include <optional>
 #include <stdexcept>
 #include <utility>
@@ -174,6 +175,9 @@ void Server::drain() {
 }
 
 void Server::worker_loop(int worker) {
+  // Lives across batches so the fused path reuses its capacity; only a
+  // batch-size change reshapes it.
+  Tensor logits;
   while (true) {
     std::vector<Pending> batch;
     std::int64_t formed_us = 0;
@@ -208,7 +212,7 @@ void Server::worker_loop(int worker) {
     }
 
     const int took = static_cast<int>(batch.size());
-    execute_batch(worker, std::move(batch), formed_us);
+    execute_batch(worker, std::move(batch), formed_us, logits);
 
     {
       // inflight_ was incremented at formation; completion is what
@@ -220,7 +224,8 @@ void Server::worker_loop(int worker) {
   }
 }
 
-void Server::execute_batch(int worker, std::vector<Pending> batch, std::int64_t formed_us) {
+void Server::execute_batch(int worker, std::vector<Pending> batch, std::int64_t formed_us,
+                           Tensor& logits) {
   // Deadline admission happens at formation: a request that waited past
   // its budget is answered without ever reaching the engine.
   std::vector<Pending> live;
@@ -239,20 +244,31 @@ void Server::execute_batch(int worker, std::vector<Pending> batch, std::int64_t 
   }
   if (live.empty()) return;
 
-  std::vector<Tensor> inputs;
-  inputs.reserve(live.size());
-  for (const Pending& p : live) inputs.push_back(p.input);
-
   std::optional<clado::obs::TraceScope> scope;
   if (config_.capture_traces) scope.emplace();
 
-  Tensor logits;
+  const auto n = static_cast<std::int64_t>(live.size());
   std::string error;
   {
     clado::obs::Span span("serve/batch");
     try {
-      const Tensor stacked = clado::tensor::stack_samples(inputs);
-      logits = engine_->infer(stacked, worker);
+      float* pin = engine_->batch_buffer(worker);
+      if (pin != nullptr && n <= engine_->plan_batch_capacity()) {
+        // Fused engine: stack straight into the plan's pinned batch buffer
+        // — no [N, C, H, W] tensor is ever materialized.
+        const std::int64_t per_sample = live.front().input.numel();
+        for (std::int64_t i = 0; i < n; ++i) {
+          std::memcpy(pin + i * per_sample, live[static_cast<std::size_t>(i)].input.data(),
+                      sizeof(float) * static_cast<std::size_t>(per_sample));
+        }
+        engine_->infer_pinned(n, logits, worker);
+      } else {
+        std::vector<Tensor> inputs;
+        inputs.reserve(live.size());
+        for (const Pending& p : live) inputs.push_back(p.input);
+        const Tensor stacked = clado::tensor::stack_samples(inputs);
+        logits = engine_->infer(stacked, worker);
+      }
     } catch (const std::exception& e) {
       error = e.what();
     }

@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <initializer_list>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -18,6 +19,44 @@
 namespace clado::tensor {
 
 using Shape = std::vector<std::int64_t>;
+
+/// Process-wide count of heap blocks acquired for tensor storage. Counting
+/// is active only in CLADO_CHECK builds (Debug / sanitizers /
+/// -DCLADO_ENABLE_CHECKS); plain Release builds compile the hook out and
+/// the count stays 0. The serving plan's zero-allocation contract is
+/// asserted as a delta of this counter across steady-state batches.
+std::int64_t alloc_count();
+
+/// Whether this build counts tensor allocations; tests gate their
+/// zero-alloc assertions on it instead of passing vacuously in Release.
+bool alloc_counting_enabled();
+
+namespace detail {
+
+void note_tensor_alloc();
+
+/// std::allocator<T> plus the allocation-counting hook; stateless, so all
+/// instances compare equal and vectors swap/move storage freely.
+template <typename T>
+struct CountingAllocator {
+  using value_type = T;
+
+  CountingAllocator() = default;
+  template <typename U>
+  CountingAllocator(const CountingAllocator<U>&) {}  // NOLINT(google-explicit-constructor)
+
+  T* allocate(std::size_t n) {
+#if defined(CLADO_ENABLE_CHECKS) || !defined(NDEBUG)
+    note_tensor_alloc();
+#endif
+    return std::allocator<T>{}.allocate(n);
+  }
+  void deallocate(T* p, std::size_t n) { std::allocator<T>{}.deallocate(p, n); }
+
+  friend bool operator==(const CountingAllocator&, const CountingAllocator&) { return true; }
+};
+
+}  // namespace detail
 
 /// Contiguous row-major float tensor. Copyable (deep) and movable.
 class Tensor {
@@ -101,7 +140,7 @@ class Tensor {
 
  private:
   Shape shape_;
-  std::vector<float> data_;
+  std::vector<float, detail::CountingAllocator<float>> data_;
 };
 
 /// Throws std::invalid_argument unless both shapes are identical.

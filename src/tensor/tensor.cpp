@@ -1,6 +1,7 @@
 #include "clado/tensor/tensor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <numeric>
 #include <sstream>
@@ -9,6 +10,28 @@
 #include "clado/tensor/check.h"
 
 namespace clado::tensor {
+
+namespace detail {
+
+namespace {
+std::atomic<std::int64_t> g_tensor_allocs{0};
+}  // namespace
+
+void note_tensor_alloc() { g_tensor_allocs.fetch_add(1, std::memory_order_relaxed); }
+
+}  // namespace detail
+
+std::int64_t alloc_count() {
+  return detail::g_tensor_allocs.load(std::memory_order_relaxed);
+}
+
+bool alloc_counting_enabled() {
+#if defined(CLADO_ENABLE_CHECKS) || !defined(NDEBUG)
+  return true;
+#else
+  return false;
+#endif
+}
 
 std::int64_t shape_numel(const Shape& shape) {
   std::int64_t n = 1;
@@ -33,7 +56,7 @@ Tensor::Tensor(Shape shape, float fill)
     : shape_(std::move(shape)), data_(static_cast<std::size_t>(shape_numel(shape_)), fill) {}
 
 Tensor::Tensor(Shape shape, std::vector<float> values)
-    : shape_(std::move(shape)), data_(std::move(values)) {
+    : shape_(std::move(shape)), data_(values.begin(), values.end()) {
   if (static_cast<std::int64_t>(data_.size()) != shape_numel(shape_)) {
     throw std::invalid_argument("Tensor: values size does not match shape " + shape_str());
   }

@@ -1,0 +1,266 @@
+// clado::serve::CompiledPlan coverage: fused-vs-eager bit-identity across
+// the whole model zoo (including activation-quantized engines), grouped /
+// strided / unpadded conv geometry, the liveness property of the arena
+// planner (live buffers never share storage), zero steady-state heap
+// allocation, and strict CLADO_FUSION parsing.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clado/data/synthcv.h"
+#include "clado/models/builders.h"
+#include "clado/models/model.h"
+#include "clado/nn/blocks.h"
+#include "clado/nn/layers.h"
+#include "clado/serve/engine.h"
+#include "clado/serve/plan.h"
+#include "clado/tensor/rng.h"
+#include "clado/tensor/tensor.h"
+
+namespace {
+
+using clado::models::Model;
+using clado::serve::Engine;
+using clado::serve::EngineSpec;
+using clado::serve::Fusion;
+using clado::serve::PlanBuffer;
+using clado::tensor::Rng;
+using clado::tensor::Tensor;
+
+/// Builds a calibrated zoo model and freezes it twice — once fused, once
+/// eager — from bit-identical clones.
+struct EnginePair {
+  std::unique_ptr<Engine> fused;
+  std::unique_ptr<Engine> eager;
+};
+
+EnginePair make_engines(const std::string& name, std::int64_t max_batch, int bits_value = 8) {
+  Rng rng(202);
+  Model model = clado::models::build_by_name(name, rng, /*num_classes=*/10);
+
+  clado::data::Batch calib;
+  Rng data_rng(303);
+  calib.images = Tensor::randn({4, model.channels, model.image_size, model.image_size}, data_rng);
+  for (std::int64_t i = 0; i < 4; ++i) calib.labels.push_back(i % model.num_classes);
+  model.calibrate_activations(calib);
+
+  Model twin = model.clone();
+  std::vector<int> bits(model.quant_layers.size(), bits_value);
+
+  EnginePair pair;
+  EngineSpec fused_spec;
+  fused_spec.bits = bits;
+  fused_spec.label = "fused";
+  fused_spec.max_batch = max_batch;
+  fused_spec.fusion = Fusion::kOn;
+  pair.fused = std::make_unique<Engine>(std::move(model), std::move(fused_spec));
+
+  EngineSpec eager_spec;
+  eager_spec.bits = bits;
+  eager_spec.label = "eager";
+  eager_spec.max_batch = max_batch;
+  eager_spec.fusion = Fusion::kOff;
+  pair.eager = std::make_unique<Engine>(std::move(twin), std::move(eager_spec));
+  return pair;
+}
+
+void expect_bit_identical(Engine& fused, Engine& eager, std::int64_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto& s = fused.sample_shape();
+  const Tensor batch = Tensor::randn({n, s[0], s[1], s[2]}, rng);
+  const Tensor a = fused.infer(batch);
+  const Tensor b = eager.infer(batch);
+  ASSERT_EQ(a.shape(), b.shape());
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << "n=" << n << " logit " << i;
+  }
+}
+
+TEST(CompiledPlan, FusedMatchesEagerAcrossZoo) {
+  for (const std::string& name : clado::models::model_names()) {
+    SCOPED_TRACE(name);
+    EnginePair pair = make_engines(name, /*max_batch=*/4);
+    ASSERT_TRUE(pair.fused->fused());
+    ASSERT_FALSE(pair.eager->fused());
+    ASSERT_NE(pair.fused->plan(0), nullptr);
+    expect_bit_identical(*pair.fused, *pair.eager, /*n=*/3, /*seed=*/500);
+    expect_bit_identical(*pair.fused, *pair.eager, /*n=*/1, /*seed=*/501);
+  }
+}
+
+TEST(CompiledPlan, CnnZooModelsCompileWithoutFallbacks) {
+  for (const std::string name : {"resnet_a", "resnet_b"}) {
+    SCOPED_TRACE(name);
+    EnginePair pair = make_engines(name, 2);
+    EXPECT_EQ(pair.fused->plan(0)->fallback_steps(), 0u)
+        << "the CNN path regressed into Module::forward staging";
+  }
+  // The transformer encoder is out of the compiler's vocabulary by design.
+  EnginePair vit = make_engines("vit_mini", 2);
+  EXPECT_GT(vit.fused->plan(0)->fallback_steps(), 0u);
+}
+
+/// Stride > 1, pad = 0 and grouped convolutions all change the im2col
+/// geometry; a planner bug here shows up as a shape throw or wrong logits.
+Model make_geometry_model(Rng& rng) {
+  using namespace clado::nn;
+  Model m;
+  m.name = "geometry";
+  m.net = std::make_unique<Sequential>();
+  m.candidate_bits = {2, 8};
+  m.num_classes = 6;
+  m.image_size = 16;
+
+  m.net->emplace_named<Conv2d>("stem", 3, 8, 3, /*stride=*/2, /*pad=*/0)->init(rng);
+  m.net->emplace_named<Activation>("act1", Act::kRelu);
+  m.net->emplace_named<Conv2d>("grouped", 8, 8, 3, 1, 1, /*groups=*/4)->init(rng);
+  m.net->emplace_named<Activation>("act2", Act::kHardSwish);
+  m.net->emplace_named<MaxPool2d>("pool", 2, 2);
+  m.net->emplace_named<Conv2d>("proj", 8, 4, 1, 1, 0, 1, /*bias=*/false)->init(rng);
+  m.net->emplace_named<GlobalAvgPool>("gap");
+  m.net->emplace_named<Linear>("fc", 4, 6)->init(rng);
+  m.finalize();
+  return m;
+}
+
+EnginePair make_geometry_pair(std::int64_t max_batch) {
+  Rng rng(77);
+  Model model = make_geometry_model(rng);
+  Model twin = model.clone();
+  EnginePair pair;
+  EngineSpec on;
+  on.max_batch = max_batch;
+  on.fusion = Fusion::kOn;
+  pair.fused = std::make_unique<Engine>(std::move(model), std::move(on));
+  EngineSpec off;
+  off.max_batch = max_batch;
+  off.fusion = Fusion::kOff;
+  pair.eager = std::make_unique<Engine>(std::move(twin), std::move(off));
+  return pair;
+}
+
+TEST(CompiledPlan, FusedMatchesEagerOnGroupedStridedUnpaddedConvs) {
+  EnginePair pair = make_geometry_pair(/*max_batch=*/5);
+  EXPECT_EQ(pair.fused->plan(0)->fallback_steps(), 0u);
+  expect_bit_identical(*pair.fused, *pair.eager, 5, 600);
+  expect_bit_identical(*pair.fused, *pair.eager, 1, 601);
+}
+
+TEST(CompiledPlan, PredictMatchesBatchedInference) {
+  EnginePair pair = make_geometry_pair(4);
+  Rng rng(55);
+  for (int i = 0; i < 3; ++i) {
+    const Tensor sample = Tensor::randn({3, 16, 16}, rng);
+    Tensor one = sample;
+    one.reshape_inplace({1, 3, 16, 16});
+    const std::int64_t expected = pair.eager->infer(one).argmax();
+    EXPECT_EQ(pair.fused->predict(sample), expected);
+    EXPECT_EQ(pair.eager->predict(sample), expected);
+    EXPECT_EQ(pair.fused->predict(one), expected);  // [1, C, H, W] accepted too
+  }
+}
+
+TEST(CompiledPlan, LiveArenaBuffersNeverOverlap) {
+  for (const std::string name : {"resnet_a", "mobilenet_v3_mini"}) {
+    SCOPED_TRACE(name);
+    EnginePair pair = make_engines(name, 3);
+    const auto* plan = pair.fused->plan(0);
+    const std::vector<PlanBuffer>& bufs = plan->buffers();
+    ASSERT_GT(bufs.size(), 1u);
+    for (const PlanBuffer& b : bufs) {
+      EXPECT_GE(b.offset, 0);
+      EXPECT_LE(b.offset + b.numel, plan->arena_numel());
+    }
+    for (std::size_t i = 0; i < bufs.size(); ++i) {
+      for (std::size_t j = i + 1; j < bufs.size(); ++j) {
+        const PlanBuffer& a = bufs[i];
+        const PlanBuffer& b = bufs[j];
+        const bool live_overlap = a.def_step <= b.last_step && b.def_step <= a.last_step;
+        if (!live_overlap) continue;
+        const bool storage_disjoint =
+            a.offset + a.numel <= b.offset || b.offset + b.numel <= a.offset;
+        EXPECT_TRUE(storage_disjoint)
+            << "buffers " << i << " and " << j << " are simultaneously live at overlapping "
+            << "arena ranges [" << a.offset << ", " << a.offset + a.numel << ") and ["
+            << b.offset << ", " << b.offset + b.numel << ")";
+      }
+    }
+  }
+}
+
+TEST(CompiledPlan, SteadyStateRunsAreAllocationFree) {
+  if (!clado::tensor::alloc_counting_enabled()) {
+    GTEST_SKIP() << "tensor allocation counting is compiled out of this build "
+                    "(Release without CLADO_ENABLE_CHECKS); the sanitizer CI job enforces this";
+  }
+  EnginePair pair = make_geometry_pair(/*max_batch=*/4);
+  Engine& engine = *pair.fused;
+  Rng rng(88);
+  const Tensor batch = Tensor::randn({4, 3, 16, 16}, rng);
+  float* pin = engine.batch_buffer(0);
+  ASSERT_NE(pin, nullptr);
+  std::memcpy(pin, batch.data(), sizeof(float) * static_cast<std::size_t>(batch.numel()));
+
+  Tensor out;
+  for (int i = 0; i < 3; ++i) engine.infer_pinned(4, out, 0);  // warmup
+  const std::int64_t before = clado::tensor::alloc_count();
+  for (int i = 0; i < 50; ++i) engine.infer_pinned(4, out, 0);
+  EXPECT_EQ(clado::tensor::alloc_count(), before)
+      << "steady-state fused inference touched the heap";
+}
+
+TEST(CompiledPlan, FusionEnvParsesStrictly) {
+  Rng rng(99);
+  ASSERT_EQ(::setenv("CLADO_FUSION", "sideways", 1), 0);
+  EXPECT_THROW(Engine(make_geometry_model(rng), EngineSpec{}), std::invalid_argument);
+  ASSERT_EQ(::setenv("CLADO_FUSION", "off", 1), 0);
+  {
+    Engine engine(make_geometry_model(rng), EngineSpec{});
+    EXPECT_FALSE(engine.fused());
+    EXPECT_EQ(engine.plan_batch_capacity(), 0);
+    EXPECT_EQ(engine.batch_buffer(0), nullptr);
+    Tensor out;
+    EXPECT_THROW(engine.infer_pinned(1, out, 0), std::logic_error);
+  }
+  ASSERT_EQ(::setenv("CLADO_FUSION", "1", 1), 0);
+  {
+    Engine engine(make_geometry_model(rng), EngineSpec{});
+    EXPECT_TRUE(engine.fused());
+  }
+  ::unsetenv("CLADO_FUSION");
+  Engine engine(make_geometry_model(rng), EngineSpec{});
+  EXPECT_TRUE(engine.fused()) << "unset CLADO_FUSION must default to fused";
+}
+
+TEST(CompiledPlan, ReplicaPlansAgree) {
+  Rng rng(121);
+  Model model = make_geometry_model(rng);
+  EngineSpec spec;
+  spec.replicas = 2;
+  spec.max_batch = 2;
+  spec.fusion = Fusion::kOn;
+  Engine engine(std::move(model), std::move(spec));
+  ASSERT_NE(engine.plan(1), nullptr);
+  Rng data_rng(131);
+  const Tensor batch = Tensor::randn({2, 3, 16, 16}, data_rng);
+  const Tensor a = engine.infer(batch, 0);
+  const Tensor b = engine.infer(batch, 1);
+  ASSERT_EQ(a.shape(), b.shape());
+  for (std::int64_t i = 0; i < a.numel(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(CompiledPlan, OversizedBatchFallsBackToEager) {
+  EnginePair pair = make_geometry_pair(/*max_batch=*/2);
+  Rng rng(141);
+  const Tensor batch = Tensor::randn({4, 3, 16, 16}, rng);  // > max_batch
+  const Tensor a = pair.fused->infer(batch);
+  const Tensor b = pair.eager->infer(batch);
+  ASSERT_EQ(a.shape(), b.shape());
+  for (std::int64_t i = 0; i < a.numel(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+}  // namespace

@@ -413,4 +413,55 @@ TEST(ServeServer, RequiresReplicaPerWorker) {
   EXPECT_THROW(Server(engine, cfg), std::invalid_argument);
 }
 
+TEST(ServeEngine, FusedAndEagerEnginesAgree) {
+  Rng rng(7);
+  auto fused_model = clado::testing::make_tiny_model(rng);
+  Rng rng2(7);
+  auto eager_model = clado::testing::make_tiny_model(rng2);
+  EngineSpec on;
+  on.bits = {8, 8, 8, 8};
+  on.fusion = clado::serve::Fusion::kOn;
+  EngineSpec off = on;
+  off.fusion = clado::serve::Fusion::kOff;
+  Engine fused(std::move(fused_model), std::move(on));
+  Engine eager(std::move(eager_model), std::move(off));
+
+  Rng data_rng(15);
+  const Tensor batch = Tensor::randn({4, 3, 8, 8}, data_rng);
+  const Tensor a = fused.infer(batch);
+  const Tensor b = eager.infer(batch);
+  ASSERT_EQ(a.shape(), b.shape());
+  for (std::int64_t i = 0; i < a.numel(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(ServeEngine, SteadyStatePinnedPathIsAllocationFree) {
+  if (!clado::tensor::alloc_counting_enabled()) {
+    GTEST_SKIP() << "tensor allocation counting is compiled out of this build; "
+                    "the sanitizer CI job enforces the zero-alloc contract";
+  }
+  auto engine = make_engine({8, 8, 8, 8}, 1);
+  ASSERT_TRUE(engine->fused());
+  const std::int64_t n = 4;
+  Rng rng(19);
+  const Tensor batch = Tensor::randn({n, 3, 8, 8}, rng);
+  std::memcpy(engine->batch_buffer(0), batch.data(),
+              sizeof(float) * static_cast<std::size_t>(batch.numel()));
+  Tensor out;
+  for (int i = 0; i < 3; ++i) engine->infer_pinned(n, out, 0);  // warmup
+  const std::int64_t before = clado::tensor::alloc_count();
+  for (int i = 0; i < 100; ++i) engine->infer_pinned(n, out, 0);
+  EXPECT_EQ(clado::tensor::alloc_count(), before)
+      << "steady-state serving batches must not touch the heap";
+}
+
+TEST(ServeEngine, PredictRunsOnRequestedReplica) {
+  auto engine = make_engine({8, 8, 8, 8}, 2);
+  Rng rng(23);
+  const Tensor sample = make_sample(rng);
+  const std::int64_t a = engine->predict(sample, 0);
+  const std::int64_t b = engine->predict(sample, 1);
+  EXPECT_EQ(a, b) << "replicas are frozen from the same weights";
+  EXPECT_THROW(engine->predict(sample, 7), std::invalid_argument);
+}
+
 }  // namespace

@@ -21,7 +21,13 @@ speedup pinned by bench_gemm_kernels), which are noisy upward but
 host-stable downward — a value under the floor means the vector kernels
 regressed toward scalar throughput.
 
-Exit status: 0 on match, 1 on any drift, floor violation, or missing key.
+A "gauges_max" section is the mirror image: each named gauge must be
+present with a value <= the baseline ceiling. Its canonical user is the
+serving plan's steady-state allocation counter (ceiling 0) — any value
+above it means a fused inference batch touched the heap.
+
+Exit status: 0 on match, 1 on any drift, floor/ceiling violation, or
+missing key.
 """
 
 import json
@@ -41,8 +47,11 @@ def main() -> int:
 
     expected = baseline.get("counters", {})
     floors = baseline.get("gauges_min", {})
-    if not expected and not floors:
-        sys.stderr.write(f"{baseline_path}: no counters or gauges_min in baseline\n")
+    ceilings = baseline.get("gauges_max", {})
+    if not expected and not floors and not ceilings:
+        sys.stderr.write(
+            f"{baseline_path}: no counters, gauges_min, or gauges_max in baseline\n"
+        )
         return 2
     got = actual.get("counters", {})
     got_gauges = actual.get("gauges", {})
@@ -62,6 +71,14 @@ def main() -> int:
         value = entry["last"] if isinstance(entry, dict) else entry
         if value < floor:
             drifts.append(f"  {name}: {value} below baseline floor {floor}")
+    for name, ceiling in sorted(ceilings.items()):
+        if name not in got_gauges:
+            drifts.append(f"  {name}: gauge missing from {actual_path} (ceiling {ceiling})")
+            continue
+        entry = got_gauges[name]
+        value = entry["last"] if isinstance(entry, dict) else entry
+        if value > ceiling:
+            drifts.append(f"  {name}: {value} above baseline ceiling {ceiling}")
 
     if drifts:
         print(f"metric baseline drift vs {baseline_path}:")
@@ -77,6 +94,8 @@ def main() -> int:
     parts = [f"{len(expected)} counters"]
     if floors:
         parts.append(f"{len(floors)} gauge floors")
+    if ceilings:
+        parts.append(f"{len(ceilings)} gauge ceilings")
     print(f"{' and '.join(parts)} match {baseline_path}")
     return 0
 

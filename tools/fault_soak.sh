@@ -74,6 +74,10 @@ for seed in "${seeds[@]}"; do
   run_pair "$seed" "$build_dir/tests/sensitivity_test" 600
   run_pair "$seed" "$build_dir/tests/checkpoint_test" 600
   run_pair "$seed" "$build_dir/tests/iqp_test" 600
+  # Engine-level fused serving (no Server worker loops: a POOL_TASK fault
+  # inside a long-lived worker chunk could strand drain() — plan_test
+  # drives the compiled-plan path directly and must absorb or fail clean).
+  run_pair "$seed" "$build_dir/tests/plan_test" 600
 done
 
 echo
