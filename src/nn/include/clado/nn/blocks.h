@@ -66,6 +66,13 @@ class SEBlock : public Module {
   std::int64_t channels() const { return channels_; }
   std::int64_t reduced() const { return fc1_->out_features(); }
 
+  /// True when either inner Linear carries a QAT weight transform.
+  /// forward_into reads the raw weights, so the serving plan must fall back
+  /// to forward() in that case.
+  bool has_weight_transform() const {
+    return fc1_->has_weight_transform() || fc2_->has_weight_transform();
+  }
+
   /// Scratch floats forward_into needs for batches up to `max_n` samples:
   /// pooled [max_n, C] | bottleneck [max_n, reduced] | gate [max_n, C].
   std::int64_t scratch_numel(std::int64_t max_n) const {

@@ -60,6 +60,10 @@ struct PlanBuffer {
   std::int64_t def_step = 0;
   std::int64_t last_step = 0;
   bool scratch = false;  ///< workspace (im2col / SE), not an activation
+  /// Compile-time count of pending readers (residual branches that will read
+  /// this buffer after the current sub-graph compiles). While nonzero, no
+  /// activation may fuse in place onto the step that produced it.
+  int pinned = 0;
 };
 
 /// One executable node of the compiled graph. Layer pointers alias the

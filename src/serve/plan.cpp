@@ -34,6 +34,19 @@ using clado::quant::ActQuantMode;
 using clado::tensor::conv_out_size;
 using clado::tensor::shape_numel;
 
+namespace {
+
+std::string shape_str(const Shape& shape) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += std::to_string(shape[i]);
+  }
+  return out + "]";
+}
+
+}  // namespace
+
 const char* step_kind_name(StepKind kind) {
   switch (kind) {
     case StepKind::kConv: return "conv";
@@ -114,15 +127,32 @@ void CompiledPlan::compile_module(Module& module) {
   if (auto* res = dynamic_cast<ResidualBlock*>(&module)) {
     const int in_buf = cur_buf_;
     const Shape in_shape = cur_shape_;
+    // The shortcut branch (or the identity add) reads in_buf after the main
+    // path compiles; pin it so a main-path-leading activation cannot fuse
+    // in place onto the step that produced it (pre-activation blocks).
+    ++buffers_[static_cast<std::size_t>(in_buf)].pinned;
     compile_children(res->main_path());
     const int main_buf = cur_buf_;
     const Shape main_shape = cur_shape_;
     int short_buf = in_buf;
+    Shape short_shape = in_shape;
     if (res->shortcut_path() != nullptr) {
       cur_buf_ = in_buf;
       cur_shape_ = in_shape;
+      // The add reads main_buf after the shortcut compiles.
+      ++buffers_[static_cast<std::size_t>(main_buf)].pinned;
       compile_children(*res->shortcut_path());
+      --buffers_[static_cast<std::size_t>(main_buf)].pinned;
       short_buf = cur_buf_;
+      short_shape = cur_shape_;
+    }
+    --buffers_[static_cast<std::size_t>(in_buf)].pinned;
+    if (short_shape != main_shape) {
+      // Mirror the eager path, which throws on the `y += shortcut` shape
+      // mismatch — never read per_sample(main) floats from a smaller buffer.
+      throw std::invalid_argument("CompiledPlan: ResidualBlock branch shapes differ (main " +
+                                  shape_str(main_shape) + " vs shortcut " +
+                                  shape_str(short_shape) + ")");
     }
     PlanStep step;
     step.kind = StepKind::kResidualAdd;
@@ -211,7 +241,11 @@ void CompiledPlan::compile_module(Module& module) {
       PlanStep& back = steps_.back();
       const bool fusable = back.kind == StepKind::kConv || back.kind == StepKind::kLinear ||
                            back.kind == StepKind::kResidualAdd;
-      if (fusable && !back.has_act && back.out == cur_buf_) {
+      // Fusing mutates cur_buf_ in place, which is only sound when the
+      // producing step is the buffer's sole reader — a pinned buffer has a
+      // pending residual-branch read of the pre-activation values.
+      if (fusable && !back.has_act && back.out == cur_buf_ &&
+          buffers_[static_cast<std::size_t>(cur_buf_)].pinned == 0) {
         back.has_act = true;
         back.act = act->kind();
         return;
@@ -266,7 +300,8 @@ void CompiledPlan::compile_module(Module& module) {
   }
 
   if (auto* se = dynamic_cast<SEBlock*>(&module)) {
-    if (cur_shape_.size() != 3 || cur_shape_[0] != se->channels()) {
+    if (se->has_weight_transform() || cur_shape_.size() != 3 ||
+        cur_shape_[0] != se->channels()) {
       emit_fallback(module, /*probe=*/true);
       return;
     }

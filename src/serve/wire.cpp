@@ -3,6 +3,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "clado/tensor/tensor.h"
+
 namespace clado::serve {
 
 namespace {
@@ -143,7 +145,7 @@ WireRequest decode_request(std::span<const std::uint8_t> payload) {
       }
       shape.push_back(d);
     }
-    std::vector<float> data;
+    clado::tensor::FloatBuffer data;
     data.reserve(static_cast<std::size_t>(numel));
     for (std::int64_t i = 0; i < numel; ++i) data.push_back(r.f32("data"));
     req.input = Tensor(std::move(shape), std::move(data));

@@ -58,6 +58,11 @@ struct CountingAllocator {
 
 }  // namespace detail
 
+/// Tensor's storage vector type. Build hot-path payloads in one of these and
+/// hand it to Tensor(Shape, FloatBuffer) to adopt the storage without a copy
+/// (std::vector<float> cannot be moved into the counting allocator's vector).
+using FloatBuffer = std::vector<float, detail::CountingAllocator<float>>;
+
 /// Contiguous row-major float tensor. Copyable (deep) and movable.
 class Tensor {
  public:
@@ -73,6 +78,10 @@ class Tensor {
   /// Tensor wrapping a copy of `values`; values.size() must equal the
   /// product of `shape`.
   Tensor(Shape shape, std::vector<float> values);
+
+  /// Tensor adopting `values` as its storage (no copy); values.size() must
+  /// equal the product of `shape`.
+  Tensor(Shape shape, FloatBuffer values);
 
   // -- factories ------------------------------------------------------------
   static Tensor zeros(Shape shape);
@@ -140,7 +149,7 @@ class Tensor {
 
  private:
   Shape shape_;
-  std::vector<float, detail::CountingAllocator<float>> data_;
+  FloatBuffer data_;
 };
 
 /// Throws std::invalid_argument unless both shapes are identical.

@@ -55,8 +55,17 @@ Tensor::Tensor(Shape shape)
 Tensor::Tensor(Shape shape, float fill)
     : shape_(std::move(shape)), data_(static_cast<std::size_t>(shape_numel(shape_)), fill) {}
 
+// Allocator types differ, so this overload is a single sized copy pass; hot
+// paths hand over a FloatBuffer instead (below) and pay no copy at all.
 Tensor::Tensor(Shape shape, std::vector<float> values)
     : shape_(std::move(shape)), data_(values.begin(), values.end()) {
+  if (static_cast<std::int64_t>(data_.size()) != shape_numel(shape_)) {
+    throw std::invalid_argument("Tensor: values size does not match shape " + shape_str());
+  }
+}
+
+Tensor::Tensor(Shape shape, FloatBuffer values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
   if (static_cast<std::int64_t>(data_.size()) != shape_numel(shape_)) {
     throw std::invalid_argument("Tensor: values size does not match shape " + shape_str());
   }

@@ -253,6 +253,113 @@ TEST(CompiledPlan, ReplicaPlansAgree) {
   for (std::int64_t i = 0; i < a.numel(); ++i) EXPECT_EQ(a[i], b[i]);
 }
 
+/// Residual blocks whose main path (or shortcut) STARTS with an activation:
+/// fusing that activation onto the step that produced the block input would
+/// mutate the values the other branch still has to read.
+Model make_preact_residual_model(Rng& rng) {
+  using namespace clado::nn;
+  Model m;
+  m.name = "preact_residual";
+  m.net = std::make_unique<Sequential>();
+  m.candidate_bits = {2, 8};
+  m.num_classes = 5;
+  m.image_size = 8;
+
+  m.net->emplace_named<Conv2d>("stem", 3, 6, 3, 1, 1)->init(rng);
+  auto pre_main = std::make_unique<Sequential>();
+  pre_main->emplace_named<Activation>("preact", Act::kRelu);
+  pre_main->emplace_named<Conv2d>("conv", 6, 6, 3, 1, 1)->init(rng);
+  m.net->emplace_named<ResidualBlock>("preact_block", std::move(pre_main), nullptr,
+                                      /*final_relu=*/false);
+
+  auto id_main = std::make_unique<Sequential>();
+  id_main->emplace_named<Identity>("id");
+  auto shortcut = std::make_unique<Sequential>();
+  shortcut->emplace_named<Activation>("shortact", Act::kHardSwish);
+  shortcut->emplace_named<Conv2d>("shortconv", 6, 6, 1, 1, 0)->init(rng);
+  m.net->emplace_named<ResidualBlock>("act_shortcut_block", std::move(id_main),
+                                      std::move(shortcut), /*final_relu=*/true);
+
+  m.net->emplace_named<GlobalAvgPool>("gap");
+  m.net->emplace_named<Linear>("fc", 6, 5)->init(rng);
+  m.finalize();
+  return m;
+}
+
+TEST(CompiledPlan, ActivationLeadingResidualBranchesMatchEager) {
+  Rng rng(161);
+  Model model = make_preact_residual_model(rng);
+  Model twin = model.clone();
+  EnginePair pair;
+  EngineSpec on;
+  on.max_batch = 3;
+  on.fusion = Fusion::kOn;
+  pair.fused = std::make_unique<Engine>(std::move(model), std::move(on));
+  EngineSpec off;
+  off.max_batch = 3;
+  off.fusion = Fusion::kOff;
+  pair.eager = std::make_unique<Engine>(std::move(twin), std::move(off));
+
+  // Both branch-leading activations must survive as standalone steps; fusing
+  // either in place would corrupt the other branch's input.
+  std::size_t standalone_acts = 0;
+  for (const auto& step : pair.fused->plan(0)->steps()) {
+    standalone_acts += step.kind == clado::serve::StepKind::kAct ? 1 : 0;
+  }
+  EXPECT_EQ(standalone_acts, 2u);
+  EXPECT_EQ(pair.fused->plan(0)->fallback_steps(), 0u);
+  expect_bit_identical(*pair.fused, *pair.eager, 3, 700);
+  expect_bit_identical(*pair.fused, *pair.eager, 1, 701);
+}
+
+TEST(CompiledPlan, SEBlockWithWeightTransformFallsBack) {
+  using namespace clado::nn;
+  Rng rng(171);
+  Sequential net;
+  net.emplace_named<Conv2d>("stem", 3, 8, 3, 1, 1)->init(rng);
+  net.emplace_named<SEBlock>("se", 8, 4)->init(rng);
+  net.emplace_named<GlobalAvgPool>("gap");
+  net.emplace_named<Linear>("fc", 8, 4)->init(rng);
+
+  // Leave a QAT-style transform on the SE's inner linears; the fused SE step
+  // reads raw weights, so the plan must stage the block through forward().
+  std::vector<QuantLayerRef> layers;
+  net.collect_quant_layers("", layers);
+  std::size_t transformed = 0;
+  for (auto& ref : layers) {
+    if (ref.name.find("se.fc") == std::string::npos) continue;
+    ref.layer->set_weight_transform([](const Tensor& w) { return w * 0.5F; });
+    ++transformed;
+  }
+  ASSERT_EQ(transformed, 2u);
+
+  net.set_inference(true);
+  clado::serve::CompiledPlan plan(net, {3, 8, 8}, /*max_batch=*/2);
+  EXPECT_GE(plan.fallback_steps(), 1u);
+
+  Rng data_rng(172);
+  const Tensor batch = Tensor::randn({2, 3, 8, 8}, data_rng);
+  std::memcpy(plan.input(), batch.data(), sizeof(float) * static_cast<std::size_t>(batch.numel()));
+  Tensor fused_out;
+  plan.run(2, fused_out);
+  const Tensor eager_out = net.forward(batch);
+  ASSERT_EQ(fused_out.shape(), eager_out.shape());
+  for (std::int64_t i = 0; i < fused_out.numel(); ++i) EXPECT_EQ(fused_out[i], eager_out[i]);
+}
+
+TEST(CompiledPlan, ResidualBranchShapeMismatchThrowsAtCompile) {
+  using namespace clado::nn;
+  Rng rng(181);
+  Sequential net;
+  net.emplace_named<Conv2d>("stem", 3, 4, 3, 1, 1)->init(rng);
+  auto main = std::make_unique<Sequential>();
+  // stride 2 halves the spatial dims, so the identity add cannot line up.
+  main->emplace_named<Conv2d>("conv", 4, 4, 3, 2, 1)->init(rng);
+  net.emplace_named<ResidualBlock>("bad_block", std::move(main), nullptr);
+  net.set_inference(true);
+  EXPECT_THROW(clado::serve::CompiledPlan(net, {3, 8, 8}, 1), std::invalid_argument);
+}
+
 TEST(CompiledPlan, OversizedBatchFallsBackToEager) {
   EnginePair pair = make_geometry_pair(/*max_batch=*/2);
   Rng rng(141);
