@@ -123,6 +123,9 @@ const char* site_name(Site site) {
     case Site::kNanLoss: return "nan_loss";
     case Site::kPoolTask: return "pool_task";
     case Site::kSolverOracle: return "solver_oracle";
+    case Site::kAccept: return "accept";
+    case Site::kFrameDecode: return "frame_decode";
+    case Site::kRegistrySwap: return "registry_swap";
   }
   return "unknown";
 }

@@ -8,7 +8,7 @@
 // kill-and-resume drills):
 //
 //   CLADO_FAULT_IO_WRITE / _IO_READ / _NAN_LOSS / _POOL_TASK /
-//   _SOLVER_ORACLE = <spec>
+//   _SOLVER_ORACLE / _ACCEPT / _FRAME_DECODE / _REGISTRY_SWAP = <spec>
 //   CLADO_FAULT_SEED = <uint64>            (probability mode only)
 //
 // where <spec> is one of
@@ -40,8 +40,11 @@ enum class Site {
   kNanLoss,        ///< poisons a measured sensitivity loss with NaN
   kPoolTask,       ///< throws from a queued thread-pool chunk runner
   kSolverOracle,   ///< throws from the IQP branch-and-bound node loop
+  kAccept,         ///< drops a freshly accepted daemon connection
+  kFrameDecode,    ///< throws from the daemon's wire-frame decode path
+  kRegistrySwap,   ///< throws from Fleet::put before the swap commits
 };
-inline constexpr int kNumSites = 5;
+inline constexpr int kNumSites = 8;
 
 /// Stable lowercase name ("io_write", ...); used in env vars (uppercased)
 /// and obs counter names.

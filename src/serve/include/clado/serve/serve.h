@@ -44,14 +44,30 @@ namespace clado::serve {
 
 enum class Status {
   kOk = 0,
-  kRejectedOverload,  ///< bounded queue full at admission — retry later
+  kRejectedOverload,  ///< shed at admission (queue saturated) — retry later
   kDeadlineExpired,   ///< deadline passed while queued; never executed
   kShutdown,          ///< submitted during/after drain
   kInvalidInput,      ///< sample shape does not match the engine
   kEngineError,       ///< forward threw; details in Response::error
+  kUnknownModel,      ///< request named a model the fleet does not hold
 };
+/// One past the last valid Status value (wire decoders and the exhaustive
+/// status_name round-trip test key off this instead of a magic constant).
+inline constexpr std::uint32_t kNumStatuses =
+    static_cast<std::uint32_t>(Status::kUnknownModel) + 1;
 
 const char* status_name(Status s);
+
+/// Admission priority under overload. When the queue saturates, best-effort
+/// requests are shed first — at a lower queue threshold, and by eviction
+/// when an interactive request arrives at a full queue.
+enum class DeadlineClass : std::uint32_t {
+  kInteractive = 0,  ///< shed only when the queue is hard-full
+  kBestEffort = 1,   ///< shed once the queue passes best_effort_cap
+};
+inline constexpr std::uint32_t kNumDeadlineClasses = 2;
+
+const char* deadline_class_name(DeadlineClass c);
 
 struct Response {
   Status status = Status::kEngineError;
@@ -70,13 +86,18 @@ struct ServerConfig {
   std::int64_t max_batch = 8;        ///< micro-batch size cap
   std::int64_t max_delay_us = 2000;  ///< max time the oldest request waits for co-batching
   std::int64_t queue_capacity = 256; ///< admission bound (backpressure past this)
+  /// Queue depth past which best-effort requests are shed; 0 = auto
+  /// (3/4 of queue_capacity, at least 1). Interactive requests are only
+  /// shed at queue_capacity, after trying to evict a queued best-effort.
+  std::int64_t best_effort_cap = 0;
   bool capture_traces = false;       ///< attach per-request span trees to responses
   /// Admit requests but hold execution until resume(); lets tests and the
   /// batching bench enqueue a known backlog before the first batch forms.
   bool start_paused = false;
 
   /// Defaults overridden by CLADO_SERVE_WORKERS / _MAX_BATCH /
-  /// _MAX_DELAY_US / _QUEUE_CAP (strict parsing; garbage throws).
+  /// _MAX_DELAY_US / _QUEUE_CAP / _BE_QUEUE_CAP (strict parsing; garbage
+  /// throws).
   static ServerConfig from_env();
 };
 
@@ -98,12 +119,19 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Admits one sample [C, H, W] for inference. Never blocks: a full queue
-  /// or a draining server resolves the future immediately with
+  /// Admits one sample [C, H, W] for inference. Never blocks: a saturated
+  /// queue or a draining server resolves the future immediately with
   /// kRejectedOverload / kShutdown. `deadline_us` (0 = none) is the
   /// queueing budget relative to admission; a request still queued past it
-  /// is dropped without executing.
-  std::future<Response> submit(Tensor input, std::int64_t deadline_us = 0);
+  /// is dropped without executing. Best-effort requests are shed before
+  /// interactive ones (see DeadlineClass); sheds are counted per class in
+  /// serve.shed.interactive / serve.shed.best_effort.
+  std::future<Response> submit(Tensor input, std::int64_t deadline_us = 0,
+                               DeadlineClass klass = DeadlineClass::kInteractive);
+
+  /// Requests admitted but not yet taken into a batch — the least-loaded
+  /// dispatch key used by Fleet.
+  std::int64_t queue_depth() const;
 
   /// Releases workers held by ServerConfig::start_paused.
   void resume();
@@ -122,6 +150,7 @@ class Server {
     std::promise<Response> promise;
     std::int64_t enqueue_us = 0;
     std::int64_t deadline_us = 0;  ///< absolute (server clock); 0 = none
+    DeadlineClass klass = DeadlineClass::kInteractive;
   };
 
   std::int64_t now_us() const;

@@ -46,8 +46,17 @@ const char* status_name(Status s) {
     case Status::kShutdown: return "SHUTDOWN";
     case Status::kInvalidInput: return "INVALID_INPUT";
     case Status::kEngineError: return "ENGINE_ERROR";
+    case Status::kUnknownModel: return "UNKNOWN_MODEL";
   }
   return "UNKNOWN";
+}
+
+const char* deadline_class_name(DeadlineClass c) {
+  switch (c) {
+    case DeadlineClass::kInteractive: return "interactive";
+    case DeadlineClass::kBestEffort: return "best_effort";
+  }
+  return "unknown";
 }
 
 ServerConfig ServerConfig::from_env() {
@@ -62,6 +71,9 @@ ServerConfig ServerConfig::from_env() {
   }
   if (const auto v = env_int_strict("CLADO_SERVE_QUEUE_CAP", 1, 1 << 20)) {
     c.queue_capacity = *v;
+  }
+  if (const auto v = env_int_strict("CLADO_SERVE_BE_QUEUE_CAP", 1, 1 << 20)) {
+    c.best_effort_cap = *v;
   }
   return c;
 }
@@ -79,6 +91,12 @@ Server::Server(std::shared_ptr<Engine> engine, ServerConfig config)
   }
   if (config_.queue_capacity < 1) {
     throw std::invalid_argument("Server: queue_capacity must be >= 1");
+  }
+  if (config_.best_effort_cap < 0 || config_.best_effort_cap > config_.queue_capacity) {
+    throw std::invalid_argument("Server: best_effort_cap must be in [0, queue_capacity]");
+  }
+  if (config_.best_effort_cap == 0) {
+    config_.best_effort_cap = std::max<std::int64_t>(1, config_.queue_capacity * 3 / 4);
   }
   if (engine_->replicas() < config_.workers) {
     throw std::invalid_argument(
@@ -113,7 +131,8 @@ std::int64_t Server::now_us() const {
       .count();
 }
 
-std::future<Response> Server::submit(Tensor input, std::int64_t deadline_us) {
+std::future<Response> Server::submit(Tensor input, std::int64_t deadline_us,
+                                     DeadlineClass klass) {
   const Shape& want = engine_->sample_shape();
   if (input.dim() != 3 || input.size(0) != want[0] || input.size(1) != want[1] ||
       input.size(2) != want[2]) {
@@ -126,21 +145,63 @@ std::future<Response> Server::submit(Tensor input, std::int64_t deadline_us) {
   p.input = std::move(input);
   p.enqueue_us = now_us();
   p.deadline_us = deadline_us > 0 ? p.enqueue_us + deadline_us : 0;
+  p.klass = klass;
   std::future<Response> future = p.promise.get_future();
+  // A shed best-effort Pending evicted to make room for an interactive
+  // request; its promise is resolved after mutex_ is released.
+  std::optional<Pending> evicted;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (draining_ || stop_) return immediate(Status::kShutdown);
-    if (static_cast<std::int64_t>(queue_.size()) >= config_.queue_capacity) {
+    const auto depth = static_cast<std::int64_t>(queue_.size());
+    if (klass == DeadlineClass::kBestEffort && depth >= config_.best_effort_cap) {
+      // Best-effort saturates early so the remaining headroom stays
+      // reserved for interactive traffic.
       clado::obs::counter("serve.rejected_overload").add();
+      clado::obs::counter("serve.shed.best_effort").add();
       return immediate(Status::kRejectedOverload,
-                       "queue at capacity (" + std::to_string(config_.queue_capacity) + ")");
+                       "best-effort queue cap (" + std::to_string(config_.best_effort_cap) +
+                           ") reached");
+    }
+    if (depth >= config_.queue_capacity) {
+      // Hard-full: an interactive request may still claim the slot of the
+      // newest queued best-effort request (shed the cheapest work first —
+      // it waited least, so evicting it wastes the least queueing time).
+      if (klass == DeadlineClass::kInteractive) {
+        for (auto it = queue_.rbegin(); it != queue_.rend(); ++it) {
+          if (it->klass == DeadlineClass::kBestEffort) {
+            evicted = std::move(*it);
+            queue_.erase(std::next(it).base());
+            break;
+          }
+        }
+      }
+      if (!evicted.has_value()) {
+        clado::obs::counter("serve.rejected_overload").add();
+        clado::obs::counter(std::string("serve.shed.") + deadline_class_name(klass)).add();
+        return immediate(Status::kRejectedOverload,
+                         "queue at capacity (" + std::to_string(config_.queue_capacity) + ")");
+      }
+      clado::obs::counter("serve.rejected_overload").add();
+      clado::obs::counter("serve.shed.best_effort").add();
     }
     queue_.push_back(std::move(p));
     clado::obs::counter("serve.submitted").add();
     clado::obs::gauge("serve.queue_depth").set(static_cast<double>(queue_.size()));
   }
+  if (evicted.has_value()) {
+    Response r;
+    r.status = Status::kRejectedOverload;
+    r.error = "evicted by an interactive request at full queue";
+    evicted->promise.set_value(std::move(r));
+  }
   cv_.notify_one();
   return future;
+}
+
+std::int64_t Server::queue_depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<std::int64_t>(queue_.size());
 }
 
 void Server::resume() {

@@ -92,28 +92,38 @@ void check_header(Reader& r, const char* what) {
   }
   const std::uint32_t version = r.u32("version");
   if (version != kWireVersion) {
-    throw std::runtime_error(std::string("wire: ") + what + " version " +
-                             std::to_string(version) + ", expected " +
-                             std::to_string(kWireVersion));
+    throw std::runtime_error(std::string("wire: peer speaks wire version ") +
+                             std::to_string(version) + " but this build requires " +
+                             std::to_string(kWireVersion) +
+                             " (" + what + "); upgrade the older side");
   }
 }
 
 }  // namespace
 
 std::vector<std::uint8_t> encode_request(const WireRequest& req) {
+  if (req.model.size() > kWireMaxModelNameBytes) {
+    throw std::runtime_error("wire: model name of " + std::to_string(req.model.size()) +
+                             " bytes exceeds the " + std::to_string(kWireMaxModelNameBytes) +
+                             "-byte cap");
+  }
   std::vector<std::uint8_t> out;
-  out.reserve(32 + static_cast<std::size_t>(req.input.numel()) * 4);
+  out.reserve(48 + req.model.size() + static_cast<std::size_t>(req.input.numel()) * 4);
   put_u32(out, kWireMagic);
   put_u32(out, kWireVersion);
   put_u32(out, static_cast<std::uint32_t>(req.type));
+  put_u32(out, static_cast<std::uint32_t>(req.klass));
   put_i64(out, req.deadline_us);
+  put_u32(out, static_cast<std::uint32_t>(req.model.size()));
+  out.insert(out.end(), req.model.begin(), req.model.end());
   if (req.type == MsgType::kInfer) {
     const auto& shape = req.input.shape();
     put_u32(out, static_cast<std::uint32_t>(shape.size()));
     for (const std::int64_t d : shape) put_i64(out, d);
     for (const float v : req.input.flat()) put_f32(out, v);
-  } else {
-    put_u32(out, 0);
+  } else if (req.type == MsgType::kSwap) {
+    put_u32(out, static_cast<std::uint32_t>(req.swap_bits.size()));
+    for (const int b : req.swap_bits) put_i64(out, b);
   }
   return out;
 }
@@ -123,14 +133,27 @@ WireRequest decode_request(std::span<const std::uint8_t> payload) {
   check_header(r, "request");
   WireRequest req;
   const std::uint32_t type = r.u32("type");
-  if (type < 1 || type > 3) {
+  if (type < 1 || type > kNumMsgTypes) {
     throw std::runtime_error("wire: unknown request type " + std::to_string(type));
   }
   req.type = static_cast<MsgType>(type);
+  const std::uint32_t klass = r.u32("class");
+  if (klass >= kNumDeadlineClasses) {
+    throw std::runtime_error("wire: unknown deadline class " + std::to_string(klass));
+  }
+  req.klass = static_cast<DeadlineClass>(klass);
   req.deadline_us = r.i64("deadline_us");
-  const std::uint32_t ndim = r.u32("ndim");
-  if (ndim > 8) throw std::runtime_error("wire: request ndim " + std::to_string(ndim) + " > 8");
+  const std::uint32_t model_len = r.u32("model_len");
+  if (model_len > kWireMaxModelNameBytes) {
+    throw std::runtime_error("wire: model name length " + std::to_string(model_len) + " > " +
+                             std::to_string(kWireMaxModelNameBytes));
+  }
+  req.model = r.bytes(model_len, "model");
   if (req.type == MsgType::kInfer) {
+    const std::uint32_t ndim = r.u32("ndim");
+    if (ndim > 8) {
+      throw std::runtime_error("wire: request ndim " + std::to_string(ndim) + " > 8");
+    }
     Shape shape;
     shape.reserve(ndim);
     std::int64_t numel = 1;
@@ -149,6 +172,20 @@ WireRequest decode_request(std::span<const std::uint8_t> payload) {
     data.reserve(static_cast<std::size_t>(numel));
     for (std::int64_t i = 0; i < numel; ++i) data.push_back(r.f32("data"));
     req.input = Tensor(std::move(shape), std::move(data));
+  } else if (req.type == MsgType::kSwap) {
+    const std::uint32_t nbits = r.u32("nbits");
+    if (nbits > 4096) {
+      throw std::runtime_error("wire: swap bits length " + std::to_string(nbits) + " > 4096");
+    }
+    req.swap_bits.reserve(nbits);
+    for (std::uint32_t i = 0; i < nbits; ++i) {
+      const std::int64_t b = r.i64("bit");
+      if (b < 0 || b > 32) {
+        throw std::runtime_error("wire: swap bit-width " + std::to_string(b) +
+                                 " out of [0, 32]");
+      }
+      req.swap_bits.push_back(static_cast<int>(b));
+    }
   }
   r.expect_done("request");
   return req;
@@ -156,7 +193,7 @@ WireRequest decode_request(std::span<const std::uint8_t> payload) {
 
 std::vector<std::uint8_t> encode_response(const WireResponse& resp) {
   std::vector<std::uint8_t> out;
-  out.reserve(48 + resp.logits.size() * 4 + resp.error.size());
+  out.reserve(56 + resp.logits.size() * 4 + resp.error.size() + resp.stats.size());
   put_u32(out, kWireMagic);
   put_u32(out, kWireVersion);
   put_u32(out, static_cast<std::uint32_t>(resp.status));
@@ -167,6 +204,8 @@ std::vector<std::uint8_t> encode_response(const WireResponse& resp) {
   for (const float v : resp.logits) put_f32(out, v);
   put_u32(out, static_cast<std::uint32_t>(resp.error.size()));
   out.insert(out.end(), resp.error.begin(), resp.error.end());
+  put_u32(out, static_cast<std::uint32_t>(resp.stats.size()));
+  out.insert(out.end(), resp.stats.begin(), resp.stats.end());
   return out;
 }
 
@@ -175,7 +214,7 @@ WireResponse decode_response(std::span<const std::uint8_t> payload) {
   check_header(r, "response");
   WireResponse resp;
   const std::uint32_t status = r.u32("status");
-  if (status > static_cast<std::uint32_t>(Status::kEngineError)) {
+  if (status >= kNumStatuses) {
     throw std::runtime_error("wire: unknown response status " + std::to_string(status));
   }
   resp.status = static_cast<Status>(status);
@@ -193,6 +232,11 @@ WireResponse decode_response(std::span<const std::uint8_t> payload) {
     throw std::runtime_error("wire: response error length " + std::to_string(error_len));
   }
   resp.error = r.bytes(error_len, "error");
+  const std::uint32_t stats_len = r.u32("stats_len");
+  if (stats_len > kWireMaxFrameBytes) {
+    throw std::runtime_error("wire: response stats length " + std::to_string(stats_len));
+  }
+  resp.stats = r.bytes(stats_len, "stats");
   r.expect_done("response");
   return resp;
 }

@@ -193,8 +193,12 @@ TEST_F(FaultTest, PipelineSurvivesEverySiteArmedOnce) {
   ASSERT_EQ(ref.choice.size(), 4U);
   ASSERT_LE(ref.bytes, ref.target + 1e-6);
 
-  for (int s = 0; s < kNumSites; ++s) {
-    const auto site = static_cast<Site>(s);
+  // Only the sites the solver pipeline actually crosses; the serve-path
+  // sites (accept, frame_decode, registry_swap) are exercised end-to-end
+  // by fleet_test and the live fault-soak drill instead.
+  const Site pipeline_sites[] = {Site::kIoWrite, Site::kIoRead, Site::kNanLoss,
+                                 Site::kPoolTask, Site::kSolverOracle};
+  for (const Site site : pipeline_sites) {
     SCOPED_TRACE(site_name(site));
     std::filesystem::remove_all(dir);
     std::filesystem::create_directories(dir);

@@ -6,9 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdint>
 #include <cstring>
 #include <filesystem>
 #include <future>
+#include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -22,6 +25,7 @@
 
 namespace {
 
+using clado::serve::DeadlineClass;
 using clado::serve::Engine;
 using clado::serve::EngineSpec;
 using clado::serve::Response;
@@ -229,6 +233,54 @@ TEST(ServeServer, DrainCompletesAdmittedWork) {
   EXPECT_GE(server.latency_summary().p99_ms, server.latency_summary().p50_ms);
 }
 
+TEST(ServeServer, BestEffortShedEarlyAndEvictedByInteractive) {
+  auto engine = make_engine({}, 1);
+  ServerConfig cfg = paused_config(1, 8);
+  cfg.queue_capacity = 2;
+  cfg.best_effort_cap = 2;
+  Server server(engine, cfg);
+  Rng rng(111);
+  auto be1 = server.submit(make_sample(rng), 0, DeadlineClass::kBestEffort);
+  auto be2 = server.submit(make_sample(rng), 0, DeadlineClass::kBestEffort);
+  EXPECT_EQ(server.queue_depth(), 2);
+
+  // At the cap, best-effort is shed immediately even though interactive
+  // work would still be admitted by eviction.
+  auto be3 = server.submit(make_sample(rng), 0, DeadlineClass::kBestEffort);
+  ASSERT_EQ(be3.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(be3.get().status, Status::kRejectedOverload);
+
+  // Interactive at a hard-full queue evicts the NEWEST queued best-effort.
+  auto interactive = server.submit(make_sample(rng));
+  ASSERT_EQ(be2.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  const Response evicted = be2.get();
+  EXPECT_EQ(evicted.status, Status::kRejectedOverload);
+  EXPECT_NE(evicted.error.find("evicted"), std::string::npos) << evicted.error;
+  EXPECT_EQ(server.queue_depth(), 2);
+
+  server.resume();
+  EXPECT_EQ(be1.get().status, Status::kOk);
+  EXPECT_EQ(interactive.get().status, Status::kOk);
+}
+
+TEST(ServeServer, BestEffortCapValidationAndAutoDefault) {
+  ServerConfig cfg;
+  cfg.workers = 1;
+  ASSERT_EQ(cfg.best_effort_cap, 0);
+  Server server(make_engine({}, 1), cfg);
+  EXPECT_EQ(server.config().best_effort_cap, cfg.queue_capacity * 3 / 4);
+
+  ServerConfig bad = cfg;
+  bad.best_effort_cap = bad.queue_capacity + 1;
+  EXPECT_THROW(Server(make_engine({}, 1), bad), std::invalid_argument);
+
+  ASSERT_EQ(::setenv("CLADO_SERVE_BE_QUEUE_CAP", "7", 1), 0);
+  EXPECT_EQ(ServerConfig::from_env().best_effort_cap, 7);
+  ASSERT_EQ(::setenv("CLADO_SERVE_BE_QUEUE_CAP", "most", 1), 0);
+  EXPECT_THROW(ServerConfig::from_env(), std::invalid_argument);
+  ::unsetenv("CLADO_SERVE_BE_QUEUE_CAP");
+}
+
 TEST(ServeServer, InvalidShapeRejectedUpFront) {
   auto engine = make_engine({}, 1);
   Server server(engine, paused_config(1, 8));
@@ -356,6 +408,141 @@ TEST(ServeWire, RejectsCorruptFrames) {
   auto wrong_version = bytes;
   wrong_version[4] = 99;
   EXPECT_THROW(clado::serve::decode_request(wrong_version), std::runtime_error);
+}
+
+TEST(ServeWire, V2RequestCarriesModelClassAndSwapBits) {
+  clado::serve::WireRequest swap;
+  swap.type = clado::serve::MsgType::kSwap;
+  swap.model = "resnet_a";
+  swap.klass = clado::serve::DeadlineClass::kBestEffort;
+  swap.swap_bits = {8, 4, 2, 0};
+  const auto back = clado::serve::decode_request(clado::serve::encode_request(swap));
+  EXPECT_EQ(back.type, clado::serve::MsgType::kSwap);
+  EXPECT_EQ(back.model, "resnet_a");
+  EXPECT_EQ(back.klass, clado::serve::DeadlineClass::kBestEffort);
+  EXPECT_EQ(back.swap_bits, (std::vector<int>{8, 4, 2, 0}));
+
+  Rng rng(77);
+  clado::serve::WireRequest infer;
+  infer.type = clado::serve::MsgType::kInfer;
+  infer.model = "mobilenet_v3_mini";
+  infer.klass = clado::serve::DeadlineClass::kBestEffort;
+  infer.deadline_us = 999;
+  infer.input = Tensor::randn({3, 8, 8}, rng);
+  const auto back2 = clado::serve::decode_request(clado::serve::encode_request(infer));
+  EXPECT_EQ(back2.model, "mobilenet_v3_mini");
+  EXPECT_EQ(back2.klass, clado::serve::DeadlineClass::kBestEffort);
+  EXPECT_EQ(back2.deadline_us, 999);
+  ASSERT_EQ(back2.input.shape(), infer.input.shape());
+
+  // Oversized model names are rejected at encode time, not silently cut.
+  clado::serve::WireRequest huge;
+  huge.type = clado::serve::MsgType::kPing;
+  huge.model.assign(clado::serve::kWireMaxModelNameBytes + 1, 'x');
+  EXPECT_THROW(clado::serve::encode_request(huge), std::runtime_error);
+}
+
+TEST(ServeWire, ResponseCarriesStats) {
+  clado::serve::WireResponse resp;
+  resp.status = Status::kOk;
+  resp.stats = "resnet_a: replicas=2 queue=[0,1]";
+  const auto back = clado::serve::decode_response(clado::serve::encode_response(resp));
+  EXPECT_EQ(back.stats, resp.stats);
+}
+
+TEST(ServeWire, StatusNamesExhaustiveAndDecodable) {
+  // Driven by kNumStatuses so adding a Status without a name (or without
+  // decoder acceptance) fails here instead of printing "UNKNOWN" in prod.
+  std::set<std::string> seen;
+  for (std::uint32_t s = 0; s < clado::serve::kNumStatuses; ++s) {
+    const auto status = static_cast<Status>(s);
+    const char* name = clado::serve::status_name(status);
+    ASSERT_NE(name, nullptr);
+    EXPECT_STRNE(name, "");
+    EXPECT_STRNE(name, "UNKNOWN") << "status " << s << " has no real name";
+    seen.insert(name);
+
+    clado::serve::WireResponse resp;
+    resp.status = status;
+    EXPECT_EQ(clado::serve::decode_response(clado::serve::encode_response(resp)).status,
+              status);
+  }
+  EXPECT_EQ(seen.size(), clado::serve::kNumStatuses) << "status names must be unique";
+
+  // One past the end is a protocol error, not a silent cast.
+  clado::serve::WireResponse resp;
+  resp.status = Status::kOk;
+  auto bytes = clado::serve::encode_response(resp);
+  bytes[8] = static_cast<std::uint8_t>(clado::serve::kNumStatuses);  // status word
+  EXPECT_THROW(clado::serve::decode_response(bytes), std::runtime_error);
+}
+
+TEST(ServeWire, FuzzedFramesAlwaysThrowOrDecodeCleanly) {
+  // Seeded corpus fuzz: every truncation of a valid frame must throw, and
+  // bit-flipped frames must either throw or decode — never crash or read
+  // past the payload (the ASan/UBSan CI job is the teeth behind this).
+  Rng rng(0xF00D);
+  clado::serve::WireRequest infer;
+  infer.type = clado::serve::MsgType::kInfer;
+  infer.model = "m";
+  infer.input = Tensor::randn({3, 8, 8}, rng);
+  clado::serve::WireRequest swap;
+  swap.type = clado::serve::MsgType::kSwap;
+  swap.model = "m";
+  swap.swap_bits = {8, 8, 4, 4};
+  clado::serve::WireRequest ping;
+  ping.type = clado::serve::MsgType::kPing;
+  clado::serve::WireResponse resp;
+  resp.status = Status::kOk;
+  resp.logits = {1.0F, 2.0F, 3.0F};
+  resp.error = "e";
+  resp.stats = "s";
+
+  const auto fuzz = [&rng](const std::vector<std::uint8_t>& frame, auto decode) {
+    for (std::size_t len = 0; len < frame.size(); ++len) {
+      auto truncated = frame;
+      truncated.resize(len);
+      EXPECT_THROW(decode(truncated), std::runtime_error) << "truncated to " << len;
+    }
+    for (int iter = 0; iter < 300; ++iter) {
+      auto mutated = frame;
+      const int flips = 1 + static_cast<int>(rng.uniform_int(4));
+      for (int f = 0; f < flips; ++f) {
+        const auto byte = rng.uniform_int(mutated.size());
+        mutated[byte] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(8));
+      }
+      try {
+        decode(mutated);  // decoding garbage is fine; UB is not
+      } catch (const std::exception&) {
+      }
+    }
+  };
+  const auto decode_req = [](const std::vector<std::uint8_t>& b) {
+    return clado::serve::decode_request(b);
+  };
+  const auto decode_resp = [](const std::vector<std::uint8_t>& b) {
+    return clado::serve::decode_response(b);
+  };
+  fuzz(clado::serve::encode_request(infer), decode_req);
+  fuzz(clado::serve::encode_request(swap), decode_req);
+  fuzz(clado::serve::encode_request(ping), decode_req);
+  fuzz(clado::serve::encode_response(resp), decode_resp);
+}
+
+TEST(ServeWire, VersionSkewNamesBothVersions) {
+  clado::serve::WireRequest req;
+  req.type = clado::serve::MsgType::kPing;
+  auto bytes = clado::serve::encode_request(req);
+  bytes[4] = 1;  // a v1 peer's version word
+  try {
+    clado::serve::decode_request(bytes);
+    FAIL() << "version-1 frame decoded as version " << clado::serve::kWireVersion;
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("wire version 1"), std::string::npos) << what;
+    EXPECT_NE(what.find(std::to_string(clado::serve::kWireVersion)), std::string::npos)
+        << what;
+  }
 }
 
 TEST(ServeSocket, EndToEndQueryMatchesInProcess) {

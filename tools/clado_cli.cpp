@@ -5,13 +5,19 @@
 //   clado assign <model> [options]       compute a bit-width assignment
 //   clado eval <model> [options]         assignment + PTQ accuracy report
 //   clado sweep <model> [options]        accuracy across a budget ladder
-//   clado serve <model> [options]        load a quantized engine and serve it
-//                                        over a Unix-domain socket
+//   clado serve <m1[,m2,...]> [options]  load quantized engines and serve the
+//                                        fleet over UDS and/or loopback TCP
 //   clado query [options]                send val samples to a running daemon
 //
 // Serving options:
-//   --socket=<p>        Unix socket path (default clado.sock)
-//   --fp32              serve the fp32 model (skip assignment + PTQ)
+//   --socket=<e>        daemon: UDS listener path (default clado.sock)
+//                       query: endpoint — "/path.sock" | "unix:/path" |
+//                       "tcp:<port>" | "tcp:<host>:<port>"
+//   --tcp-port=<n>      also listen on 127.0.0.1:<n> (0 = ephemeral;
+//                       default CLADO_SERVE_TCP_PORT or off)
+//   --replicas=<n>      Server replicas per model for least-loaded
+//                       dispatch (default 1)
+//   --fp32              serve the fp32 models (skip assignment + PTQ)
 //   --workers=<n>       serving workers / engine replicas (default env or 2)
 //   --max-batch=<n>     micro-batch cap (default env or 8)
 //   --max-delay-us=<n>  batching window (default env or 2000)
@@ -19,6 +25,13 @@
 //   --index=<n>         (query) first val-sample index (default 0)
 //   --count=<n>         (query) number of samples to send (default 16)
 //   --deadline-us=<n>   (query) per-request queueing budget (default none)
+//   --model=<name>      (query) fleet routing key (default: the sole model)
+//   --best-effort       (query) send as kBestEffort (shed first on overload)
+//   --retries=<n>       (query) retries on REJECTED_OVERLOAD with capped
+//                       exponential backoff (default CLADO_QUERY_RETRIES or 0)
+//   --stats             (query) print the daemon's fleet stats and exit
+//   --swap-bits=<csv>   (query) hot-swap --model to these per-layer bits
+//   --swap-fp32         (query) hot-swap --model to the fp32 engine
 //
 // Common options:
 //   --alg=<hawq|mpqco|clado-star|clado|brecq-block>   (default clado)
@@ -29,12 +42,17 @@
 //   --no-psd          disable the PSD projection (Figure 7 ablation)
 //   --save-sens=<p>   write the measured sensitivity matrix to <p>
 //   --load-sens=<p>   reuse a previously saved sensitivity matrix
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <memory>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
+#include <vector>
 
 #include "clado/core/algorithms.h"
 #include "clado/core/report.h"
@@ -43,8 +61,10 @@
 #include "clado/models/zoo.h"
 #include "clado/obs/obs.h"
 #include "clado/serve/engine.h"
+#include "clado/serve/fleet.h"
 #include "clado/serve/serve.h"
 #include "clado/serve/socket.h"
+#include "clado/tensor/env.h"
 #include "clado/tensor/rng.h"
 
 namespace {
@@ -73,15 +93,25 @@ struct Options {
   std::int64_t deadline_us = 0;
   std::int64_t index = 0;
   std::int64_t count = 16;
+  int tcp_port = -2;          // -2 = DaemonOptions default / env
+  std::int64_t fleet_replicas = 1;
+  std::string query_model;
+  bool best_effort = false;
+  bool stats = false;
+  bool swap_fp32 = false;
+  std::string swap_bits;      // csv of per-layer bits
+  std::int64_t retries = -1;  // -1 = CLADO_QUERY_RETRIES / 0
 };
 
 int usage() {
   std::fprintf(stderr,
-               "usage: clado <models|train|assign|eval|sweep|serve|query> [model] "
+               "usage: clado <models|train|assign|eval|sweep|serve|query> [model[,model2]] "
                "[--alg=...] [--frac=F] [--set-size=N] [--seed=N] [--val=N] [--no-psd] "
-               "[--save-sens=PATH] [--load-sens=PATH] [--socket=PATH] [--fp32] "
-               "[--workers=N] [--max-batch=N] [--max-delay-us=N] [--queue-cap=N] "
-               "[--index=N] [--count=N] [--deadline-us=N]\n");
+               "[--save-sens=PATH] [--load-sens=PATH] [--socket=ENDPOINT] [--fp32] "
+               "[--tcp-port=N] [--replicas=N] [--workers=N] [--max-batch=N] "
+               "[--max-delay-us=N] [--queue-cap=N] [--index=N] [--count=N] "
+               "[--deadline-us=N] [--model=NAME] [--best-effort] [--retries=N] "
+               "[--stats] [--swap-bits=CSV] [--swap-fp32]\n");
   return 2;
 }
 
@@ -139,6 +169,22 @@ bool parse(int argc, char** argv, Options& opts) {
       opts.count = std::atol(arg.c_str() + 8);
     } else if (arg.rfind("--deadline-us=", 0) == 0) {
       opts.deadline_us = std::atol(arg.c_str() + 14);
+    } else if (arg.rfind("--tcp-port=", 0) == 0) {
+      opts.tcp_port = std::atoi(arg.c_str() + 11);
+    } else if (arg.rfind("--replicas=", 0) == 0) {
+      opts.fleet_replicas = std::atol(arg.c_str() + 11);
+    } else if (arg.rfind("--model=", 0) == 0) {
+      opts.query_model = arg.substr(8);
+    } else if (arg == "--best-effort") {
+      opts.best_effort = true;
+    } else if (arg == "--stats") {
+      opts.stats = true;
+    } else if (arg.rfind("--retries=", 0) == 0) {
+      opts.retries = std::atol(arg.c_str() + 10);
+    } else if (arg.rfind("--swap-bits=", 0) == 0) {
+      opts.swap_bits = arg.substr(12);
+    } else if (arg == "--swap-fp32") {
+      opts.swap_fp32 = true;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
@@ -190,51 +236,151 @@ clado::serve::ServerConfig server_config(const Options& opts) {
   return cfg;
 }
 
-int run_serve(clado::models::TrainedModel tm, const Options& opts) {
-  clado::serve::EngineSpec spec;
-  if (opts.fp32) {
-    spec.label = "fp32";
-  } else {
-    // Assignment + PTQ happen once at load; the daemon serves frozen weights.
-    auto pipeline = make_pipeline(tm, opts);
-    const double target = tm.model.uniform_size_bytes(8) * opts.frac;
-    const auto assignment = pipeline.assign(opts.algorithm, target);
-    spec.bits = assignment.bits;
-    spec.label = std::string(clado::core::algorithm_name(assignment.algorithm)) + "-" +
-                 AsciiTable::num(opts.frac, 4);
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string piece =
+        text.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!piece.empty()) out.push_back(piece);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
   }
+  return out;
+}
+
+int run_serve(const Options& opts) {
+  const std::vector<std::string> names = split_csv(opts.model);
+  if (names.empty()) return usage();
   const clado::serve::ServerConfig cfg = server_config(opts);
-  spec.replicas = cfg.workers;
-  auto engine =
-      std::make_shared<clado::serve::Engine>(std::move(tm.model), std::move(spec));
-  clado::serve::Server server(engine, cfg);
-  clado::serve::SocketDaemon daemon(server, opts.socket_path);
-  std::printf("serving %s [%s] on %s  (weights %.1f KB, %d BN folded, %d workers, "
-              "max_batch %lld, max_delay %lld us)\n",
-              engine->model_name().c_str(), engine->label().c_str(),
-              daemon.socket_path().c_str(), engine->weight_bytes() / 1024.0,
-              engine->batchnorms_folded(), cfg.workers,
+  if (opts.fleet_replicas < 1) {
+    std::fprintf(stderr, "--replicas must be >= 1\n");
+    return 2;
+  }
+
+  // Master weights stay resident (and activation-calibrated) for the
+  // daemon's lifetime: every hot-swap re-freezes from them, so a swapped
+  // engine is bit-identical to one loaded fresh with the same bit-widths.
+  std::map<std::string, clado::models::TrainedModel> masters;
+  std::map<std::string, std::vector<int>> start_bits;
+  std::map<std::string, std::string> start_labels;
+  for (const std::string& name : names) {
+    clado::models::TrainedModel tm = clado::models::get_or_train(name);
+    tm.model.calibrate_activations(tm.train_set.make_range_batch(0, 128));
+    if (opts.fp32) {
+      start_bits[name] = {};
+      start_labels[name] = "fp32";
+    } else {
+      auto pipeline = make_pipeline(tm, opts);
+      const double target = tm.model.uniform_size_bytes(8) * opts.frac;
+      const auto assignment = pipeline.assign(opts.algorithm, target);
+      start_bits[name] = assignment.bits;
+      start_labels[name] = std::string(clado::core::algorithm_name(assignment.algorithm)) +
+                           "-" + AsciiTable::num(opts.frac, 4);
+    }
+    masters.emplace(name, std::move(tm));
+  }
+
+  const auto make_replica_set = [&masters, &cfg, &opts](const std::string& name,
+                                                        const std::vector<int>& bits,
+                                                        const std::string& label) {
+    const auto it = masters.find(name);
+    if (it == masters.end()) {
+      throw std::runtime_error("no master weights loaded for model '" + name + "'");
+    }
+    std::vector<std::shared_ptr<clado::serve::Server>> set;
+    for (std::int64_t r = 0; r < opts.fleet_replicas; ++r) {
+      clado::serve::EngineSpec spec;
+      spec.bits = bits;
+      spec.label = label;
+      spec.replicas = cfg.workers;
+      spec.max_batch = cfg.max_batch;
+      auto engine =
+          std::make_shared<clado::serve::Engine>(it->second.model.clone(), std::move(spec));
+      set.push_back(std::make_shared<clado::serve::Server>(std::move(engine), cfg));
+    }
+    return set;
+  };
+
+  clado::serve::Fleet fleet;
+  for (const std::string& name : names) {
+    fleet.put(name, make_replica_set(name, start_bits[name], start_labels[name]));
+  }
+
+  clado::serve::DaemonOptions dopts = clado::serve::DaemonOptions::from_env();
+  dopts.socket_path = opts.socket_path;
+  if (opts.tcp_port >= -1) dopts.tcp_port = opts.tcp_port;
+  clado::serve::SocketDaemon daemon(fleet, dopts);
+  daemon.set_swap_factory([make_replica_set](const std::string& name,
+                                             const std::vector<int>& bits) {
+    return make_replica_set(name, bits,
+                            bits.empty() ? "fp32"
+                                         : "swap-" + std::to_string(bits.size()) + "L");
+  });
+
+  std::printf("%s", fleet.stats_text().c_str());
+  std::printf("listening on %s%s  (%lld replicas/model, %d workers, max_batch %lld, "
+              "max_delay %lld us)\n",
+              daemon.socket_path().c_str(),
+              daemon.tcp_port() >= 0
+                  ? (" and tcp:127.0.0.1:" + std::to_string(daemon.tcp_port())).c_str()
+                  : "",
+              static_cast<long long>(opts.fleet_replicas), cfg.workers,
               static_cast<long long>(cfg.max_batch),
               static_cast<long long>(cfg.max_delay_us));
   std::printf("stop with: clado query --socket=%s --count=0\n", opts.socket_path.c_str());
   std::fflush(stdout);
   daemon.run();
 
-  const auto lat = server.latency_summary();
-  std::printf("served %lld requests in %lld batches  (p50 %.2f ms, p99 %.2f ms, "
-              "rejected %lld, expired %lld)\n",
+  std::printf("served %lld requests in %lld batches  (rejected %lld, expired %lld, "
+              "swaps %lld)\n",
               static_cast<long long>(clado::obs::counter("serve.completed").value()),
               static_cast<long long>(clado::obs::counter("serve.batches").value()),
-              lat.p50_ms, lat.p99_ms,
               static_cast<long long>(clado::obs::counter("serve.rejected_overload").value()),
-              static_cast<long long>(clado::obs::counter("serve.deadline_expired").value()));
+              static_cast<long long>(clado::obs::counter("serve.deadline_expired").value()),
+              static_cast<long long>(clado::obs::counter("serve.fleet.swaps").value()));
   return 0;
 }
 
+/// Sends one kInfer and retries REJECTED_OVERLOAD answers with capped
+/// exponential backoff (2ms, 4ms, ... capped at 128ms). Other statuses —
+/// including transport errors, which throw — are returned as-is: retrying
+/// only helps when the daemon itself said "try again later".
+clado::serve::WireResponse query_with_retries(const Options& opts,
+                                              const clado::tensor::Tensor& sample,
+                                              std::int64_t retries) {
+  const auto klass = opts.best_effort ? clado::serve::DeadlineClass::kBestEffort
+                                      : clado::serve::DeadlineClass::kInteractive;
+  std::int64_t backoff_ms = 2;
+  while (true) {
+    const auto resp = clado::serve::query_socket(opts.socket_path, sample, opts.deadline_us,
+                                                 opts.query_model, klass);
+    if (resp.status != clado::serve::Status::kRejectedOverload || retries <= 0) return resp;
+    --retries;
+    clado::obs::counter("query.overload_retries").add();
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms = std::min<std::int64_t>(backoff_ms * 2, 128);
+  }
+}
+
 int run_query(const Options& opts) {
-  // Samples are procedural: regenerating the daemon's val split needs only
-  // the shared seed, never the trained weights.
-  const auto val = clado::models::zoo_val_set();
+  if (opts.stats) {
+    std::printf("%s", clado::serve::stats_socket(opts.socket_path).c_str());
+    return 0;
+  }
+  if (opts.swap_fp32 || !opts.swap_bits.empty()) {
+    std::vector<int> bits;
+    for (const std::string& piece : split_csv(opts.swap_bits)) {
+      bits.push_back(std::atoi(piece.c_str()));
+    }
+    const auto resp = clado::serve::swap_socket(opts.socket_path, opts.query_model, bits);
+    const bool ok = resp.status == clado::serve::Status::kOk;
+    std::printf("swap %s: %s %s\n", opts.socket_path.c_str(),
+                clado::serve::status_name(resp.status),
+                ok ? resp.stats.c_str() : resp.error.c_str());
+    return ok ? 0 : 1;
+  }
   if (opts.count <= 0) {
     const bool ok = clado::serve::shutdown_socket(opts.socket_path);
     std::printf("shutdown %s: %s\n", opts.socket_path.c_str(), ok ? "acknowledged" : "failed");
@@ -245,12 +391,19 @@ int run_query(const Options& opts) {
                  opts.socket_path.c_str());
     return 1;
   }
+  std::int64_t retries = opts.retries;
+  if (retries < 0) {
+    retries =
+        clado::tensor::env_int_strict("CLADO_QUERY_RETRIES", 0, 1000).value_or(0);
+  }
+  // Samples are procedural: regenerating the daemon's val split needs only
+  // the shared seed, never the trained weights.
+  const auto val = clado::models::zoo_val_set();
   AsciiTable table({"idx", "label", "predicted", "status", "queue_us", "total_us"});
   std::int64_t ok = 0;
   std::int64_t correct = 0;
   for (std::int64_t i = opts.index; i < opts.index + opts.count; ++i) {
-    const auto resp =
-        clado::serve::query_socket(opts.socket_path, val.image_of(i), opts.deadline_us);
+    const auto resp = query_with_retries(opts, val.image_of(i), retries);
     const std::int64_t label = val.label_of(i);
     if (resp.status == clado::serve::Status::kOk) {
       ++ok;
@@ -289,8 +442,9 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (opts.command == "serve") return run_serve(opts);
+
   clado::models::TrainedModel tm = clado::models::get_or_train(opts.model);
-  if (opts.command == "serve") return run_serve(std::move(tm), opts);
   if (opts.command == "assign") {
     auto pipeline = make_pipeline(tm, opts);
     const double target = tm.model.uniform_size_bytes(8) * opts.frac;
