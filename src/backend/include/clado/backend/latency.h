@@ -1,0 +1,48 @@
+// Measured per-layer, per-precision latency — the second cost column.
+//
+// bench_backend times each quantizable layer of a model at every execution
+// precision on the live machine and stores the result here; the solver
+// then optimizes accuracy under a milliseconds budget instead of (or next
+// to) the bytes budget, closing the loop the paper leaves open between
+// "bits assigned" and "time actually spent" (the arithmetic-intensity
+// observation: halving bits does not halve latency, so a size-optimal
+// assignment is not a latency-optimal one).
+//
+// The artifact rides the v2 checksummed state-dict container: one
+// [layers, kNumPrecisions] tensor named "latency_ms" whose columns are
+// indexed by Precision (fp32, int8, int4) — latency depends on the backend
+// a bit-width executes on, not the nominal bit count, so candidate
+// bit-widths map onto columns via precision_for_bits.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "clado/backend/backend.h"
+
+namespace clado::backend {
+
+struct LatencyTable {
+  /// ms[layer][precision], indexed by static_cast<int>(Precision).
+  std::vector<std::vector<double>> ms;
+
+  std::size_t layers() const { return ms.size(); }
+  double at(std::size_t layer, Precision p) const;
+};
+
+/// Writes the table atomically with a CRC32 checksum (v2 container).
+void save_latency_table(const LatencyTable& table, const std::string& path);
+
+/// Loads a table written by save_latency_table. Throws std::runtime_error
+/// on I/O failure, corruption, or a malformed artifact.
+LatencyTable load_latency_table(const std::string& path);
+
+/// Expands the table into a per-layer × per-candidate cost matrix for the
+/// solver: cost[g][m] = table.at(g, precision_for_bits(candidate_bits[m])).
+/// Throws std::invalid_argument when the table's layer count differs from
+/// num_layers.
+std::vector<std::vector<double>> latency_costs(const LatencyTable& table,
+                                               std::size_t num_layers,
+                                               const std::vector<int>& candidate_bits);
+
+}  // namespace clado::backend

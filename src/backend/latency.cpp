@@ -1,0 +1,89 @@
+#include "clado/backend/latency.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "clado/tensor/serialize.h"
+#include "clado/tensor/tensor.h"
+
+namespace clado::backend {
+
+namespace {
+constexpr const char* kEntryName = "latency_ms";
+}  // namespace
+
+double LatencyTable::at(std::size_t layer, Precision p) const {
+  if (layer >= ms.size()) {
+    throw std::out_of_range("LatencyTable::at: layer " + std::to_string(layer) + " of " +
+                            std::to_string(ms.size()));
+  }
+  return ms[layer][static_cast<std::size_t>(p)];
+}
+
+void save_latency_table(const LatencyTable& table, const std::string& path) {
+  const std::int64_t layers = static_cast<std::int64_t>(table.ms.size());
+  clado::tensor::Tensor t({layers, static_cast<std::int64_t>(kNumPrecisions)});
+  for (std::int64_t g = 0; g < layers; ++g) {
+    const auto& row = table.ms[static_cast<std::size_t>(g)];
+    if (static_cast<int>(row.size()) != kNumPrecisions) {
+      throw std::invalid_argument("save_latency_table: row " + std::to_string(g) + " has " +
+                                  std::to_string(row.size()) + " columns, expected " +
+                                  std::to_string(kNumPrecisions));
+    }
+    for (int p = 0; p < kNumPrecisions; ++p) {
+      t.data()[g * kNumPrecisions + p] = static_cast<float>(row[static_cast<std::size_t>(p)]);
+    }
+  }
+  clado::tensor::StateDict dict;
+  dict[kEntryName] = std::move(t);
+  clado::tensor::save_state_dict(dict, path);
+}
+
+LatencyTable load_latency_table(const std::string& path) {
+  const clado::tensor::StateDict dict = clado::tensor::load_state_dict(path);
+  const auto it = dict.find(kEntryName);
+  if (it == dict.end()) {
+    throw std::runtime_error("load_latency_table: " + path + " has no '" +
+                             std::string(kEntryName) + "' entry");
+  }
+  const clado::tensor::Tensor& t = it->second;
+  if (t.dim() != 2 || t.size(1) != kNumPrecisions) {
+    throw std::runtime_error("load_latency_table: " + path +
+                             ": expected a [layers, " + std::to_string(kNumPrecisions) +
+                             "] tensor, got " + t.shape_str());
+  }
+  LatencyTable table;
+  table.ms.resize(static_cast<std::size_t>(t.size(0)));
+  for (std::int64_t g = 0; g < t.size(0); ++g) {
+    auto& row = table.ms[static_cast<std::size_t>(g)];
+    row.resize(static_cast<std::size_t>(kNumPrecisions));
+    for (int p = 0; p < kNumPrecisions; ++p) {
+      const float v = t.data()[g * kNumPrecisions + p];
+      if (!(v >= 0.0F)) {
+        throw std::runtime_error("load_latency_table: " + path + ": negative or NaN latency");
+      }
+      row[static_cast<std::size_t>(p)] = static_cast<double>(v);
+    }
+  }
+  return table;
+}
+
+std::vector<std::vector<double>> latency_costs(const LatencyTable& table,
+                                               std::size_t num_layers,
+                                               const std::vector<int>& candidate_bits) {
+  if (table.ms.size() != num_layers) {
+    throw std::invalid_argument("latency_costs: table covers " +
+                                std::to_string(table.ms.size()) + " layers, model has " +
+                                std::to_string(num_layers));
+  }
+  std::vector<std::vector<double>> cost(num_layers,
+                                        std::vector<double>(candidate_bits.size(), 0.0));
+  for (std::size_t g = 0; g < num_layers; ++g) {
+    for (std::size_t m = 0; m < candidate_bits.size(); ++m) {
+      cost[g][m] = table.at(g, precision_for_bits(candidate_bits[m]));
+    }
+  }
+  return cost;
+}
+
+}  // namespace clado::backend

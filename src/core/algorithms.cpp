@@ -156,19 +156,29 @@ std::vector<int> MpqPipeline::block_ids() const {
 }
 
 Assignment MpqPipeline::finish(Algorithm algorithm, std::vector<int> choice,
-                               double target_bytes, double predicted) {
+                               const std::vector<std::vector<double>>& costs, double budget,
+                               double predicted, bool latency) {
   Assignment a;
   a.algorithm = algorithm;
   a.choice = std::move(choice);
-  a.target_bytes = target_bytes;
   a.predicted = predicted;
   a.bits.reserve(a.choice.size());
-  const auto costs = size_costs();
+  // Realized bytes are always reported (the size of what would deploy);
+  // the feasibility guard applies to whichever column the solver ran under.
+  const auto bytes = size_costs();
+  double active_total = 0.0;
   for (std::size_t i = 0; i < a.choice.size(); ++i) {
     a.bits.push_back(model_.candidate_bits[static_cast<std::size_t>(a.choice[i])]);
-    a.bytes += costs[i][static_cast<std::size_t>(a.choice[i])];
+    a.bytes += bytes[i][static_cast<std::size_t>(a.choice[i])];
+    active_total += costs[i][static_cast<std::size_t>(a.choice[i])];
   }
-  if (a.bytes > target_bytes + 1e-6) {
+  if (latency) {
+    a.latency_ms = active_total;
+    a.budget_ms = budget;
+  } else {
+    a.target_bytes = budget;
+  }
+  if (active_total > budget + 1e-6) {
     throw std::logic_error("MpqPipeline: solver returned an infeasible assignment");
   }
   return a;
@@ -176,27 +186,28 @@ Assignment MpqPipeline::finish(Algorithm algorithm, std::vector<int> choice,
 
 Assignment MpqPipeline::from_separable(Algorithm algorithm,
                                        const std::vector<std::vector<double>>& value,
-                                       double target_bytes) {
-  const auto costs = size_costs();
+                                       const std::vector<std::vector<double>>& costs,
+                                       double budget, bool latency) {
   std::vector<clado::solver::ChoiceGroup> groups(value.size());
   for (std::size_t i = 0; i < value.size(); ++i) {
     groups[i].value = value[i];
     groups[i].cost = costs[i];
   }
-  const auto sol = clado::solver::solve_mckp_dp(groups, target_bytes);
+  const auto sol = clado::solver::solve_mckp_dp(groups, budget);
   if (!sol.feasible) {
     throw std::runtime_error(std::string(algorithm_name(algorithm)) +
-                             ": target size infeasible (below minimum bit-width size)");
+                             ": budget infeasible (below the cheapest per-layer choices)");
   }
-  return finish(algorithm, sol.choice, target_bytes, sol.value);
+  return finish(algorithm, sol.choice, costs, budget, sol.value, latency);
 }
 
 Assignment MpqPipeline::from_quadratic(Algorithm algorithm, const Tensor& g_matrix,
-                                       double target_bytes) {
+                                       const std::vector<std::vector<double>>& costs,
+                                       double budget, bool latency) {
   clado::solver::QuadraticProblem problem;
   problem.G = g_matrix;
-  problem.cost = size_costs();
-  problem.budget = target_bytes;
+  problem.cost = costs;
+  problem.budget = budget;
 
   clado::solver::IqpOptions iqp = options_.iqp;
   iqp.objective_convex = options_.psd_projection;
@@ -209,7 +220,7 @@ Assignment MpqPipeline::from_quadratic(Algorithm algorithm, const Tensor& g_matr
   const bool iqp_native =
       result.feasible && result.source == clado::solver::SolutionSource::kIqp;
   if (iqp_native && (!result.hit_limit || options_.psd_projection)) {
-    a = finish(algorithm, result.choice, target_bytes, result.objective);
+    a = finish(algorithm, result.choice, costs, budget, result.objective, latency);
     a.used_fallback = false;
     a.solver_source = result.source;
   } else if (iqp_native || !options_.psd_projection) {
@@ -220,20 +231,20 @@ Assignment MpqPipeline::from_quadratic(Algorithm algorithm, const Tensor& g_matr
     const auto heur = clado::solver::solve_anneal(problem, anneal);
     if (!heur.feasible) {
       throw std::runtime_error(std::string(algorithm_name(algorithm)) +
-                               ": target size infeasible");
+                               ": budget infeasible");
     }
-    a = finish(algorithm, heur.choice, target_bytes, heur.objective);
+    a = finish(algorithm, heur.choice, costs, budget, heur.objective, latency);
     a.used_fallback = true;
     a.solver_source = clado::solver::SolutionSource::kAnneal;
   } else if (result.feasible) {
     // Convex regime but the B&B itself failed; the chain's degraded tier
     // already produced a feasible assignment under the true budget.
-    a = finish(algorithm, result.choice, target_bytes, result.objective);
+    a = finish(algorithm, result.choice, costs, budget, result.objective, latency);
     a.used_fallback = true;
     a.solver_source = result.source;
   } else {
     throw std::runtime_error(std::string(algorithm_name(algorithm)) +
-                             ": target size infeasible");
+                             ": budget infeasible");
   }
   a.solver_nodes = result.nodes;
   a.solver_seconds = result.seconds;
@@ -241,26 +252,50 @@ Assignment MpqPipeline::from_quadratic(Algorithm algorithm, const Tensor& g_matr
   return a;
 }
 
-Assignment MpqPipeline::assign(Algorithm algorithm, double target_bytes) {
+Assignment MpqPipeline::assign_with_costs(Algorithm algorithm,
+                                          const std::vector<std::vector<double>>& costs,
+                                          double budget, bool latency) {
   switch (algorithm) {
     case Algorithm::kHawq:
-      return from_separable(algorithm, hawq_values(), target_bytes);
+      return from_separable(algorithm, hawq_values(), costs, budget, latency);
     case Algorithm::kMpqco:
-      return from_separable(algorithm, mpqco_values(), target_bytes);
+      return from_separable(algorithm, mpqco_values(), costs, budget, latency);
     case Algorithm::kCladoStar: {
-      return from_separable(algorithm, engine_.diagonal_sensitivities(), target_bytes);
+      return from_separable(algorithm, engine_.diagonal_sensitivities(), costs, budget,
+                            latency);
     }
     case Algorithm::kClado:
-      return from_quadratic(algorithm, clado_matrix(), target_bytes);
+      return from_quadratic(algorithm, clado_matrix(), costs, budget, latency);
     case Algorithm::kBrecqBlock: {
       const Tensor masked =
           mask_inter_block(clado_matrix_raw(), block_ids(), engine_.num_bits());
       const Tensor prepared = options_.psd_projection ? clado::linalg::psd_projection(masked)
                                                       : clado::linalg::symmetrize(masked);
-      return from_quadratic(algorithm, prepared, target_bytes);
+      return from_quadratic(algorithm, prepared, costs, budget, latency);
     }
   }
   throw std::logic_error("MpqPipeline::assign: unknown algorithm");
+}
+
+Assignment MpqPipeline::assign(Algorithm algorithm, double target_bytes) {
+  return assign_with_costs(algorithm, size_costs(), target_bytes, /*latency=*/false);
+}
+
+Assignment MpqPipeline::assign_under_latency(Algorithm algorithm,
+                                             const std::vector<std::vector<double>>& latency_cost,
+                                             double budget_ms) {
+  if (latency_cost.size() != model_.quant_layers.size()) {
+    throw std::invalid_argument("assign_under_latency: cost covers " +
+                                std::to_string(latency_cost.size()) + " layers, model has " +
+                                std::to_string(model_.quant_layers.size()));
+  }
+  for (const auto& row : latency_cost) {
+    if (row.size() != model_.candidate_bits.size()) {
+      throw std::invalid_argument(
+          "assign_under_latency: cost rows must have one entry per candidate bit-width");
+    }
+  }
+  return assign_with_costs(algorithm, latency_cost, budget_ms, /*latency=*/true);
 }
 
 std::unique_ptr<clado::quant::WeightSnapshot> MpqPipeline::apply_ptq(

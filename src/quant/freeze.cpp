@@ -11,7 +11,8 @@ namespace clado::quant {
 
 FreezeReport freeze_quantized(clado::nn::Sequential& net,
                               const std::vector<clado::nn::QuantLayerRef>& layers,
-                              const std::vector<int>& bits, WeightScheme scheme) {
+                              const std::vector<int>& bits, WeightScheme scheme,
+                              std::vector<WeightCodes>* codes_out) {
   if (!bits.empty() && bits.size() != layers.size()) {
     throw std::invalid_argument("freeze_quantized: bits count " + std::to_string(bits.size()) +
                                 " != layer count " + std::to_string(layers.size()));
@@ -20,10 +21,13 @@ FreezeReport freeze_quantized(clado::nn::Sequential& net,
   FreezeReport report;
   report.batchnorms_folded = fold_batchnorm(net);
   if (!bits.empty()) {
-    bake_weights(layers, bits, scheme);
+    // Codes must be captured from the BN-folded weights (the weights the
+    // deployed graph multiplies by), which is why this runs after folding.
+    bake_weights(layers, bits, scheme, codes_out);
     for (int b : bits) report.layers_quantized += b > 0 ? 1 : 0;
     report.weight_bytes = assignment_bytes(layers, bits);
   } else {
+    if (codes_out != nullptr) codes_out->assign(layers.size(), WeightCodes{});
     report.weight_bytes = uniform_bytes(layers, 32);
   }
   clado::obs::counter("quant.freezes").add();

@@ -14,6 +14,7 @@
 
 #include "clado/nn/module.h"
 #include "clado/nn/sequential.h"
+#include "clado/quant/qat.h"
 #include "clado/quant/quantizer.h"
 
 namespace clado::quant {
@@ -35,8 +36,13 @@ struct FreezeReport {
 ///
 /// Folding mutates conv weights in place and swaps BatchNorm children for
 /// Identity, so the QuantLayerRef pointers in `layers` stay valid.
+///
+/// When codes_out is non-null the integer codes each quantized layer
+/// snapped to are captured per layer (see WeightCodes in qat.h) — the
+/// material the serve-time integer backends are built from.
 FreezeReport freeze_quantized(clado::nn::Sequential& net,
                               const std::vector<clado::nn::QuantLayerRef>& layers,
-                              const std::vector<int>& bits, WeightScheme scheme);
+                              const std::vector<int>& bits, WeightScheme scheme,
+                              std::vector<WeightCodes>* codes_out = nullptr);
 
 }  // namespace clado::quant

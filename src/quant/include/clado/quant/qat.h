@@ -10,6 +10,7 @@
 //     training through the straight-through estimator (Figure 3).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "clado/nn/module.h"
@@ -39,10 +40,25 @@ class WeightSnapshot {
   bool active_ = true;
 };
 
+/// Integer realization of one baked layer: the exact codes the fake-quant
+/// snapped the weights to (codes[i] * scale == baked weight, bit for bit),
+/// captured when the scheme is per-tensor symmetric and bits is in [1, 8].
+/// bits == 0 marks a layer with no integer realization (fp32 layer,
+/// per-channel / affine scheme, or > 8 bits) — such layers execute on the
+/// fp32 backend at serve time.
+struct WeightCodes {
+  std::vector<std::int8_t> codes;
+  float scale = 1.0F;
+  int bits = 0;
+};
+
 /// Overwrites each layer's weight with Q(w, bits[i], scheme). bits[i] == 0
-/// leaves layer i in fp32. bits.size() must equal layers.size().
+/// leaves layer i in fp32. bits.size() must equal layers.size(). When
+/// codes_out is non-null it is resized to one WeightCodes per layer,
+/// holding the integer codes wherever the scheme/bits combination has an
+/// exact integer realization (see WeightCodes).
 void bake_weights(const std::vector<QuantLayerRef>& layers, const std::vector<int>& bits,
-                  WeightScheme scheme);
+                  WeightScheme scheme, std::vector<WeightCodes>* codes_out = nullptr);
 
 /// Installs fake-quant forward transforms for QAT (STE on the weights).
 void install_fake_quant(const std::vector<QuantLayerRef>& layers, const std::vector<int>& bits,

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "clado/tensor/tensor.h"
 
@@ -42,6 +43,14 @@ AffineQParams affine_qparams(float lo, float hi, int bits);
 
 /// Fake-quantizes `w` to `bits` with the given symmetric scale.
 Tensor quantize_symmetric(const Tensor& w, int bits, float scale);
+
+/// Integer codes of the symmetric fake-quant: the same loop as
+/// quantize_symmetric but returning q = clip(round(w/s), −2^{b−1},
+/// 2^{b−1}−1) itself, so codes[i] * scale reproduces the fake-quantized
+/// weight bit-for-bit. bits must be in [1, 8] (codes are int8; bits <= 4
+/// codes also fit the packed s4 range [-8, 7]). This is what the integer
+/// execution backends store.
+std::vector<std::int8_t> quantize_symmetric_codes(const Tensor& w, int bits, float scale);
 
 /// Mean squared error between w and Q(w, bits, scale).
 double quant_mse_symmetric(const Tensor& w, int bits, float scale);

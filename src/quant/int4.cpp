@@ -1,0 +1,70 @@
+#include "clado/quant/int4.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace clado::quant {
+
+namespace {
+
+inline std::uint8_t encode_nibble(std::int8_t code) {
+  if (code < -8 || code > 7) {
+    throw std::invalid_argument("pack_s4: code " + std::to_string(static_cast<int>(code)) +
+                                " outside the s4 range [-8, 7]");
+  }
+  return static_cast<std::uint8_t>(code) & 0xFu;
+}
+
+inline std::int8_t decode_nibble(std::uint8_t nibble) {
+  // ((n ^ 8) - 8) maps 0..15 onto -8..7 with portable unsigned arithmetic —
+  // the same decode the scalar s4 GEMM reference uses.
+  return static_cast<std::int8_t>(static_cast<int>((nibble & 0xFu) ^ 8u) - 8);
+}
+
+}  // namespace
+
+void pack_s4(const std::int8_t* codes, std::int64_t count, std::uint8_t* packed) {
+  const std::int64_t bytes = packed_s4_stride(count);
+  for (std::int64_t t = 0; t < bytes; ++t) {
+    const std::uint8_t lo = encode_nibble(codes[2 * t]);
+    const std::uint8_t hi =
+        2 * t + 1 < count ? encode_nibble(codes[2 * t + 1]) : static_cast<std::uint8_t>(0);
+    packed[t] = static_cast<std::uint8_t>(lo | (hi << 4));
+  }
+}
+
+void unpack_s4(const std::uint8_t* packed, std::int64_t count, std::int8_t* codes) {
+  for (std::int64_t p = 0; p < count; ++p) {
+    const std::uint8_t byte = packed[p >> 1];
+    codes[p] = (p & 1) != 0 ? decode_nibble(static_cast<std::uint8_t>(byte >> 4))
+                            : decode_nibble(byte);
+  }
+}
+
+std::vector<std::uint8_t> pack_s4(const std::vector<std::int8_t>& codes) {
+  std::vector<std::uint8_t> packed(
+      static_cast<std::size_t>(packed_s4_stride(static_cast<std::int64_t>(codes.size()))));
+  pack_s4(codes.data(), static_cast<std::int64_t>(codes.size()), packed.data());
+  return packed;
+}
+
+std::vector<std::int8_t> unpack_s4(const std::vector<std::uint8_t>& packed, std::int64_t count) {
+  if (packed_s4_stride(count) > static_cast<std::int64_t>(packed.size())) {
+    throw std::invalid_argument("unpack_s4: packed buffer shorter than (count+1)/2 bytes");
+  }
+  std::vector<std::int8_t> codes(static_cast<std::size_t>(count));
+  unpack_s4(packed.data(), count, codes.data());
+  return codes;
+}
+
+std::vector<std::uint8_t> pack_s4_rows(const std::int8_t* codes, std::int64_t n,
+                                       std::int64_t k) {
+  const std::int64_t stride = packed_s4_stride(k);
+  std::vector<std::uint8_t> packed(static_cast<std::size_t>(n * stride));
+  for (std::int64_t j = 0; j < n; ++j) {
+    pack_s4(codes + j * k, k, packed.data() + j * stride);
+  }
+  return packed;
+}
+
+}  // namespace clado::quant

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "clado/tensor/check.h"
 #include "clado/tensor/kernels.h"
 #include "clado/tensor/ops.h"
 
@@ -22,6 +23,16 @@ QParams choose_qparams(float lo, float hi) {
   p.zero_point =
       static_cast<std::int32_t>(std::nearbyint(-128.0F - lo / p.scale));
   p.zero_point = std::clamp(p.zero_point, -128, 127);
+  // All-negative input ranges drive the pre-clamp zero point to its +127
+  // extreme (hi nudged to 0 puts lo/scale at -255); the clamp must leave it
+  // on the signed-int8 grid or the im2col padding code — a literal int8
+  // cast of zero_point — would encode a value that is not "real 0". The
+  // same invariant at the s4 range is asserted by affine_qparams(bits=4),
+  // which the int4 weight path shares.
+  CLADO_CHECK(p.zero_point >= -128 && p.zero_point <= 127,
+              "choose_qparams: zero point must lie on the signed int8 grid");
+  CLADO_CHECK(std::isfinite(p.scale) && p.scale > 0.0F,
+              "choose_qparams: scale must be a positive finite value");
   return p;
 }
 
@@ -31,12 +42,13 @@ QTensor quantize_int8(const Tensor& x, QParams params) {
   q.scale = params.scale;
   q.zero_point = params.zero_point;
   q.data.resize(static_cast<std::size_t>(x.numel()));
-  const float inv = 1.0F / params.scale;
-  for (std::int64_t i = 0; i < x.numel(); ++i) {
-    const float v = std::nearbyint(x[i] * inv) + static_cast<float>(params.zero_point);
-    q.data[static_cast<std::size_t>(i)] =
-        static_cast<std::int8_t>(std::clamp(v, -128.0F, 127.0F));
-  }
+  // Same arithmetic this function has always used (nearbyint(x/scale) + zp,
+  // saturating), now executed by the dispatched kernel layer — bit-exact at
+  // every level, so the serve-time backends quantizing inputs through the
+  // same kernel match this reference code for code.
+  clado::tensor::kernels::quantize_f32_s8(clado::tensor::kernels::active_level(), x.numel(),
+                                          x.data(), 1.0F / params.scale, params.zero_point,
+                                          q.data.data());
   return q;
 }
 
@@ -65,6 +77,46 @@ void gemm_s8s8_s32(std::int64_t m, std::int64_t n, std::int64_t k, const std::in
                                         b, zb, c);
 }
 
+void gemm_s8s4_s32(std::int64_t m, std::int64_t n, std::int64_t k, const std::int8_t* a,
+                   std::int32_t za, const std::uint8_t* b_packed, std::int32_t zb,
+                   std::int32_t* c) {
+  clado::tensor::kernels::gemm_s8s4_s32(clado::tensor::kernels::active_level(), m, n, k, a, za,
+                                        b_packed, zb, c);
+}
+
+void im2col_s8(const std::int8_t* img, std::int64_t channels, std::int64_t h, std::int64_t w,
+               std::int64_t kernel, std::int64_t stride, std::int64_t pad, std::int64_t oh,
+               std::int64_t ow, std::int32_t zero_point, std::int8_t* cols) {
+  const std::int64_t patch = channels * kernel * kernel;
+  for (std::int64_t oy = 0; oy < oh; ++oy) {
+    for (std::int64_t ox = 0; ox < ow; ++ox) {
+      std::int8_t* row = cols + (oy * ow + ox) * patch;
+      for (std::int64_t ch = 0; ch < channels; ++ch) {
+        const std::int8_t* plane = img + ch * h * w;
+        for (std::int64_t ky = 0; ky < kernel; ++ky) {
+          const std::int64_t iy = oy * stride + ky - pad;
+          for (std::int64_t kx = 0; kx < kernel; ++kx) {
+            const std::int64_t ix = ox * stride + kx - pad;
+            const bool inside = iy >= 0 && iy < h && ix >= 0 && ix < w;
+            *row++ = inside ? plane[iy * w + ix] : static_cast<std::int8_t>(zero_point);
+          }
+        }
+      }
+    }
+  }
+}
+
+void requant_scatter(const std::int32_t* acc, std::int64_t positions, std::int64_t out_c,
+                     float rescale, const float* bias, float* obase) {
+  for (std::int64_t p = 0; p < positions; ++p) {
+    for (std::int64_t c = 0; c < out_c; ++c) {
+      float v = rescale * static_cast<float>(acc[p * out_c + c]);
+      if (bias != nullptr) v += bias[c];
+      obase[c * positions + p] = v;
+    }
+  }
+}
+
 Tensor qlinear(const QTensor& x, const QTensor& w, const float* bias) {
   if (x.shape.size() != 2 || w.shape.size() != 2 || x.shape[1] != w.shape[1]) {
     throw std::invalid_argument("qlinear: expects x [M,K], w [N,K]");
@@ -76,14 +128,10 @@ Tensor qlinear(const QTensor& x, const QTensor& w, const float* bias) {
   gemm_s8s8_s32(m, n, k, x.data.data(), x.zero_point, w.data.data(), w.zero_point, acc.data());
 
   Tensor out({m, n});
-  const float rescale = x.scale * w.scale;
-  for (std::int64_t i = 0; i < m; ++i) {
-    for (std::int64_t j = 0; j < n; ++j) {
-      float v = rescale * static_cast<float>(acc[static_cast<std::size_t>(i * n + j)]);
-      if (bias != nullptr) v += bias[j];
-      out.data()[i * n + j] = v;
-    }
-  }
+  // Rescale epilogue through the dispatched kernel (mul-then-add, no FMA
+  // contraction at any level — identical to the historical loop here).
+  clado::tensor::kernels::requant_s32_f32(clado::tensor::kernels::active_level(), m, n,
+                                          acc.data(), x.scale * w.scale, bias, out.data());
   return out;
 }
 
@@ -110,35 +158,12 @@ Tensor qconv2d(const QTensor& x, const QTensor& w, const float* bias, std::int64
 
   for (std::int64_t s = 0; s < batch; ++s) {
     const std::int8_t* img = x.data.data() + s * channels * h * width;
-    for (std::int64_t oy = 0; oy < oh; ++oy) {
-      for (std::int64_t ox = 0; ox < ow; ++ox) {
-        std::int8_t* row = cols.data() + (oy * ow + ox) * patch;
-        for (std::int64_t ch = 0; ch < channels; ++ch) {
-          const std::int8_t* plane = img + ch * h * width;
-          for (std::int64_t ky = 0; ky < kernel; ++ky) {
-            const std::int64_t iy = oy * stride + ky - pad;
-            for (std::int64_t kx = 0; kx < kernel; ++kx) {
-              const std::int64_t ix = ox * stride + kx - pad;
-              const bool inside = iy >= 0 && iy < h && ix >= 0 && ix < width;
-              *row++ = inside ? plane[iy * width + ix]
-                              : static_cast<std::int8_t>(x.zero_point);
-            }
-          }
-        }
-      }
-    }
+    im2col_s8(img, channels, h, width, kernel, stride, pad, oh, ow, x.zero_point, cols.data());
     // acc [positions, out_c] via the shared int8 GEMM, then scatter.
     gemm_s8s8_s32(positions, out_c, patch, cols.data(), x.zero_point, w.data.data(),
                   w.zero_point, acc.data());
-    const float rescale = x.scale * w.scale;
-    float* obase = out.data() + s * out_c * positions;
-    for (std::int64_t p = 0; p < positions; ++p) {
-      for (std::int64_t c = 0; c < out_c; ++c) {
-        float v = rescale * static_cast<float>(acc[static_cast<std::size_t>(p * out_c + c)]);
-        if (bias != nullptr) v += bias[c];
-        obase[c * positions + p] = v;
-      }
-    }
+    requant_scatter(acc.data(), positions, out_c, x.scale * w.scale, bias,
+                    out.data() + s * out_c * positions);
   }
   return out;
 }

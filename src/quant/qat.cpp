@@ -35,12 +35,29 @@ void check_sizes(const std::vector<QuantLayerRef>& layers, const std::vector<int
 }  // namespace
 
 void bake_weights(const std::vector<QuantLayerRef>& layers, const std::vector<int>& bits,
-                  WeightScheme scheme) {
+                  WeightScheme scheme, std::vector<WeightCodes>* codes_out) {
   check_sizes(layers, bits);
+  if (codes_out != nullptr) {
+    codes_out->assign(layers.size(), WeightCodes{});
+  }
   for (std::size_t i = 0; i < layers.size(); ++i) {
     if (bits[i] == 0) continue;
     auto& w = layers[i].layer->weight_param().value;
-    w = quantize_weight(w, bits[i], scheme);
+    if (scheme == WeightScheme::kPerTensorSymmetric && bits[i] <= 8) {
+      // Split quantize_weight's symmetric path into scale search + apply so
+      // the integer codes can be captured at the same scale; the baked
+      // weight is bit-identical to the single-call path (quantize_weight
+      // composes exactly these two steps).
+      const float scale = mse_optimal_scale_symmetric(w, bits[i]);
+      if (codes_out != nullptr) {
+        (*codes_out)[i].codes = quantize_symmetric_codes(w, bits[i], scale);
+        (*codes_out)[i].scale = scale;
+        (*codes_out)[i].bits = bits[i];
+      }
+      w = quantize_symmetric(w, bits[i], scale);
+    } else {
+      w = quantize_weight(w, bits[i], scheme);
+    }
   }
 }
 

@@ -104,6 +104,31 @@ Tensor quantize_symmetric(const Tensor& w, int bits, float scale) {
   return out;
 }
 
+std::vector<std::int8_t> quantize_symmetric_codes(const Tensor& w, int bits, float scale) {
+  check_bits(bits);
+  if (bits > 8) {
+    throw std::invalid_argument("quantize_symmetric_codes: bits must be in [1, 8]");
+  }
+  if (scale <= 0.0F) {
+    throw std::invalid_argument("quantize_symmetric_codes: scale must be positive");
+  }
+  // Exactly fake_quant_symmetric's arithmetic, minus the final * scale:
+  // the q each iteration clamps is integral and within [-128, 127], so the
+  // int8 cast below is lossless and codes[i] * scale == out[i] of the
+  // fake-quant path, bit for bit.
+  const float qmin = -std::ldexp(1.0F, bits - 1);
+  const float qmax = std::ldexp(1.0F, bits - 1) - 1.0F;
+  const float inv = 1.0F / scale;
+  const std::int64_t n = w.numel();
+  std::vector<std::int8_t> codes(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    float q = std::nearbyint(w.data()[i] * inv);
+    q = std::clamp(q, qmin, qmax);
+    codes[static_cast<std::size_t>(i)] = static_cast<std::int8_t>(q);
+  }
+  return codes;
+}
+
 double quant_mse_symmetric(const Tensor& w, int bits, float scale) {
   check_bits(bits);
   return mse_of_symmetric(w.data(), w.numel(), bits, scale);

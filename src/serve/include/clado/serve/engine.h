@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "clado/backend/backend.h"
 #include "clado/models/model.h"
 #include "clado/serve/plan.h"
 #include "clado/tensor/tensor.h"
@@ -31,6 +32,13 @@ using clado::tensor::Tensor;
 /// defers to the CLADO_FUSION env var ("on"/"1" or "off"/"0"; unset = on).
 enum class Fusion { kAuto, kOn, kOff };
 
+/// Whether quantized layers execute on true integer backends (int8/int4
+/// kernels selected per layer from the frozen bit assignment) instead of
+/// the fake-quant fp32 simulation. kAuto defers to the CLADO_BACKEND env
+/// var ("on"/"1" or "off"/"0"; unset = off). Backend execution runs inside
+/// the compiled plan, so it requires fusion to resolve on.
+enum class BackendMode { kAuto, kOn, kOff };
+
 /// How to freeze an Engine's weights at load time.
 struct EngineSpec {
   /// Per-layer bit-widths (one entry per Model::quant_layers, 0 = keep
@@ -43,6 +51,7 @@ struct EngineSpec {
   /// it (and all batches on unfused engines) take the eager path.
   std::int64_t max_batch = 32;
   Fusion fusion = Fusion::kAuto;
+  BackendMode backend = BackendMode::kAuto;
 };
 
 /// Immutable, pre-quantized inference engine. Thread-safe across distinct
@@ -75,6 +84,17 @@ class Engine {
   /// Plan arena batch capacity; 0 on unfused engines.
   std::int64_t plan_batch_capacity() const { return fused() ? spec_.max_batch : 0; }
 
+  /// True when quantized layers execute on integer backends (BackendMode
+  /// resolved to on). Backend engines route every batch through the plan —
+  /// batches beyond plan_batch_capacity() are chunked — so one engine never
+  /// mixes integer and fake-quant numerics across batch sizes.
+  bool backend_enabled() const { return backend_enabled_; }
+  /// Per-quant-layer execution material (empty unless backend_enabled());
+  /// ordered like Model::quant_layers / EngineSpec::bits.
+  const std::vector<clado::backend::PreparedLayer>& prepared_layers() const {
+    return prepared_;
+  }
+
   /// Pinned batch-stacking buffer of `replica`'s plan (room for
   /// plan_batch_capacity() samples of sample_shape()); nullptr on unfused
   /// engines. Callers memcpy samples here, then call infer_pinned.
@@ -100,6 +120,11 @@ class Engine {
 
   EngineSpec spec_;
   std::vector<clado::models::Model> replicas_;
+  bool backend_enabled_ = false;
+  /// Integer codes per quant layer, built once from the frozen master and
+  /// shared (by pointer) with every replica's plan. Stable storage: never
+  /// resized after construction.
+  std::vector<clado::backend::PreparedLayer> prepared_;
   std::vector<std::unique_ptr<CompiledPlan>> plans_;  ///< one per replica when fused
   std::vector<Tensor> predict_stage_;  ///< per-replica [1, C, H, W] staging
   std::vector<Tensor> predict_out_;    ///< per-replica logits scratch

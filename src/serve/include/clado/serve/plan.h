@@ -21,8 +21,10 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "clado/backend/backend.h"
 #include "clado/nn/blocks.h"
 #include "clado/nn/layers.h"
 #include "clado/nn/sequential.h"
@@ -32,6 +34,13 @@ namespace clado::serve {
 
 using clado::tensor::Shape;
 using clado::tensor::Tensor;
+
+/// Per-layer execution material the Engine hands the compiler: module ->
+/// the PreparedLayer (integer codes + precision) built from the WeightCodes
+/// captured at freeze. Layers absent from the map (or mapped to a kFp32
+/// entry) keep the eager fp32 kernels.
+using PreparedMap =
+    std::unordered_map<const clado::nn::Module*, const clado::backend::PreparedLayer*>;
 
 enum class StepKind {
   kConv,           ///< Conv2d (+ optional fused activation)
@@ -64,6 +73,13 @@ struct PlanBuffer {
   /// this buffer after the current sub-graph compiles). While nonzero, no
   /// activation may fuse in place onto the step that produced it.
   int pinned = 0;
+  /// Set when an 8-bit kFakeQuant step with an integral zero point defines
+  /// this buffer: its contents sit exactly on that affine grid, so a
+  /// backend step reading it can quantize its input statically (qparams
+  /// frozen at compile time) and losslessly.
+  bool fq8 = false;
+  float fq_scale = 1.0F;
+  float fq_zero_point = 0.0F;
 };
 
 /// One executable node of the compiled graph. Layer pointers alias the
@@ -100,6 +116,21 @@ struct PlanStep {
   std::int64_t take_tokens = 0, take_dim = 0, take_index = 0;
   Shape in_shape, out_shape;  ///< per-sample shapes (no batch axis)
 
+  // Integer-backend execution (kConv / kLinear selected by the Engine's
+  // PreparedMap). When `backend` is null the step runs the eager fp32
+  // kernels; otherwise the input is quantized to int8, the prepared integer
+  // weight GEMM runs at the layer's assigned precision, and the int32
+  // accumulator is requantized to fp32 in `out` — float only at the layer
+  // seams, exactly the fake-quant semantics.
+  const clado::backend::Backend* backend = nullptr;
+  const clado::backend::PreparedLayer* prepared = nullptr;
+  bool in_static_q = false;  ///< input qparams frozen at compile (FQ producer)
+  float in_scale = 1.0F;     ///< input scale (recomputed per run when dynamic)
+  std::int32_t in_zp = 0;    ///< input zero point, signed-int8 domain
+  std::vector<std::int8_t> q_in;    ///< quantized input, max_batch * per_sample_in
+  std::vector<std::int8_t> q_cols;  ///< int8 im2col workspace (conv, per sample)
+  std::vector<std::int32_t> q_acc;  ///< int32 accumulator
+
   Tensor stage_in;    ///< fallback staging (reallocated only on n change)
   std::string label;  ///< span name, e.g. "plan/conv"
 };
@@ -111,9 +142,12 @@ class CompiledPlan {
   /// Walks `net` (frozen, inference mode) with per-sample input shape
   /// `sample_shape` ([C, H, W]) and plans buffers for up to `max_batch`
   /// samples. Unrecognized modules are probed with a zeros [1, ...] forward
-  /// to learn their output shape. Throws std::invalid_argument on
-  /// max_batch < 1.
-  CompiledPlan(clado::nn::Sequential& net, const Shape& sample_shape, std::int64_t max_batch);
+  /// to learn their output shape. When `prepared` is non-null, conv/linear
+  /// steps whose module maps to an integer PreparedLayer execute on that
+  /// backend (consistency-checked against the layer geometry). Throws
+  /// std::invalid_argument on max_batch < 1.
+  CompiledPlan(clado::nn::Sequential& net, const Shape& sample_shape, std::int64_t max_batch,
+               const PreparedMap* prepared = nullptr);
 
   CompiledPlan(const CompiledPlan&) = delete;
   CompiledPlan& operator=(const CompiledPlan&) = delete;
@@ -136,15 +170,31 @@ class CompiledPlan {
   std::size_t num_steps() const { return steps_.size(); }
   /// Steps the compiler could not fuse into the arena program.
   std::size_t fallback_steps() const;
+  /// Conv/linear steps running on an integer backend.
+  std::size_t backend_steps() const;
   const std::vector<PlanStep>& steps() const { return steps_; }
   const std::vector<PlanBuffer>& buffers() const { return buffers_; }
   /// Per-sample output shape (no batch axis), e.g. [num_classes].
   const Shape& output_shape() const { return output_shape_; }
+  /// Human-readable step listing, one line per step; conv/linear lines
+  /// carry a `backend=fp32|int8|int4` tag (the arithmetic that executes)
+  /// plus `in=static|dynamic` for backend steps.
+  std::string dump() const;
 
  private:
   void compile_module(clado::nn::Module& module);
   void compile_children(clado::nn::Sequential& seq);
+  /// Attaches an integer backend to a freshly-built conv/linear step when
+  /// the Engine's PreparedMap carries integer codes for `module`. `wn`/`wk`
+  /// are the layer's expected weight-matrix dims (validated against the
+  /// PreparedLayer), `acc_numel`/`cols_numel` size the int32 accumulator
+  /// and the int8 im2col workspace (0 = no workspace).
+  void attach_backend(PlanStep& step, const clado::nn::Module& module, std::int64_t wn,
+                      std::int64_t wk, std::int64_t acc_numel, std::int64_t cols_numel);
   void run_step(PlanStep& step, std::int64_t n);
+  void quantize_step_input(PlanStep& step, std::int64_t n);
+  void run_conv_backend(PlanStep& step, std::int64_t n);
+  void run_linear_backend(PlanStep& step, std::int64_t n);
   int new_buffer(std::int64_t per_sample, bool scratch, std::int64_t scratch_numel = 0);
   void note_read(int buffer);
   /// Probes `module` with a zeros [1, cur-shape] forward to learn its
@@ -156,6 +206,7 @@ class CompiledPlan {
   std::int64_t max_batch_ = 0;
   std::int64_t sample_numel_ = 0;
   std::int64_t input_offset_ = 0;
+  const PreparedMap* prepared_ = nullptr;  ///< compile-time only; null after
   int cur_buf_ = 0;    ///< buffer holding the activation during compile
   Shape cur_shape_;    ///< its per-sample shape during compile
   Shape output_shape_;

@@ -7,9 +7,12 @@
 #include <stdexcept>
 #include <utility>
 
+#include "clado/backend/backend.h"
 #include "clado/nn/attention.h"
 #include "clado/obs/obs.h"
 #include "clado/quant/act_quant.h"
+#include "clado/quant/int8.h"
+#include "clado/tensor/kernels.h"
 #include "clado/tensor/ops.h"
 
 namespace clado::serve {
@@ -64,8 +67,9 @@ const char* step_kind_name(StepKind kind) {
   return "?";
 }
 
-CompiledPlan::CompiledPlan(Sequential& net, const Shape& sample_shape, std::int64_t max_batch)
-    : max_batch_(max_batch) {
+CompiledPlan::CompiledPlan(Sequential& net, const Shape& sample_shape, std::int64_t max_batch,
+                           const PreparedMap* prepared)
+    : max_batch_(max_batch), prepared_(prepared) {
   if (max_batch_ < 1) {
     throw std::invalid_argument("CompiledPlan: max_batch must be >= 1");
   }
@@ -76,6 +80,7 @@ CompiledPlan::CompiledPlan(Sequential& net, const Shape& sample_shape, std::int6
   buffers_[0].def_step = -1;
 
   compile_children(net);
+  prepared_ = nullptr;  // compile-time only; the map may not outlive the ctor
 
   output_shape_ = cur_shape_;
   // The logits buffer must survive past the final step so run() can copy it
@@ -90,6 +95,65 @@ std::size_t CompiledPlan::fallback_steps() const {
   std::size_t n = 0;
   for (const auto& step : steps_) n += step.kind == StepKind::kFallback ? 1 : 0;
   return n;
+}
+
+std::size_t CompiledPlan::backend_steps() const {
+  std::size_t n = 0;
+  for (const auto& step : steps_) n += step.backend != nullptr ? 1 : 0;
+  return n;
+}
+
+std::string CompiledPlan::dump() const {
+  std::string out;
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    const PlanStep& step = steps_[i];
+    out += "#" + std::to_string(i) + " " + step_kind_name(step.kind) + " " +
+           shape_str(step.in_shape) + " -> " + shape_str(step.out_shape);
+    if (step.kind == StepKind::kConv || step.kind == StepKind::kLinear) {
+      out += " backend=";
+      out += step.backend != nullptr ? step.backend->name() : "fp32";
+      if (step.backend != nullptr) {
+        out += step.in_static_q ? " in=static" : " in=dynamic";
+      }
+    }
+    if (step.kind == StepKind::kFallback && step.fallback != nullptr) {
+      out += " (" + step.fallback->type_name() + ")";
+    }
+    if (step.has_act) out += " +act";
+    out += "\n";
+  }
+  return out;
+}
+
+void CompiledPlan::attach_backend(PlanStep& step, const Module& module, std::int64_t wn,
+                                  std::int64_t wk, std::int64_t acc_numel,
+                                  std::int64_t cols_numel) {
+  if (prepared_ == nullptr) return;
+  const auto it = prepared_->find(&module);
+  if (it == prepared_->end() || it->second == nullptr) return;
+  const clado::backend::PreparedLayer& prep = *it->second;
+  if (prep.precision == clado::backend::Precision::kFp32) return;
+  if (prep.n != wn || prep.k != wk) {
+    // The Engine built this entry from the same module's weight tensor; a
+    // geometry mismatch means the map was wired against the wrong replica.
+    throw std::logic_error("CompiledPlan: prepared layer is [" + std::to_string(prep.n) + ", " +
+                           std::to_string(prep.k) + "], module wants [" + std::to_string(wn) +
+                           ", " + std::to_string(wk) + "]");
+  }
+  step.backend = &clado::backend::backend_for(prep.precision);
+  step.prepared = &prep;
+  const PlanBuffer& src = buffers_[static_cast<std::size_t>(step.in)];
+  if (src.fq8) {
+    // The producing fake-quant pinned the input onto an 8-bit affine grid;
+    // quantizing at (scale, nearbyint(zp) - 128) is an exact u8 -> s8 shift,
+    // so the qparams freeze at compile time.
+    step.in_static_q = true;
+    step.in_scale = src.fq_scale;
+    step.in_zp = static_cast<std::int32_t>(std::nearbyint(src.fq_zero_point)) - 128;
+  }
+  step.q_in.resize(static_cast<std::size_t>(max_batch_ * step.per_sample_in));
+  step.q_acc.resize(static_cast<std::size_t>(acc_numel));
+  if (cols_numel > 0) step.q_cols.resize(static_cast<std::size_t>(cols_numel));
 }
 
 int CompiledPlan::new_buffer(std::int64_t per_sample, bool scratch, std::int64_t scratch_numel) {
@@ -196,6 +260,14 @@ void CompiledPlan::compile_module(Module& module) {
     step.per_sample_in = shape_numel(step.in_shape);
     step.per_sample_out = shape_numel(step.out_shape);
     step.label = "plan/conv";
+    if (conv->groups() == 1) {
+      // The integer conv path is im2col + GEMM over the full patch — the
+      // no-groups layout (grouped convs keep their eager fp32 kernel).
+      attach_backend(step, *conv, conv->out_channels(),
+                     conv->in_channels() * conv->kernel() * conv->kernel(),
+                     /*acc_numel=*/oh * ow * conv->out_channels(),
+                     /*cols_numel=*/conv->cols_numel(h, w));
+    }
     note_read(cur_buf_);
     // The im2col workspace is per-sample (samples stream through it), so it
     // is NOT scaled by max_batch — exactly the eager kernel's cols vector.
@@ -226,6 +298,9 @@ void CompiledPlan::compile_module(Module& module) {
     step.per_sample_in = shape_numel(step.in_shape);
     step.per_sample_out = shape_numel(step.out_shape);
     step.label = "plan/linear";
+    attach_backend(step, *fc, fc->out_features(), fc->in_features(),
+                   /*acc_numel=*/max_batch_ * step.rows_per_sample * fc->out_features(),
+                   /*cols_numel=*/0);
     note_read(cur_buf_);
     const int out_buf = new_buffer(step.per_sample_out, /*scratch=*/false);
     step.out = out_buf;
@@ -294,6 +369,14 @@ void CompiledPlan::compile_module(Module& module) {
     note_read(cur_buf_);
     const int out_buf = new_buffer(step.per_sample_out, /*scratch=*/false);
     step.out = out_buf;
+    if (fq->bits() == 8 && step.fq_zero_point == std::nearbyint(step.fq_zero_point)) {
+      // Downstream backend steps may quantize this buffer statically: its
+      // values sit exactly on the (scale, zero_point) grid.
+      auto& ob = buffers_[static_cast<std::size_t>(out_buf)];
+      ob.fq8 = true;
+      ob.fq_scale = step.fq_scale;
+      ob.fq_zero_point = step.fq_zero_point;
+    }
     steps_.push_back(std::move(step));
     cur_buf_ = out_buf;
     return;
@@ -526,14 +609,72 @@ void CompiledPlan::run(std::int64_t n, Tensor& out) {
               sizeof(float) * static_cast<std::size_t>(out.numel()));
 }
 
+void CompiledPlan::quantize_step_input(PlanStep& step, std::int64_t n) {
+  const float* x = buf(step.in);
+  const std::int64_t total = n * step.per_sample_in;
+  if (!step.in_static_q) {
+    // Dynamic input quantization: derive per-run qparams from the batch's
+    // own range, exactly quantize_int8_minmax on the staged buffer.
+    float lo = x[0];
+    float hi = x[0];
+    for (std::int64_t i = 1; i < total; ++i) {
+      lo = std::min(lo, x[i]);
+      hi = std::max(hi, x[i]);
+    }
+    const clado::quant::QParams qp = clado::quant::choose_qparams(lo, hi);
+    step.in_scale = qp.scale;
+    step.in_zp = qp.zero_point;
+  }
+  clado::tensor::kernels::quantize_f32_s8(clado::tensor::kernels::active_level(), total, x,
+                                          1.0F / step.in_scale, step.in_zp, step.q_in.data());
+}
+
+void CompiledPlan::run_conv_backend(PlanStep& step, std::int64_t n) {
+  quantize_step_input(step, n);
+  const Conv2d* conv = step.conv;
+  const std::int64_t out_c = step.out_shape[0];
+  const std::int64_t oh = step.out_shape[1];
+  const std::int64_t ow = step.out_shape[2];
+  const std::int64_t positions = oh * ow;
+  const float rescale = step.in_scale * step.prepared->w_scale;
+  for (std::int64_t s = 0; s < n; ++s) {
+    const std::int8_t* img = step.q_in.data() + s * step.per_sample_in;
+    clado::quant::im2col_s8(img, step.in_shape[0], step.in_h, step.in_w, conv->kernel(),
+                            conv->stride(), conv->padding(), oh, ow, step.in_zp,
+                            step.q_cols.data());
+    step.backend->gemm(*step.prepared, positions, step.q_cols.data(), step.in_zp,
+                       step.q_acc.data());
+    clado::quant::requant_scatter(step.q_acc.data(), positions, out_c, rescale,
+                                  conv->bias_data(), buf(step.out) + s * step.per_sample_out);
+  }
+}
+
+void CompiledPlan::run_linear_backend(PlanStep& step, std::int64_t n) {
+  quantize_step_input(step, n);
+  const std::int64_t rows = n * step.rows_per_sample;
+  step.backend->gemm(*step.prepared, rows, step.q_in.data(), step.in_zp, step.q_acc.data());
+  clado::tensor::kernels::requant_s32_f32(clado::tensor::kernels::active_level(), rows,
+                                          step.linear->out_features(), step.q_acc.data(),
+                                          step.in_scale * step.prepared->w_scale,
+                                          step.linear->bias_data(), buf(step.out));
+}
+
 void CompiledPlan::run_step(PlanStep& step, std::int64_t n) {
   switch (step.kind) {
     case StepKind::kConv:
-      step.conv->forward_into(buf(step.in), n, step.in_h, step.in_w, buf(step.scratch),
-                              buf(step.out));
+      if (step.backend != nullptr) {
+        run_conv_backend(step, n);
+      } else {
+        step.conv->forward_into(buf(step.in), n, step.in_h, step.in_w, buf(step.scratch),
+                                buf(step.out));
+      }
       break;
     case StepKind::kLinear:
-      step.linear->forward_into(buf(step.in), n * step.rows_per_sample, buf(step.out));
+      if (step.backend != nullptr) {
+        run_linear_backend(step, n);
+      } else {
+        step.linear->forward_into(buf(step.in), n * step.rows_per_sample, buf(step.out));
+      }
       break;
     case StepKind::kAct: {
       const float* x = buf(step.in);

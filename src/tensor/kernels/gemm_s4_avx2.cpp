@@ -1,0 +1,171 @@
+// AVX2 int8 x packed-int4 GEMM. Same shape as gemm_s8_avx2.cpp — 2 A-rows
+// x 4 B-rows register tile, widening multiplies, shared row-sum correction
+// — with the nibble decode done in-register:
+//
+//   * One 128-bit load grabs 16 packed B bytes (= 32 consecutive k
+//     positions); vpmovsxbw widens them to 16 int16 lanes, then two
+//     shift pairs sign-extend each nibble: low = (w << 12) >> 12,
+//     high = (w << 8) >> 12 (arithmetic shifts). Lane t of `low` is the
+//     code for k position 2t, lane t of `high` for 2t+1.
+//   * The matching 32 A bytes are loaded as one 256-bit vector and
+//     deinterleaved the same way: even k positions via (v << 8) >> 8 on
+//     int16 lanes, odd via v >> 8. Lane t of `even` is a[2t] — exactly
+//     lined up with the B nibble lanes, so vpmaddwd pairs only ever
+//     multiply matching k positions.
+//
+// Exactness: |a·b| <= 128*8, vpmaddwd sums two such products — nowhere near
+// int16-product/int32-sum limits, and the saturation corner (-2^30 twice)
+// is unreachable. Bit-exact vs the scalar level is a hard requirement, as
+// for the int8 kernel.
+//
+// Compiled with -mavx2 -mfma per-file; scalar forwarder without support.
+#include <vector>
+
+#include "kernels_internal.h"
+
+#if defined(CLADO_KERNELS_AVX2)
+
+#include <immintrin.h>
+
+namespace clado::tensor {
+namespace kernels {
+namespace detail {
+
+namespace {
+
+constexpr std::int64_t kNrS4 = 4;  // B rows per tile
+
+inline std::int32_t s4_lo(std::uint8_t byte) {
+  return static_cast<std::int32_t>((byte & 0xFu) ^ 8u) - 8;
+}
+
+inline std::int32_t s4_hi(std::uint8_t byte) {
+  return static_cast<std::int32_t>((byte >> 4) ^ 8u) - 8;
+}
+
+inline std::int32_t hsum_epi32(__m256i v) {
+  const __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  __m128i s = _mm_add_epi32(lo, hi);
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtsi128_si32(s);
+}
+
+// 16 packed bytes widened to int16 lanes -> the 16 low-nibble codes.
+inline __m256i nib_lo(__m256i w) {
+  return _mm256_srai_epi16(_mm256_slli_epi16(w, 12), 12);
+}
+
+// ... and the 16 high-nibble codes.
+inline __m256i nib_hi(__m256i w) {
+  return _mm256_srai_epi16(_mm256_slli_epi16(w, 8), 12);
+}
+
+// Raw dot products of one or two A rows against jn (<= 4) packed B rows,
+// 32 k positions per vector step; the scalar tail finishes the remainder
+// in the same int32 accumulator, so the result is exact for any k.
+void dot_tile_s4(const std::int8_t* a0, const std::int8_t* a1, const std::uint8_t* b,
+                 std::int64_t bstride, std::int64_t j0, std::int64_t jn, std::int64_t k,
+                 std::int32_t* c0, std::int32_t* c1) {
+  __m256i acc0[kNrS4];
+  __m256i acc1[kNrS4];
+  for (std::int64_t jj = 0; jj < kNrS4; ++jj) {
+    acc0[jj] = _mm256_setzero_si256();
+    acc1[jj] = _mm256_setzero_si256();
+  }
+  std::int64_t p = 0;
+  for (; p + 32 <= k; p += 32) {
+    const __m256i a0v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a0 + p));
+    const __m256i a0e = _mm256_srai_epi16(_mm256_slli_epi16(a0v, 8), 8);
+    const __m256i a0o = _mm256_srai_epi16(a0v, 8);
+    __m256i a1e = _mm256_setzero_si256();
+    __m256i a1o = _mm256_setzero_si256();
+    if (a1 != nullptr) {
+      const __m256i a1v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a1 + p));
+      a1e = _mm256_srai_epi16(_mm256_slli_epi16(a1v, 8), 8);
+      a1o = _mm256_srai_epi16(a1v, 8);
+    }
+    for (std::int64_t jj = 0; jj < jn; ++jj) {
+      const __m256i bw = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(b + (j0 + jj) * bstride + p / 2)));
+      const __m256i blo = nib_lo(bw);
+      const __m256i bhi = nib_hi(bw);
+      acc0[jj] = _mm256_add_epi32(acc0[jj], _mm256_madd_epi16(a0e, blo));
+      acc0[jj] = _mm256_add_epi32(acc0[jj], _mm256_madd_epi16(a0o, bhi));
+      if (a1 != nullptr) {
+        acc1[jj] = _mm256_add_epi32(acc1[jj], _mm256_madd_epi16(a1e, blo));
+        acc1[jj] = _mm256_add_epi32(acc1[jj], _mm256_madd_epi16(a1o, bhi));
+      }
+    }
+  }
+  for (std::int64_t jj = 0; jj < jn; ++jj) {
+    std::int32_t s0 = hsum_epi32(acc0[jj]);
+    std::int32_t s1 = a1 != nullptr ? hsum_epi32(acc1[jj]) : 0;
+    const std::uint8_t* brow = b + (j0 + jj) * bstride;
+    for (std::int64_t q = p; q < k; ++q) {
+      const std::uint8_t byte = brow[q >> 1];
+      const std::int32_t bq = (q & 1) != 0 ? s4_hi(byte) : s4_lo(byte);
+      s0 += static_cast<std::int32_t>(a0[q]) * bq;
+      if (a1 != nullptr) s1 += static_cast<std::int32_t>(a1[q]) * bq;
+    }
+    c0[jj] = s0;
+    if (a1 != nullptr) c1[jj] = s1;
+  }
+}
+
+}  // namespace
+
+void gemm_s8s4_s32_avx2(std::int64_t m, std::int64_t n, std::int64_t k, const std::int8_t* a,
+                        std::int32_t za, const std::uint8_t* b_packed, std::int32_t zb,
+                        std::int32_t* c) {
+  const std::int64_t bstride = (k + 1) / 2;
+  std::vector<std::int32_t> row_sum_a(static_cast<std::size_t>(m), 0);
+  std::vector<std::int32_t> row_sum_b(static_cast<std::size_t>(n), 0);
+  s8_row_sums(a, m, k, row_sum_a.data());
+  s4_row_sums(b_packed, n, k, row_sum_b.data());
+  const std::int32_t kzz = static_cast<std::int32_t>(k) * za * zb;
+
+  std::int32_t raw0[kNrS4];
+  std::int32_t raw1[kNrS4];
+  std::int64_t i = 0;
+  for (; i < m; i += 2) {
+    const bool pair = i + 1 < m;
+    const std::int8_t* a0 = a + i * k;
+    const std::int8_t* a1 = pair ? a0 + k : nullptr;
+    for (std::int64_t j0 = 0; j0 < n; j0 += kNrS4) {
+      const std::int64_t jn = std::min(kNrS4, n - j0);
+      dot_tile_s4(a0, a1, b_packed, bstride, j0, jn, k, raw0, raw1);
+      for (std::int64_t jj = 0; jj < jn; ++jj) {
+        const std::int32_t corr_b = za * row_sum_b[static_cast<std::size_t>(j0 + jj)] - kzz;
+        c[i * n + j0 + jj] = raw0[jj] - zb * row_sum_a[static_cast<std::size_t>(i)] - corr_b;
+        if (pair) {
+          c[(i + 1) * n + j0 + jj] =
+              raw1[jj] - zb * row_sum_a[static_cast<std::size_t>(i + 1)] - corr_b;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace detail
+}  // namespace kernels
+}  // namespace clado::tensor
+
+#else  // !CLADO_KERNELS_AVX2: toolchain cannot target AVX2; never dispatched.
+
+namespace clado::tensor {
+namespace kernels {
+namespace detail {
+
+void gemm_s8s4_s32_avx2(std::int64_t m, std::int64_t n, std::int64_t k, const std::int8_t* a,
+                        std::int32_t za, const std::uint8_t* b_packed, std::int32_t zb,
+                        std::int32_t* c) {
+  gemm_s8s4_s32_scalar(m, n, k, a, za, b_packed, zb, c);
+}
+
+}  // namespace detail
+}  // namespace kernels
+}  // namespace clado::tensor
+
+#endif

@@ -38,6 +38,21 @@ void gemm_s8s8_s32_scalar(std::int64_t m, std::int64_t n, std::int64_t k, const 
 void s8_row_sums(const std::int8_t* rows, std::int64_t count, std::int64_t k,
                  std::int32_t* sums);
 
+// Packed-int4 variant (gemm_s4_scalar.cpp): rows have stride (k+1)/2 bytes,
+// low nibble first; the odd-k pad nibble is counted (it must be zero).
+// Shared by both s4 levels, like s8_row_sums.
+void s4_row_sums(const std::uint8_t* packed, std::int64_t count, std::int64_t k,
+                 std::int32_t* sums);
+
+// Portable reference kernels (gemm_s4_scalar.cpp / requant_scalar.cpp).
+void gemm_s8s4_s32_scalar(std::int64_t m, std::int64_t n, std::int64_t k, const std::int8_t* a,
+                          std::int32_t za, const std::uint8_t* b_packed, std::int32_t zb,
+                          std::int32_t* c);
+void quantize_f32_s8_scalar(std::int64_t count, const float* x, float inv_scale,
+                            std::int32_t zero_point, std::int8_t* out);
+void requant_s32_f32_scalar(std::int64_t rows, std::int64_t n, const std::int32_t* acc,
+                            float rescale, const float* bias, float* out);
+
 // AVX2 kernels (gemm_f32_avx2.cpp / gemm_s8_avx2.cpp). When the build
 // lacks AVX2 support these compile to scalar forwarders and
 // avx2_compiled() reports false, so dispatch never selects them.
@@ -48,6 +63,13 @@ void gemm_f32_row_range_avx2(bool trans_a, bool trans_b, std::int64_t m_begin,
                              std::int64_t ldb);
 void gemm_s8s8_s32_avx2(std::int64_t m, std::int64_t n, std::int64_t k, const std::int8_t* a,
                         std::int32_t za, const std::int8_t* b, std::int32_t zb, std::int32_t* c);
+void gemm_s8s4_s32_avx2(std::int64_t m, std::int64_t n, std::int64_t k, const std::int8_t* a,
+                        std::int32_t za, const std::uint8_t* b_packed, std::int32_t zb,
+                        std::int32_t* c);
+void quantize_f32_s8_avx2(std::int64_t count, const float* x, float inv_scale,
+                          std::int32_t zero_point, std::int8_t* out);
+void requant_s32_f32_avx2(std::int64_t rows, std::int64_t n, const std::int32_t* acc,
+                          float rescale, const float* bias, float* out);
 
 }  // namespace detail
 }  // namespace kernels

@@ -1,0 +1,116 @@
+// AVX2 quantize / requantize epilogue kernels. Bit-exactness with
+// requant_scalar.cpp is a hard requirement and pins every instruction
+// choice:
+//
+//   * vroundps with _MM_FROUND_TO_NEAREST_INT is ties-to-even — the same
+//     rounding nearbyint performs under the default environment, so the
+//     fp32 -> int8 quantization rounds identically lane-for-lane.
+//   * the rounded value is clamped to +/-2e9 BEFORE vcvtps2dq (matching
+//     the scalar clamp), so the conversion is exact (|v| < 2^31) and the
+//     out-of-range lane encoding of vcvtps2dq is never relied on.
+//   * the requant rescale is an explicit vmulps followed by a separate
+//     vaddps — intrinsics are not FMA-contracted, so the product is
+//     rounded to fp32 between the two steps exactly as the scalar level
+//     rounds it. vcvtdq2ps rounds int32 -> fp32 to nearest-even, same as
+//     the scalar static_cast.
+//
+// Compiled with -mavx2 -mfma per-file; scalar forwarders without support.
+#include <algorithm>
+#include <cmath>
+
+#include "kernels_internal.h"
+
+#if defined(CLADO_KERNELS_AVX2)
+
+#include <immintrin.h>
+
+namespace clado::tensor {
+namespace kernels {
+namespace detail {
+
+void quantize_f32_s8_avx2(std::int64_t count, const float* x, float inv_scale,
+                          std::int32_t zero_point, std::int8_t* out) {
+  const __m256 vinv = _mm256_set1_ps(inv_scale);
+  const __m256 vlo = _mm256_set1_ps(-2.0e9f);
+  const __m256 vhi = _mm256_set1_ps(2.0e9f);
+  const __m256i vzp = _mm256_set1_epi32(zero_point);
+  const __m256i vqmin = _mm256_set1_epi32(-128);
+  const __m256i vqmax = _mm256_set1_epi32(127);
+  std::int64_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    __m256 v = _mm256_mul_ps(_mm256_loadu_ps(x + i), vinv);
+    v = _mm256_round_ps(v, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+    v = _mm256_min_ps(_mm256_max_ps(v, vlo), vhi);
+    __m256i q = _mm256_add_epi32(_mm256_cvtps_epi32(v), vzp);
+    q = _mm256_min_epi32(_mm256_max_epi32(q, vqmin), vqmax);
+    // 8 x int32 -> 8 x int8; the packs saturations are no-ops after the
+    // [-128, 127] clamp above.
+    const __m128i w = _mm_packs_epi32(_mm256_castsi256_si128(q), _mm256_extracti128_si256(q, 1));
+    const __m128i bytes = _mm_packs_epi16(w, w);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(out + i), bytes);
+  }
+  for (; i < count; ++i) {
+    float r = std::nearbyint(x[i] * inv_scale);
+    r = std::min(std::max(r, -2.0e9f), 2.0e9f);
+    std::int32_t v = static_cast<std::int32_t>(r) + zero_point;
+    v = std::min(std::max(v, -128), 127);
+    out[i] = static_cast<std::int8_t>(v);
+  }
+}
+
+void requant_s32_f32_avx2(std::int64_t rows, std::int64_t n, const std::int32_t* acc,
+                          float rescale, const float* bias, float* out) {
+  const __m256 vs = _mm256_set1_ps(rescale);
+  if (bias == nullptr) {
+    const std::int64_t total = rows * n;
+    std::int64_t i = 0;
+    for (; i + 8 <= total; i += 8) {
+      const __m256 v = _mm256_cvtepi32_ps(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i)));
+      _mm256_storeu_ps(out + i, _mm256_mul_ps(v, vs));
+    }
+    for (; i < total; ++i) out[i] = rescale * static_cast<float>(acc[i]);
+    return;
+  }
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const std::int32_t* arow = acc + r * n;
+    float* orow = out + r * n;
+    std::int64_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      const __m256 v = _mm256_cvtepi32_ps(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(arow + j)));
+      const __m256 scaled = _mm256_mul_ps(v, vs);
+      _mm256_storeu_ps(orow + j, _mm256_add_ps(scaled, _mm256_loadu_ps(bias + j)));
+    }
+    for (; j < n; ++j) {
+      const float scaled = rescale * static_cast<float>(arow[j]);
+      orow[j] = scaled + bias[j];
+    }
+  }
+}
+
+}  // namespace detail
+}  // namespace kernels
+}  // namespace clado::tensor
+
+#else  // !CLADO_KERNELS_AVX2: toolchain cannot target AVX2; never dispatched.
+
+namespace clado::tensor {
+namespace kernels {
+namespace detail {
+
+void quantize_f32_s8_avx2(std::int64_t count, const float* x, float inv_scale,
+                          std::int32_t zero_point, std::int8_t* out) {
+  quantize_f32_s8_scalar(count, x, inv_scale, zero_point, out);
+}
+
+void requant_s32_f32_avx2(std::int64_t rows, std::int64_t n, const std::int32_t* acc,
+                          float rescale, const float* bias, float* out) {
+  requant_s32_f32_scalar(rows, n, acc, rescale, bias, out);
+}
+
+}  // namespace detail
+}  // namespace kernels
+}  // namespace clado::tensor
+
+#endif

@@ -1,0 +1,599 @@
+// clado::backend coverage: precision selection and layer preparation, the
+// latency-table artifact, the solver's secondary-cost (milliseconds) column,
+// and — the acceptance bar for the subsystem — serve::Engine executing a
+// mixed 4/8-bit assignment through real integer kernels: per-layer backend
+// tags in the plan dump, bit-identity with the reference integer path
+// (qlinear / qconv2d) on statically quantized inputs, and logits parity
+// with the fake-quant simulation within a documented tolerance.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "clado/backend/backend.h"
+#include "clado/backend/latency.h"
+#include "clado/core/algorithms.h"
+#include "clado/data/synthcv.h"
+#include "clado/models/builders.h"
+#include "clado/models/model.h"
+#include "clado/nn/layers.h"
+#include "clado/quant/act_quant.h"
+#include "clado/quant/int4.h"
+#include "clado/quant/int8.h"
+#include "clado/quant/qat.h"
+#include "clado/serve/engine.h"
+#include "clado/serve/plan.h"
+#include "clado/solver/iqp.h"
+#include "clado/tensor/rng.h"
+#include "clado/tensor/tensor.h"
+#include "test_models_util.h"
+
+namespace {
+
+namespace backend = clado::backend;
+using backend::Precision;
+using clado::models::Model;
+using clado::serve::BackendMode;
+using clado::serve::Engine;
+using clado::serve::EngineSpec;
+using clado::serve::Fusion;
+using clado::tensor::Rng;
+using clado::tensor::Tensor;
+
+// ---- precision selection ----------------------------------------------------
+
+TEST(Precision, BitsMapOntoBackends) {
+  EXPECT_EQ(backend::precision_for_bits(0), Precision::kFp32);
+  EXPECT_EQ(backend::precision_for_bits(-1), Precision::kFp32);
+  EXPECT_EQ(backend::precision_for_bits(9), Precision::kFp32);
+  EXPECT_EQ(backend::precision_for_bits(32), Precision::kFp32);
+  for (int b = 1; b <= 4; ++b) EXPECT_EQ(backend::precision_for_bits(b), Precision::kInt4) << b;
+  for (int b = 5; b <= 8; ++b) EXPECT_EQ(backend::precision_for_bits(b), Precision::kInt8) << b;
+}
+
+TEST(Precision, NamesAreStable) {
+  EXPECT_STREQ(backend::precision_name(Precision::kFp32), "fp32");
+  EXPECT_STREQ(backend::precision_name(Precision::kInt8), "int8");
+  EXPECT_STREQ(backend::precision_name(Precision::kInt4), "int4");
+}
+
+// ---- prepare_layer ----------------------------------------------------------
+
+clado::quant::WeightCodes make_codes(int bits, float scale, std::vector<std::int8_t> codes) {
+  clado::quant::WeightCodes wc;
+  wc.bits = bits;
+  wc.scale = scale;
+  wc.codes = std::move(codes);
+  return wc;
+}
+
+TEST(PrepareLayer, Int8KeepsCodesVerbatim) {
+  const auto wc = make_codes(8, 0.25F, {-128, -1, 0, 1, 127, 64});
+  const backend::PreparedLayer prep = backend::prepare_layer(wc, 2, 3);
+  EXPECT_EQ(prep.precision, Precision::kInt8);
+  EXPECT_EQ(prep.n, 2);
+  EXPECT_EQ(prep.k, 3);
+  EXPECT_EQ(prep.w_scale, 0.25F);
+  ASSERT_EQ(prep.w_s8.size(), 6u);
+  EXPECT_TRUE(prep.w_s4.empty());
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(prep.w_s8[i], wc.codes[i]);
+}
+
+TEST(PrepareLayer, Int4PacksRowsAndRoundTrips) {
+  // Odd k so the per-row pad nibble is exercised.
+  const auto wc = make_codes(4, 0.5F, {-8, 7, 0, 3, -1, 5});
+  const backend::PreparedLayer prep = backend::prepare_layer(wc, 2, 3);
+  EXPECT_EQ(prep.precision, Precision::kInt4);
+  EXPECT_TRUE(prep.w_s8.empty());
+  ASSERT_EQ(static_cast<std::int64_t>(prep.w_s4.size()),
+            2 * clado::quant::packed_s4_stride(3));
+  for (std::int64_t r = 0; r < 2; ++r) {
+    std::int8_t row[3];
+    clado::quant::unpack_s4(prep.w_s4.data() + r * clado::quant::packed_s4_stride(3), 3, row);
+    for (std::int64_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(row[j], wc.codes[static_cast<std::size_t>(r * 3 + j)]);
+    }
+  }
+}
+
+TEST(PrepareLayer, BitsZeroStaysFp32AndSizeMismatchThrows) {
+  clado::quant::WeightCodes fp;
+  fp.bits = 0;
+  const backend::PreparedLayer prep = backend::prepare_layer(fp, 4, 9);
+  EXPECT_EQ(prep.precision, Precision::kFp32);
+  EXPECT_TRUE(prep.w_s8.empty());
+  EXPECT_TRUE(prep.w_s4.empty());
+
+  const auto wc = make_codes(8, 1.0F, {1, 2, 3});
+  EXPECT_THROW(backend::prepare_layer(wc, 2, 2), std::invalid_argument);
+}
+
+TEST(Backends, Int8GemmMatchesQuantReferenceAndFp32Throws) {
+  Rng rng(5);
+  const std::int64_t rows = 3, n = 4, k = 17;
+  std::vector<std::int8_t> codes(static_cast<std::size_t>(n * k));
+  std::vector<std::int8_t> in(static_cast<std::size_t>(rows * k));
+  for (auto& c : codes) c = static_cast<std::int8_t>(static_cast<int>(rng.uniform_int(256)) - 128);
+  for (auto& c : in) c = static_cast<std::int8_t>(static_cast<int>(rng.uniform_int(256)) - 128);
+  backend::PreparedLayer prep =
+      backend::prepare_layer(make_codes(8, 1.0F, codes), n, k);
+
+  std::vector<std::int32_t> got(static_cast<std::size_t>(rows * n));
+  std::vector<std::int32_t> want(static_cast<std::size_t>(rows * n));
+  const backend::Backend& b8 = backend::backend_for(Precision::kInt8);
+  EXPECT_EQ(b8.precision(), Precision::kInt8);
+  b8.gemm(prep, rows, in.data(), /*za=*/-3, got.data());
+  clado::quant::gemm_s8s8_s32(rows, n, k, in.data(), -3, codes.data(), 0, want.data());
+  for (std::size_t i = 0; i < want.size(); ++i) ASSERT_EQ(got[i], want[i]) << i;
+
+  const backend::Backend& bf = backend::backend_for(Precision::kFp32);
+  EXPECT_THROW(bf.gemm(prep, rows, in.data(), 0, got.data()), std::logic_error);
+}
+
+// ---- latency table ----------------------------------------------------------
+
+TEST(LatencyTable, SaveLoadRoundTripAndValidation) {
+  backend::LatencyTable table;
+  table.ms = {{4.0, 1.5, 0.75}, {8.0, 3.25, 1.125}};
+  const std::string path = ::testing::TempDir() + "clado_latency_rt.bin";
+  backend::save_latency_table(table, path);
+  const backend::LatencyTable back = backend::load_latency_table(path);
+  ASSERT_EQ(back.layers(), 2u);
+  for (std::size_t g = 0; g < 2; ++g) {
+    for (int p = 0; p < backend::kNumPrecisions; ++p) {
+      EXPECT_EQ(back.ms[g][static_cast<std::size_t>(p)], table.ms[g][static_cast<std::size_t>(p)]);
+    }
+  }
+  EXPECT_EQ(back.at(1, Precision::kInt4), 1.125);
+  EXPECT_THROW(backend::load_latency_table(path + ".does-not-exist"), std::runtime_error);
+}
+
+TEST(LatencyTable, CostsIndexColumnsByExecutionPrecision) {
+  backend::LatencyTable table;
+  table.ms = {{4.0, 1.5, 0.75}, {8.0, 3.25, 1.125}};
+  const std::vector<int> bits = {2, 4, 8};
+  const auto costs = backend::latency_costs(table, 2, bits);
+  ASSERT_EQ(costs.size(), 2u);
+  // 2- and 4-bit candidates run on the same int4 backend, so they share a
+  // column; 8-bit takes the int8 column.
+  EXPECT_EQ(costs[0], (std::vector<double>{0.75, 0.75, 1.5}));
+  EXPECT_EQ(costs[1], (std::vector<double>{1.125, 1.125, 3.25}));
+  EXPECT_THROW(backend::latency_costs(table, 3, bits), std::invalid_argument);
+}
+
+// ---- solver: milliseconds as the knapsack column ----------------------------
+
+TEST(SolverSecondaryCost, BudgetConstrainsTheSwappedColumn) {
+  // Objective alone prefers choice 1 in both groups; the secondary
+  // (latency) budget only admits (0, 0).
+  clado::solver::QuadraticProblem problem;
+  problem.G = Tensor({4, 4});
+  const double diag[4] = {5.0, 1.0, 5.0, 1.0};
+  for (std::int64_t i = 0; i < 4; ++i) problem.G[i * 4 + i] = static_cast<float>(diag[i]);
+  problem.cost = {{4.0, 8.0}, {4.0, 8.0}};
+  problem.budget = 16.0;  // bytes: everything feasible
+
+  const std::vector<std::vector<double>> latency = {{1.0, 3.0}, {2.0, 5.0}};
+  const auto res = clado::solver::solve_with_fallback(problem, latency, 4.0);
+  ASSERT_TRUE(res.feasible);
+  EXPECT_EQ(res.choice, (std::vector<int>{0, 0}));
+
+  // Unconstrained control: the bytes budget admits the better objective.
+  const auto wide = clado::solver::solve_with_fallback(problem, latency, 100.0);
+  ASSERT_TRUE(wide.feasible);
+  EXPECT_EQ(wide.choice, (std::vector<int>{1, 1}));
+
+  EXPECT_THROW(clado::solver::solve_with_fallback(problem, {{1.0, 3.0}}, 4.0),
+               std::invalid_argument);
+  EXPECT_THROW(clado::solver::solve_with_fallback(problem, {{1.0}, {2.0, 5.0}}, 4.0),
+               std::invalid_argument);
+}
+
+TEST(AssignUnderLatency, PipelineSolvesAgainstMeasuredMilliseconds) {
+  Rng rng(29);
+  Model model = clado::testing::make_tiny_model(rng);
+  Rng data_rng(31);
+  clado::core::MpqPipeline pipeline(model, clado::testing::make_noise_batch(data_rng));
+
+  // 4 layers × candidates {2, 8}: the 8-bit choice is 3× slower everywhere.
+  const std::vector<std::vector<double>> latency(4, {1.0, 3.0});
+  const auto a =
+      pipeline.assign_under_latency(clado::core::Algorithm::kClado, latency, /*budget_ms=*/8.0);
+  ASSERT_EQ(a.bits.size(), 4u);
+  EXPECT_LE(a.latency_ms, 8.0 + 1e-9);
+  EXPECT_GT(a.latency_ms, 0.0);
+  EXPECT_EQ(a.budget_ms, 8.0);
+  EXPECT_EQ(a.target_bytes, 0.0);  // latency-budgeted, not size-budgeted
+  EXPECT_GT(a.bytes, 0.0);         // realized size still reported
+  double realized = 0.0;
+  for (std::size_t g = 0; g < 4; ++g) {
+    realized += latency[g][static_cast<std::size_t>(a.choice[g])];
+  }
+  EXPECT_DOUBLE_EQ(realized, a.latency_ms);
+
+  EXPECT_THROW(pipeline.assign_under_latency(clado::core::Algorithm::kClado,
+                                             {{1.0, 3.0}}, 8.0),
+               std::invalid_argument);
+  EXPECT_THROW(pipeline.assign_under_latency(clado::core::Algorithm::kClado,
+                                             std::vector<std::vector<double>>(4, {1.0}), 8.0),
+               std::invalid_argument);
+}
+
+// ---- engine: mode resolution and error paths --------------------------------
+
+Model make_calibrated_resnet_a() {
+  Rng rng(202);
+  Model model = clado::models::build_by_name("resnet_a", rng, /*num_classes=*/10);
+  clado::data::Batch calib;
+  Rng data_rng(303);
+  calib.images = Tensor::randn({4, model.channels, model.image_size, model.image_size}, data_rng);
+  for (std::int64_t i = 0; i < 4; ++i) calib.labels.push_back(i % model.num_classes);
+  model.calibrate_activations(calib);
+  return model;
+}
+
+/// Alternating 4/8-bit assignment — non-uniform, both integer backends live.
+std::vector<int> mixed_bits(std::size_t layers) {
+  std::vector<int> bits(layers);
+  for (std::size_t i = 0; i < layers; ++i) bits[i] = (i % 2 == 0) ? 4 : 8;
+  return bits;
+}
+
+EngineSpec backend_spec(std::vector<int> bits, std::int64_t max_batch) {
+  EngineSpec spec;
+  spec.bits = std::move(bits);
+  spec.label = "backend";
+  spec.max_batch = max_batch;
+  spec.fusion = Fusion::kOn;
+  spec.backend = BackendMode::kOn;
+  return spec;
+}
+
+TEST(BackendEngine, RequiresFusion) {
+  Model model = make_calibrated_resnet_a();
+  EngineSpec spec = backend_spec(mixed_bits(model.quant_layers.size()), 4);
+  spec.fusion = Fusion::kOff;
+  EXPECT_THROW(Engine(std::move(model), std::move(spec)), std::invalid_argument);
+}
+
+TEST(BackendEngine, EnvVarParsesStrictlyAndDefaultsOff) {
+  Rng rng(43);
+  Model model = clado::testing::make_tiny_model(rng);
+  ::unsetenv("CLADO_BACKEND");
+  {
+    EngineSpec spec;
+    spec.bits = std::vector<int>(model.quant_layers.size(), 8);
+    spec.fusion = Fusion::kOn;
+    Engine engine(model.clone(), std::move(spec));
+    EXPECT_FALSE(engine.backend_enabled());  // kAuto + unset = off
+    EXPECT_TRUE(engine.prepared_layers().empty());
+  }
+  ::setenv("CLADO_BACKEND", "1", 1);
+  {
+    EngineSpec spec;
+    spec.bits = std::vector<int>(model.quant_layers.size(), 8);
+    spec.fusion = Fusion::kOn;
+    Engine engine(model.clone(), std::move(spec));
+    EXPECT_TRUE(engine.backend_enabled());
+  }
+  {
+    // Explicit kOff wins over the env var.
+    EngineSpec spec;
+    spec.bits = std::vector<int>(model.quant_layers.size(), 8);
+    spec.fusion = Fusion::kOn;
+    spec.backend = BackendMode::kOff;
+    Engine engine(model.clone(), std::move(spec));
+    EXPECT_FALSE(engine.backend_enabled());
+  }
+  ::setenv("CLADO_BACKEND", "yes", 1);
+  {
+    EngineSpec spec;
+    spec.bits = std::vector<int>(model.quant_layers.size(), 8);
+    spec.fusion = Fusion::kOn;
+    EXPECT_THROW(Engine(model.clone(), std::move(spec)), std::invalid_argument);
+  }
+  ::unsetenv("CLADO_BACKEND");
+}
+
+// ---- engine: mixed-precision execution (the acceptance check) ---------------
+
+TEST(BackendEngine, MixedAssignmentRunsEveryQuantLayerOnItsBackend) {
+  Model model = make_calibrated_resnet_a();
+  const std::size_t layers = model.quant_layers.size();
+  const std::vector<int> bits = mixed_bits(layers);
+  Engine engine(std::move(model), backend_spec(bits, 4));
+
+  ASSERT_TRUE(engine.backend_enabled());
+  ASSERT_TRUE(engine.fused());
+  const auto& prepared = engine.prepared_layers();
+  ASSERT_EQ(prepared.size(), layers);
+  for (std::size_t i = 0; i < layers; ++i) {
+    EXPECT_EQ(prepared[i].precision, backend::precision_for_bits(bits[i])) << "layer " << i;
+    if (prepared[i].precision == Precision::kInt4) {
+      EXPECT_FALSE(prepared[i].w_s4.empty());
+      EXPECT_TRUE(prepared[i].w_s8.empty());
+    } else {
+      EXPECT_FALSE(prepared[i].w_s8.empty());
+      EXPECT_TRUE(prepared[i].w_s4.empty());
+    }
+  }
+
+  // resnet_a compiles fully (no fallbacks, no grouped convs), so every
+  // quantized layer must execute through its assigned-precision backend.
+  const clado::serve::CompiledPlan* plan = engine.plan(0);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->fallback_steps(), 0u);
+  EXPECT_EQ(plan->backend_steps(), layers);
+
+  // Per-layer backend tags in the plan dump: both integer precisions are
+  // live, and both static (post-fake-quant) and dynamic input
+  // quantization paths appear (the stem sees the raw image).
+  const std::string dump = plan->dump();
+  EXPECT_NE(dump.find("backend=int4"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("backend=int8"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("in=dynamic"), std::string::npos) << dump;
+  EXPECT_EQ(dump.find("backend=fp32"), std::string::npos) << dump;
+
+  // And it actually infers.
+  Rng rng(601);
+  const auto& s = engine.sample_shape();
+  const Tensor batch = Tensor::randn({3, s[0], s[1], s[2]}, rng);
+  const Tensor logits = engine.infer(batch);
+  ASSERT_EQ(logits.shape(), (clado::tensor::Shape{3, 10}));
+  for (std::int64_t i = 0; i < logits.numel(); ++i) ASSERT_TRUE(std::isfinite(logits[i]));
+}
+
+TEST(BackendEngine, LogitsTrackFakeQuantSimulationWithinTolerance) {
+  // The backend quantizes layer inputs to int8 (losslessly where a fake
+  // quant step precedes the layer, dynamically elsewhere), so its logits
+  // are the fake-quant simulation's plus bounded activation-quantization
+  // noise from the non-fake-quantized seams (the raw-image stem, the relu
+  // between a block's convs). Empirically the divergence on resnet_a at
+  // mixed 4/8 is ~0.21 on O(1) logits; 0.35 gives slack across hosts
+  // without masking real bugs (a wrong backend, scale, or zero point
+  // shifts logits by whole units).
+  Model model = make_calibrated_resnet_a();
+  Model twin = model.clone();
+  const std::vector<int> bits = mixed_bits(model.quant_layers.size());
+
+  Engine integer(std::move(model), backend_spec(bits, 4));
+  EngineSpec fake_spec;
+  fake_spec.bits = bits;
+  fake_spec.label = "fake-quant";
+  fake_spec.max_batch = 4;
+  fake_spec.fusion = Fusion::kOn;
+  fake_spec.backend = BackendMode::kOff;
+  Engine fake(std::move(twin), std::move(fake_spec));
+
+  Rng rng(607);
+  const auto& s = integer.sample_shape();
+  const Tensor batch = Tensor::randn({4, s[0], s[1], s[2]}, rng);
+  const Tensor a = integer.infer(batch);
+  const Tensor b = fake.infer(batch);
+  ASSERT_EQ(a.shape(), b.shape());
+  float max_diff = 0.0F;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    max_diff = std::max(max_diff, std::abs(a[i] - b[i]));
+  }
+  EXPECT_LT(max_diff, 0.35F) << "backend vs fake-quant logit divergence";
+}
+
+TEST(BackendEngine, ChunksOversizedBatchesThroughThePlan) {
+  // Backend engines never fall back to fake-quant for big batches; they
+  // chunk. Chunk boundaries are the only numeric seam (dynamic input
+  // quantization is per chunk), so infer(6) must equal the concatenation
+  // of infer on the same {2, 2, 2} partition.
+  Model model = make_calibrated_resnet_a();
+  std::vector<int> bits = mixed_bits(model.quant_layers.size());
+  Engine engine(std::move(model), backend_spec(std::move(bits), 2));
+
+  Rng rng(613);
+  const auto& s = engine.sample_shape();
+  const std::int64_t per = s[0] * s[1] * s[2];
+  const Tensor batch = Tensor::randn({6, s[0], s[1], s[2]}, rng);
+  const Tensor whole = engine.infer(batch);
+  ASSERT_EQ(whole.shape(), (clado::tensor::Shape{6, 10}));
+
+  for (std::int64_t chunk = 0; chunk < 3; ++chunk) {
+    Tensor part({2, s[0], s[1], s[2]});
+    std::memcpy(part.data(), batch.data() + chunk * 2 * per,
+                sizeof(float) * static_cast<std::size_t>(2 * per));
+    const Tensor logits = engine.infer(part);
+    for (std::int64_t r = 0; r < 2; ++r) {
+      for (std::int64_t c = 0; c < 10; ++c) {
+        ASSERT_EQ(whole[(chunk * 2 + r) * 10 + c], logits[r * 10 + c])
+            << "chunk " << chunk << " row " << r << " logit " << c;
+      }
+    }
+  }
+}
+
+// ---- engine: bit-identity with the reference integer path -------------------
+
+/// Flatten -> 8-bit fake quant -> Linear: the linear's input buffer is
+/// defined by a fake-quant step, so the backend quantizes it statically and
+/// the whole computation is an exact replay of quant::qlinear.
+Model make_fq_linear_model(Rng& rng) {
+  using namespace clado::nn;
+  Model m;
+  m.name = "fq_linear";
+  m.net = std::make_unique<Sequential>();
+  m.candidate_bits = {4, 8};
+  m.scheme = clado::quant::WeightScheme::kPerTensorSymmetric;
+  m.num_classes = 5;
+  m.image_size = 8;
+  m.net->emplace_named<Flatten>("flatten");
+  auto* aq = m.net->emplace_named<clado::quant::ActFakeQuant>("aq_in", 8);
+  m.act_quants.push_back(aq);
+  m.net->emplace_named<Linear>("fc", 3 * 8 * 8, 5)->init(rng);
+  m.finalize();
+  return m;
+}
+
+/// 8-bit fake quant -> 3x3 conv on a 3x3 image (pad 0): the conv output is
+/// spatially 1x1, so GlobalAvgPool is the identity and engine logits are
+/// exactly the conv's integer output.
+Model make_fq_conv_model(Rng& rng) {
+  using namespace clado::nn;
+  Model m;
+  m.name = "fq_conv";
+  m.net = std::make_unique<Sequential>();
+  m.candidate_bits = {4, 8};
+  m.scheme = clado::quant::WeightScheme::kPerTensorSymmetric;
+  m.num_classes = 5;
+  m.image_size = 3;
+  auto* aq = m.net->emplace_named<clado::quant::ActFakeQuant>("aq_in", 8);
+  m.act_quants.push_back(aq);
+  m.net->emplace_named<Conv2d>("conv", 3, 5, 3, /*stride=*/1, /*pad=*/0)->init(rng);
+  m.net->emplace_named<GlobalAvgPool>("gap");
+  m.finalize();
+  return m;
+}
+
+void calibrate(Model& model, std::uint64_t seed, std::int64_t n = 8) {
+  clado::data::Batch calib;
+  Rng rng(seed);
+  calib.images = Tensor::randn({n, model.channels, model.image_size, model.image_size}, rng);
+  for (std::int64_t i = 0; i < n; ++i) calib.labels.push_back(i % model.num_classes);
+  model.calibrate_activations(calib);
+}
+
+/// Static input-quantization parameters of a frozen 8-bit ActFakeQuant:
+/// same grid shifted from u8 onto s8 (the backend's step.in_zp).
+clado::quant::QParams static_qparams(const clado::quant::ActFakeQuant& aq) {
+  clado::quant::QParams p;
+  p.scale = aq.scale();
+  p.zero_point = static_cast<std::int32_t>(std::nearbyint(aq.zero_point())) - 128;
+  return p;
+}
+
+TEST(BackendEngine, UniformInt8LinearIsBitIdenticalToQlinear) {
+  Rng rng(71);
+  Model model = make_fq_linear_model(rng);
+  calibrate(model, 73);
+  Model twin = model.clone();
+  Engine engine(std::move(model), backend_spec({8}, 4));
+  ASSERT_EQ(engine.plan(0)->backend_steps(), 1u);
+  const std::string dump = engine.plan(0)->dump();
+  EXPECT_NE(dump.find("backend=int8"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("in=static"), std::string::npos) << dump;
+
+  Rng data_rng(79);
+  const Tensor batch = Tensor::randn({3, 3, 8, 8}, data_rng);
+  const Tensor got = engine.infer(batch);
+
+  // Reference: fake-quant the flattened input, quantize it on the same
+  // grid, and run the existing integer linear.
+  twin.net->set_training(false);
+  auto* aq = twin.act_quants.at(0);
+  const Tensor flat = batch.reshape({3, 192});
+  const Tensor fq_out = aq->forward(flat);
+  const clado::quant::QTensor qx = clado::quant::quantize_int8(fq_out, static_qparams(*aq));
+
+  const auto& prep = engine.prepared_layers().at(0);
+  ASSERT_EQ(prep.precision, Precision::kInt8);
+  clado::quant::QTensor qw;
+  qw.shape = {5, 192};
+  qw.data = prep.w_s8;
+  qw.scale = prep.w_scale;
+  qw.zero_point = 0;
+  auto* fc = dynamic_cast<clado::nn::Linear*>(twin.quant_layers.at(0).layer);
+  ASSERT_NE(fc, nullptr);
+  const Tensor want = clado::quant::qlinear(qx, qw, fc->bias_data());
+
+  ASSERT_EQ(got.shape(), want.shape());
+  for (std::int64_t i = 0; i < got.numel(); ++i) {
+    ASSERT_EQ(got[i], want[i]) << "logit " << i;
+  }
+}
+
+TEST(BackendEngine, UniformInt8ConvIsBitIdenticalToQconv2d) {
+  Rng rng(83);
+  Model model = make_fq_conv_model(rng);
+  calibrate(model, 89);
+  Model twin = model.clone();
+  Engine engine(std::move(model), backend_spec({8}, 4));
+  ASSERT_EQ(engine.plan(0)->backend_steps(), 1u);
+
+  Rng data_rng(97);
+  const Tensor batch = Tensor::randn({4, 3, 3, 3}, data_rng);
+  const Tensor got = engine.infer(batch);
+
+  twin.net->set_training(false);
+  auto* aq = twin.act_quants.at(0);
+  const Tensor fq_out = aq->forward(batch);
+  const clado::quant::QTensor qx = clado::quant::quantize_int8(fq_out, static_qparams(*aq));
+
+  const auto& prep = engine.prepared_layers().at(0);
+  ASSERT_EQ(prep.precision, Precision::kInt8);
+  clado::quant::QTensor qw;
+  qw.shape = {5, 3, 3, 3};
+  qw.data = prep.w_s8;
+  qw.scale = prep.w_scale;
+  qw.zero_point = 0;
+  auto* conv = dynamic_cast<clado::nn::Conv2d*>(twin.quant_layers.at(0).layer);
+  ASSERT_NE(conv, nullptr);
+  const Tensor want =
+      clado::quant::qconv2d(qx, qw, conv->bias_data(), 1, 0).reshape({4, 5});
+
+  ASSERT_EQ(got.shape(), want.shape());
+  for (std::int64_t i = 0; i < got.numel(); ++i) {
+    ASSERT_EQ(got[i], want[i]) << "logit " << i;
+  }
+}
+
+TEST(BackendEngine, Int4ConvIsBitIdenticalToThePackedKernelPath) {
+  Rng rng(101);
+  Model model = make_fq_conv_model(rng);
+  calibrate(model, 103);
+  Model twin = model.clone();
+  Engine engine(std::move(model), backend_spec({4}, 4));
+  ASSERT_EQ(engine.plan(0)->backend_steps(), 1u);
+  EXPECT_NE(engine.plan(0)->dump().find("backend=int4"), std::string::npos);
+
+  Rng data_rng(107);
+  const Tensor batch = Tensor::randn({4, 3, 3, 3}, data_rng);
+  const Tensor got = engine.infer(batch);
+
+  twin.net->set_training(false);
+  auto* aq = twin.act_quants.at(0);
+  const Tensor fq_out = aq->forward(batch);
+  const clado::quant::QParams qp = static_qparams(*aq);
+  const clado::quant::QTensor qx = clado::quant::quantize_int8(fq_out, qp);
+
+  const auto& prep = engine.prepared_layers().at(0);
+  ASSERT_EQ(prep.precision, Precision::kInt4);
+  auto* conv = dynamic_cast<clado::nn::Conv2d*>(twin.quant_layers.at(0).layer);
+  ASSERT_NE(conv, nullptr);
+
+  // Replay the backend's conv by hand: per-sample im2col at the static zero
+  // point, the packed s4 GEMM, and the shared requant epilogue.
+  const std::int64_t patch = 3 * 3 * 3;  // C * k * k; one output position
+  Tensor want({4, 5});
+  std::vector<std::int8_t> cols(static_cast<std::size_t>(patch));
+  std::vector<std::int32_t> acc(5);
+  for (std::int64_t sample = 0; sample < 4; ++sample) {
+    clado::quant::im2col_s8(qx.data.data() + sample * patch, 3, 3, 3, /*kernel=*/3,
+                            /*stride=*/1, /*pad=*/0, /*oh=*/1, /*ow=*/1, qp.zero_point,
+                            cols.data());
+    clado::quant::gemm_s8s4_s32(1, 5, patch, cols.data(), qp.zero_point, prep.w_s4.data(), 0,
+                                acc.data());
+    clado::quant::requant_scatter(acc.data(), /*positions=*/1, /*out_c=*/5,
+                                  qp.scale * prep.w_scale, conv->bias_data(),
+                                  want.data() + sample * 5);
+  }
+
+  ASSERT_EQ(got.shape(), want.shape());
+  for (std::int64_t i = 0; i < got.numel(); ++i) {
+    ASSERT_EQ(got[i], want[i]) << "logit " << i;
+  }
+}
+
+}  // namespace

@@ -426,6 +426,40 @@ TEST(CladoLintTest, SimdHygienePassesInAvx2KernelTu) {
   EXPECT_FALSE(r.flags("simd-hygiene")) << r.output;
 }
 
+TEST(CladoLintTest, SimdHygieneFiresOnAvx512InAvx2KernelTu) {
+  // The kernel TUs are compiled with exactly -mavx2 -mfma; AVX-512 tokens
+  // there are either a compile break or an untested macro-guarded path.
+  const LintResult r = run_lint(
+      "src/tensor/kernels/example_avx2.cpp",
+      "#include <immintrin.h>\n"
+      "namespace clado::tensor {\n"
+      "void zero(float* p) { _mm512_storeu_ps(p, _mm512_setzero_ps()); }\n"
+      "}\n");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_TRUE(r.flags("simd-hygiene")) << r.output;
+}
+
+TEST(CladoLintTest, SimdHygieneFiresOnAvx512MaskTypeInAvx2KernelTu) {
+  const LintResult r = run_lint(
+      "src/tensor/kernels/example_avx2.cpp",
+      "#include <immintrin.h>\n"
+      "namespace clado::tensor {\n"
+      "int lanes(__mmask16 m) { return static_cast<int>(m); }\n"
+      "}\n");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_TRUE(r.flags("simd-hygiene")) << r.output;
+}
+
+TEST(CladoLintTest, SimdHygieneAllowsAvx2IntrinsicsInAvx2KernelTu) {
+  const LintResult r = run_lint(
+      "src/tensor/kernels/example_avx2.cpp",
+      "#include <immintrin.h>\n"
+      "namespace clado::tensor {\n"
+      "int sum(__m256i v) { return _mm256_extract_epi32(_mm256_abs_epi32(v), 0); }\n"
+      "}\n");
+  EXPECT_FALSE(r.flags("simd-hygiene")) << r.output;
+}
+
 TEST(CladoLintTest, SimdHygieneIgnoresIntrinsicNamesInCommentsAndStrings) {
   const LintResult r = run_lint(
       "src/nn/example.cpp",

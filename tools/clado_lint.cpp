@@ -90,7 +90,7 @@ const std::vector<std::string> kAllRules = {
 
 const std::vector<std::string> kSubsystems = {"tensor", "linalg", "nn",  "quant", "data",
                                               "models", "solver", "core", "obs",  "fault",
-                                              "serve"};
+                                              "serve",  "backend"};
 
 constexpr std::size_t kNoOffset = static_cast<std::size_t>(-1);
 
@@ -1470,7 +1470,26 @@ class Linter {
   }
 
   void rule_simd_sources(const SourceFile& f) {
-    if (is_avx2_kernel_tu(f.path)) return;
+    if (is_avx2_kernel_tu(f.path)) {
+      // Inside the AVX2 kernel TUs only AVX2-and-below intrinsics are fair
+      // game: these files are compiled with exactly -mavx2 -mfma, so an
+      // AVX-512 token means either a guaranteed compile break or (worse) a
+      // macro-guarded path that would ship untested. Flag it at lint time.
+      std::set<std::string> flagged512;
+      for (const Token& t : f.tokens) {
+        if (!t.ident()) continue;
+        const bool avx512 = t.text.compare(0, 6, "_mm512") == 0 ||
+                            t.text.compare(0, 6, "__m512") == 0 ||
+                            t.text.compare(0, 7, "__mmask") == 0;
+        if (!avx512 || !flagged512.insert(t.text).second) continue;
+        report(f, t.offset, "simd-hygiene",
+               "AVX-512 token '" + t.text +
+                   "' in an *_avx2.cpp kernel TU; these TUs are compiled with -mavx2 -mfma "
+                   "only — AVX-512 code would need its own dispatched _avx512 TU and CMake "
+                   "grant");
+      }
+      return;
+    }
     for (std::size_t pos = f.code.find("immintrin.h"); pos != std::string::npos;
          pos = f.code.find("immintrin.h", pos + 1)) {
       report(f, pos, "simd-hygiene",
